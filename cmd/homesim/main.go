@@ -1,0 +1,166 @@
+// Command homesim runs the cooker monitoring scenario (the paper's
+// small-scale application) with configurable parameters: the alert
+// threshold, the simulated user's answer, and how long the cooker is left
+// on. It exercises exactly the code path of examples/cookermonitor but as an
+// operational tool with a machine-readable outcome (exit status 0 when the
+// home ends in a safe state).
+//
+// Usage:
+//
+//	homesim [-threshold 120] [-answer yes|no] [-leave-on 300]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/dsl/designs"
+	"repro/internal/runtime"
+	"repro/internal/simclock"
+)
+
+type alertCtx struct {
+	threshold int
+	onSeconds int
+}
+
+func (a *alertCtx) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
+	v, err := call.QueryDeviceOne("Cooker", "consumption")
+	if err != nil {
+		return nil, false, err
+	}
+	if v.(float64) > 0 {
+		a.onSeconds++
+	} else {
+		a.onSeconds = 0
+	}
+	if a.onSeconds > 0 && a.onSeconds%a.threshold == 0 {
+		return a.onSeconds, true, nil
+	}
+	return nil, false, nil
+}
+
+type notifyCtrl struct{}
+
+func (notifyCtrl) OnContext(call *runtime.ControllerCall) error {
+	prompters, err := call.Devices("Prompter")
+	if err != nil {
+		return err
+	}
+	for _, p := range prompters {
+		q := fmt.Sprintf("The cooker has been on for %vs. Turn it off?", call.Value)
+		if err := p.Invoke("askQuestion", q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type remoteTurnOffCtx struct{}
+
+func (remoteTurnOffCtx) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
+	if call.Reading.Value != "yes" {
+		return nil, false, nil
+	}
+	v, err := call.QueryDeviceOne("Cooker", "consumption")
+	if err != nil {
+		return nil, false, err
+	}
+	if v.(float64) > 0 {
+		return true, true, nil
+	}
+	return nil, false, nil
+}
+
+type turnOffCtrl struct{}
+
+func (turnOffCtrl) OnContext(call *runtime.ControllerCall) error {
+	cookers, err := call.Devices("Cooker")
+	if err != nil {
+		return err
+	}
+	for _, c := range cookers {
+		if err := c.Invoke("Off"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func main() {
+	threshold := flag.Int("threshold", 120, "seconds the cooker may stay on before alerting")
+	answer := flag.String("answer", "yes", "simulated user's answer to the prompter (yes/no)")
+	leaveOn := flag.Int("leave-on", 300, "seconds to simulate with the cooker on")
+	flag.Parse()
+	if err := run(*threshold, *answer, *leaveOn); err != nil {
+		fmt.Fprintln(os.Stderr, "homesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(threshold int, answer string, leaveOn int) error {
+	vc := simclock.NewVirtual(time.Date(2017, 6, 5, 18, 0, 0, 0, time.UTC))
+	app, err := core.NewApp(designs.Cooker, runtime.WithClock(vc))
+	if err != nil {
+		return err
+	}
+	defer app.Stop()
+
+	clock := devsim.NewClockDevice("clock-1", vc)
+	cooker := devsim.NewCookerDevice("cooker-1", 11, vc.Now)
+	prompter := devsim.NewPrompterDevice("tv-1", vc.Now)
+	questions := 0
+	prompter.AnswerWith(func(q string) (string, bool) {
+		questions++
+		fmt.Printf("  prompt: %q -> %s\n", q, answer)
+		return answer, true
+	})
+	if err := app.BindDevices(clock, cooker, prompter); err != nil {
+		return err
+	}
+	if err := app.ImplementContext("Alert", &alertCtx{threshold: threshold}); err != nil {
+		return err
+	}
+	if err := app.ImplementController("Notify", notifyCtrl{}); err != nil {
+		return err
+	}
+	if err := app.ImplementContext("RemoteTurnOff", remoteTurnOffCtx{}); err != nil {
+		return err
+	}
+	if err := app.ImplementController("TurnOff", turnOffCtrl{}); err != nil {
+		return err
+	}
+	if err := app.Start(); err != nil {
+		return err
+	}
+	clock.Run()
+	defer clock.Stop()
+
+	fmt.Printf("homesim: threshold=%ds answer=%s leave-on=%ds\n", threshold, answer, leaveOn)
+	if err := cooker.Invoke("On"); err != nil {
+		return err
+	}
+	for s := 0; s < leaveOn && cooker.IsOn(); s++ {
+		vc.Advance(time.Second)
+		time.Sleep(100 * time.Microsecond)
+	}
+	settle := time.Now().Add(2 * time.Second)
+	for cooker.IsOn() && answer == "yes" && questions > 0 && time.Now().Before(settle) {
+		time.Sleep(time.Millisecond)
+	}
+
+	st := app.Stats()
+	fmt.Printf("outcome: cooker on=%v, %d prompts, %d actuations, %d errors\n",
+		cooker.IsOn(), questions, st.Actuations, st.Errors)
+	if answer == "yes" && cooker.IsOn() {
+		return fmt.Errorf("cooker still on despite confirmation")
+	}
+	if answer == "no" && !cooker.IsOn() {
+		return fmt.Errorf("cooker turned off despite refusal")
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+// Command parkingsim is the scale harness for the parking-management
+// design: it runs the identical application at increasing fleet sizes (the
+// paper's Figure 1 continuum) and reports, for each scale, the per-period
+// processing cost of the `grouped by … with map … reduce …` lowering with
+// the parallel MapReduce engine versus the sequential baseline (claim C2).
+//
+// Usage:
+//
+//	parkingsim [-scales 100,1000,10000] [-lots 5] [-periods 6] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/devsim"
+	"repro/internal/mapreduce"
+	"repro/internal/simclock"
+)
+
+func main() {
+	scales := flag.String("scales", "100,1000,10000,100000", "comma-separated sensors-per-scale")
+	lots := flag.Int("lots", 5, "number of parking lots")
+	periods := flag.Int("periods", 6, "10-minute periods to simulate per scale")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "MapReduce workers")
+	flag.Parse()
+	if err := run(*scales, *lots, *periods, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "parkingsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scalesCSV string, lots, periods, workers int) error {
+	var scales []int
+	for _, s := range strings.Split(scalesCSV, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < lots {
+			return fmt.Errorf("bad scale %q (must be an int >= lots)", s)
+		}
+		scales = append(scales, n)
+	}
+	lotNames := make([]string, lots)
+	for i := range lotNames {
+		lotNames[i] = fmt.Sprintf("L%02d", i)
+	}
+
+	fmt.Printf("parking scale sweep (continuum, Figure 1): %d lots, %d periods per scale, %d workers\n",
+		lots, periods, workers)
+	fmt.Printf("%-10s %-10s %-14s %-14s %-9s %s\n",
+		"sensors", "readings", "sequential", "mapreduce", "speedup", "availability sample")
+
+	for _, sensors := range scales {
+		if err := sweepOne(sensors, lotNames, periods, workers); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepOne runs `periods` rounds of the ParkingAvailability processing at
+// one fleet size and reports the mean per-round processing latency.
+func sweepOne(sensors int, lotNames []string, periods, workers int) error {
+	start := time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+	vc := simclock.NewVirtual(start)
+	perLot := sensors / len(lotNames)
+	fleet := devsim.NewParkingFleet(devsim.DefaultParkingModel(lotNames, perLot, 2017), vc)
+
+	vacancyMap := func(lot string, present bool, emit func(string, bool)) {
+		if !present {
+			emit(lot, true)
+		}
+	}
+	countReduce := func(lot string, vs []bool, emit func(string, int)) {
+		emit(lot, len(vs))
+	}
+
+	var seqTotal, mrTotal time.Duration
+	var lastCounts []mapreduce.Pair[string, int]
+	for p := 0; p < periods; p++ {
+		vc.Advance(10 * time.Minute)
+		fleet.Step()
+		// Gather one period's readings (what the runtime poller would
+		// deliver for this interaction).
+		in := make([]mapreduce.Pair[string, bool], 0, fleet.Size())
+		for _, s := range fleet.Sensors() {
+			v, err := s.Query("presence")
+			if err != nil {
+				return err
+			}
+			in = append(in, mapreduce.Pair[string, bool]{
+				Key:   s.Attributes()["parkingLot"],
+				Value: v.(bool),
+			})
+		}
+
+		t0 := time.Now()
+		seq := mapreduce.RunSequential(in, vacancyMap, countReduce)
+		seqTotal += time.Since(t0)
+
+		t1 := time.Now()
+		par := mapreduce.Run(in, vacancyMap, countReduce, mapreduce.Config{Workers: workers})
+		mrTotal += time.Since(t1)
+
+		mapreduce.SortByKeyString(par)
+		mapreduce.SortByKeyString(seq)
+		if fmt.Sprint(par) != fmt.Sprint(seq) {
+			return fmt.Errorf("scale %d period %d: MapReduce result differs from sequential", sensors, p)
+		}
+		lastCounts = par
+	}
+
+	seqMean := seqTotal / time.Duration(periods)
+	mrMean := mrTotal / time.Duration(periods)
+	speedup := float64(seqMean) / float64(mrMean)
+	sample := ""
+	if len(lastCounts) > 0 {
+		n := 3
+		if len(lastCounts) < n {
+			n = len(lastCounts)
+		}
+		parts := make([]string, n)
+		for i := 0; i < n; i++ {
+			parts[i] = fmt.Sprintf("%s:%d", lastCounts[i].Key, lastCounts[i].Value)
+		}
+		sample = strings.Join(parts, " ")
+	}
+	fmt.Printf("%-10d %-10d %-14v %-14v %-9.2f %s\n",
+		fleet.Size(), fleet.Size(), seqMean, mrMean, speedup, sample)
+	return nil
+}

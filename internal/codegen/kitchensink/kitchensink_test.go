@@ -1,0 +1,407 @@
+// Package kitchensink compiles and runs a generated framework that covers
+// every code-generation path at once: MapReduce and plain grouping in one
+// context, `every` windows over enum-typed attributes, ungrouped periodic
+// delivery with a discover object, indexed event sources, context-to-context
+// pulls, taxonomy-typed multi-clause controllers and variadic action
+// signatures. The design is in design.diaspec; gen.go is produced by
+// `diaspecc gen` and checked against regeneration drift by the codegen
+// tests' sibling (TestKitchenSinkCurrent below).
+package kitchensink
+
+import (
+	"bytes"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/codegen"
+	"repro/internal/device"
+	"repro/internal/dsl"
+	"repro/internal/registry"
+	"repro/internal/runtime"
+	"repro/internal/simclock"
+)
+
+var epoch = time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+
+// rollup implements RollupImpl: MapReduce over zones plus a windowed rollup
+// over tiers.
+type rollup struct {
+	mu          sync.Mutex
+	zoneDigests [][]Digest
+	tierWindows []map[TierEnum][]int
+}
+
+func (r *rollup) Map(zone string, value int, emit func(string, int)) {
+	if value > 0 {
+		emit(zone, value)
+	}
+}
+
+func (r *rollup) Reduce(zone string, values []int, emit func(string, int)) {
+	sum := 0
+	for _, v := range values {
+		sum += v
+	}
+	emit(zone, sum)
+}
+
+func (r *rollup) OnPeriodicLevel(levelByZone map[string]int) ([]Digest, error) {
+	var out []Digest
+	for zone, total := range levelByZone {
+		out = append(out, Digest{Zone: zone, Total: total})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Zone < out[j].Zone })
+	r.mu.Lock()
+	r.zoneDigests = append(r.zoneDigests, out)
+	r.mu.Unlock()
+	return out, nil
+}
+
+func (r *rollup) OnPeriodicLevel2(levelByTier map[TierEnum][]int) ([]Digest, error) {
+	r.mu.Lock()
+	r.tierWindows = append(r.tierWindows, levelByTier)
+	r.mu.Unlock()
+	var out []Digest
+	for tier, vals := range levelByTier {
+		out = append(out, Digest{Zone: string(tier), Total: len(vals)})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Zone < out[j].Zone })
+	return out, nil
+}
+
+func (r *rollup) OnRequired() ([]Digest, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.zoneDigests) == 0 {
+		return nil, nil
+	}
+	return r.zoneDigests[len(r.zoneDigests)-1], nil
+}
+
+// ungrouped implements UngroupedImpl: mean level, pulled again through the
+// discover object to exercise QueryDevice.
+type ungrouped struct{}
+
+func (ungrouped) OnPeriodicLevel(values []int, discover *UngroupedPeriodicLevelDiscover) (float64, bool, error) {
+	all, err := discover.LevelFromMultiSensorAll()
+	if err != nil {
+		return 0, false, err
+	}
+	if len(all) != len(values) {
+		return 0, false, nil
+	}
+	sum := 0
+	for _, v := range values {
+		sum += v
+	}
+	if len(values) == 0 {
+		return 0, false, nil
+	}
+	return float64(sum) / float64(len(values)), true, nil
+}
+
+// chained implements ChainedImpl: a no-publish state update plus an indexed
+// event trigger that republishes.
+type chained struct {
+	mu       sync.Mutex
+	lastPull []Digest
+}
+
+func (c *chained) OnRollup(value []Digest, discover *ChainedRollupDiscover) error {
+	pulled, err := discover.Rollup()
+	if err != nil {
+		return err
+	}
+	c.mu.Lock()
+	c.lastPull = pulled
+	c.mu.Unlock()
+	return nil
+}
+
+func (c *chained) OnLabelFromMultiSensor(label, slot string) (string, error) {
+	return label + "@" + slot, nil
+}
+
+// fanout implements FanoutImpl with two when-clauses over a taxonomy.
+type fanout struct {
+	mu         sync.Mutex
+	pings      int
+	boosts     int
+	configures int
+}
+
+func (f *fanout) OnRollup(value []Digest, discover *FanoutDiscover) error {
+	if err := discover.Actors().Ping(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.pings++
+	f.mu.Unlock()
+	if err := discover.SuperActors().Boost(1.5); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.boosts++
+	f.mu.Unlock()
+	return nil
+}
+
+func (f *fanout) OnChained(value string, discover *FanoutDiscover) error {
+	if err := discover.Actors().Configure(value, []float64{1, 2}, true); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.configures++
+	f.mu.Unlock()
+	return nil
+}
+
+func designSource(t *testing.T) string {
+	t.Helper()
+	src, err := os.ReadFile("design.diaspec")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(src)
+}
+
+func TestKitchenSinkGeneratedCodeCurrent(t *testing.T) {
+	m, err := dsl.Load(designSource(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := codegen.Generate(m, codegen.Options{Package: "kitchensink"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile("gen.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want, got) {
+		t.Fatal("gen.go is stale; regenerate with diaspecc gen")
+	}
+}
+
+func TestKitchenSinkEndToEnd(t *testing.T) {
+	vc := simclock.NewVirtual(epoch)
+	m, err := dsl.Load(designSource(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := runtime.New(m, runtime.WithClock(vc))
+	defer rt.Stop()
+	RegisterWireTypes()
+
+	// Fleet: 4 sensors across 2 zones and 2 tiers, one Actor and one
+	// SuperActor (which must also satisfy Actor selections).
+	levels := map[string]int{"ms0": 1, "ms1": 2, "ms2": 3, "ms3": 0}
+	var sensors []*device.Base
+	for i, id := range []string{"ms0", "ms1", "ms2", "ms3"} {
+		id := id
+		zone := "east"
+		if i >= 2 {
+			zone = "west"
+		}
+		tier := string(TierEnumGOLD)
+		if i%2 == 1 {
+			tier = string(TierEnumSILVER)
+		}
+		s := device.NewBase(id, "MultiSensor", nil,
+			registry.Attributes{"zone": zone, "tier": tier}, vc.Now)
+		s.OnQuery("level", func() (any, error) { return levels[id], nil })
+		if err := rt.BindDevice(s); err != nil {
+			t.Fatal(err)
+		}
+		sensors = append(sensors, s)
+	}
+	var mu sync.Mutex
+	var pinged, boosted, configured int
+	var configArgs []any
+	actor := device.NewBase("actor-1", "Actor", nil, registry.Attributes{"zone": "east"}, vc.Now)
+	actor.OnAction("ping", func(...any) error { mu.Lock(); pinged++; mu.Unlock(); return nil })
+	actor.OnAction("configure", func(args ...any) error {
+		mu.Lock()
+		configured++
+		configArgs = args
+		mu.Unlock()
+		return nil
+	})
+	super := device.NewBase("super-1", "SuperActor", []string{"SuperActor", "Actor"},
+		registry.Attributes{"zone": "west"}, vc.Now)
+	super.OnAction("ping", func(...any) error { mu.Lock(); pinged++; mu.Unlock(); return nil })
+	super.OnAction("configure", func(...any) error { return nil })
+	super.OnAction("boost", func(args ...any) error {
+		if args[0].(float64) != 1.5 {
+			t.Errorf("boost arg = %v", args[0])
+		}
+		mu.Lock()
+		boosted++
+		mu.Unlock()
+		return nil
+	})
+	if err := rt.BindDevice(actor); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.BindDevice(super); err != nil {
+		t.Fatal(err)
+	}
+
+	ru := &rollup{}
+	ch := &chained{}
+	fo := &fanout{}
+	if err := BindRollup(rt, ru); err != nil {
+		t.Fatal(err)
+	}
+	if err := BindUngrouped(rt, ungrouped{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := BindChained(rt, ch); err != nil {
+		t.Fatal(err)
+	}
+	if err := BindFanout(rt, fo); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Drive 15 virtual minutes in 1-minute steps: the 1-minute pollers
+	// fire each step, the 5-minute poller fires at 5/10/15, and the
+	// 15-minute tier window flushes once at the end.
+	for i := 1; i <= 15; i++ {
+		before := rt.Stats().PeriodicPolls
+		vc.Advance(time.Minute)
+		wantPolls := before + 2 // two 1-minute pollers
+		if i%5 == 0 {
+			wantPolls++ // plus the 5-minute poller
+		}
+		waitFor(t, "polls", func() bool { return rt.Stats().PeriodicPolls >= wantPolls })
+	}
+
+	// Zone MapReduce: east = 1+2 = 3, west = 3 (ms3 contributes 0 and is
+	// filtered by Map).
+	waitFor(t, "zone digests", func() bool {
+		v, ok := rt.LastPublished("Rollup")
+		if !ok {
+			return false
+		}
+		d := v.([]Digest)
+		return len(d) >= 2
+	})
+	v, _ := rt.LastPublished("Rollup")
+	lastRollup := v.([]Digest)
+	byZone := map[string]int{}
+	for _, d := range lastRollup {
+		byZone[d.Zone] = d.Total
+	}
+	if byZone["east"] != 3 || byZone["west"] != 3 {
+		// The tier publication shares the topic; accept either form but
+		// require the zone form to have been observed via OnRequired.
+		pulled, err := ru.OnRequired()
+		if err != nil || len(pulled) != 2 {
+			t.Fatalf("zone rollup = %v (pulled %v, %v)", byZone, pulled, err)
+		}
+	}
+
+	// Tier window: 15 one-minute... the 5-minute poller ran 3 times; the
+	// window flushes after 3 ticks (15/5) with 4 readings per tick → 2
+	// tiers × 6 readings.
+	waitFor(t, "tier window", func() bool {
+		ru.mu.Lock()
+		defer ru.mu.Unlock()
+		return len(ru.tierWindows) >= 1
+	})
+	ru.mu.Lock()
+	win := ru.tierWindows[0]
+	ru.mu.Unlock()
+	if len(win[TierEnumGOLD]) != 6 || len(win[TierEnumSILVER]) != 6 {
+		t.Fatalf("tier window sizes = %d/%d, want 6/6",
+			len(win[TierEnumGOLD]), len(win[TierEnumSILVER]))
+	}
+
+	// Ungrouped mean with discover pull: (1+2+3+0)/4 = 1.5.
+	waitFor(t, "ungrouped publication", func() bool {
+		v, ok := rt.LastPublished("Ungrouped")
+		return ok && v.(float64) == 1.5
+	})
+
+	// Chained: context-to-context pull populated.
+	waitFor(t, "chained pull", func() bool {
+		ch.mu.Lock()
+		defer ch.mu.Unlock()
+		return len(ch.lastPull) == 2
+	})
+
+	// Indexed event trigger → publication → Fanout.OnChained with typed
+	// args through to the Actor.
+	sensors[0].EmitIndexed("label", "hello", "slot9")
+	waitFor(t, "configure actuation", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return configured >= 1
+	})
+	mu.Lock()
+	if got := configArgs[0].(string); got != "hello@slot9" {
+		t.Fatalf("configure name arg = %q", got)
+	}
+	if w := configArgs[1].([]float64); len(w) != 2 || w[0] != 1 {
+		t.Fatalf("configure weights = %v", configArgs[1])
+	}
+	if configArgs[2] != true {
+		t.Fatalf("configure enabled = %v", configArgs[2])
+	}
+	mu.Unlock()
+
+	// Taxonomy: Actors() selects both the Actor and the SuperActor.
+	fo.mu.Lock()
+	pings := fo.pings
+	fo.mu.Unlock()
+	if pings == 0 {
+		t.Fatal("Fanout never ran")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if pinged < 2 {
+		t.Fatalf("pinged = %d, want both actors (taxonomy selection)", pinged)
+	}
+	if boosted == 0 {
+		t.Fatal("SuperActor never boosted")
+	}
+	if st := rt.Stats(); st.Errors != 0 {
+		t.Fatalf("errors = %d", st.Errors)
+	}
+}
+
+func TestGeneratedEnumHelpers(t *testing.T) {
+	vals := AllTierEnumValues()
+	if len(vals) != 2 || vals[0] != TierEnumGOLD || vals[1] != TierEnumSILVER {
+		t.Fatalf("AllTierEnumValues = %v", vals)
+	}
+	if string(TierEnumGOLD) != "GOLD" {
+		t.Fatal("enum constant value wrong")
+	}
+}
+
+func TestGeneratedTypeErrorPath(t *testing.T) {
+	err := fmt_TypeError("what", 42)
+	if err == nil || !strings.Contains(err.Error(), "what") {
+		t.Fatalf("fmt_TypeError = %v", err)
+	}
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

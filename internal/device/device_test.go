@@ -1,0 +1,171 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/simclock"
+)
+
+var epoch = time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+
+func newCooker(vc *simclock.Virtual) *Base {
+	b := NewBase("cooker-1", "Cooker", nil, registry.Attributes{"room": "kitchen"}, vc.Now)
+	consumption := 0.0
+	b.OnQuery("consumption", func() (any, error) { return consumption, nil })
+	b.OnAction("On", func(...any) error { consumption = 1500.0; return nil })
+	b.OnAction("Off", func(...any) error { consumption = 0; return nil })
+	return b
+}
+
+func TestIdentityAndEntity(t *testing.T) {
+	vc := simclock.NewVirtual(epoch)
+	b := newCooker(vc)
+	if b.ID() != "cooker-1" || b.Kind() != "Cooker" {
+		t.Fatalf("identity = %s/%s", b.ID(), b.Kind())
+	}
+	if kinds := b.Kinds(); len(kinds) != 1 || kinds[0] != "Cooker" {
+		t.Fatalf("Kinds = %v", kinds)
+	}
+	e := b.Entity("tcp://127.0.0.1:9000")
+	if e.ID != "cooker-1" || e.Endpoint != "tcp://127.0.0.1:9000" || e.Bound != registry.BindRuntime {
+		t.Fatalf("Entity = %+v", e)
+	}
+	e.Attrs["room"] = "garage"
+	if b.Attributes()["room"] != "kitchen" {
+		t.Fatal("Entity aliases driver attributes")
+	}
+}
+
+func TestQueryAndInvoke(t *testing.T) {
+	vc := simclock.NewVirtual(epoch)
+	b := newCooker(vc)
+	v, err := b.Query("consumption")
+	if err != nil || v != 0.0 {
+		t.Fatalf("Query = %v, %v", v, err)
+	}
+	if err := b.Invoke("On"); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = b.Query("consumption")
+	if v != 1500.0 {
+		t.Fatalf("consumption after On = %v", v)
+	}
+	if err := b.Invoke("Off"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ = b.Query("consumption"); v != 0.0 {
+		t.Fatalf("consumption after Off = %v", v)
+	}
+}
+
+func TestUnknownFacetErrors(t *testing.T) {
+	b := newCooker(simclock.NewVirtual(epoch))
+	if _, err := b.Query("nope"); !errors.Is(err, ErrUnknownSource) {
+		t.Fatalf("err = %v, want ErrUnknownSource", err)
+	}
+	if err := b.Invoke("nope"); !errors.Is(err, ErrUnknownAction) {
+		t.Fatalf("err = %v, want ErrUnknownAction", err)
+	}
+}
+
+func TestSubscribeReceivesEmits(t *testing.T) {
+	vc := simclock.NewVirtual(epoch)
+	b := NewBase("p1", "Prompter", nil, nil, vc.Now)
+	sub, err := b.Subscribe("answer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+	b.EmitIndexed("answer", "yes", "q42")
+	select {
+	case r := <-sub.C():
+		if r.DeviceID != "p1" || r.Source != "answer" || r.Value != "yes" || r.Index != "q42" {
+			t.Fatalf("reading = %+v", r)
+		}
+		if !r.Time.Equal(epoch) {
+			t.Fatalf("reading time = %v, want virtual epoch", r.Time)
+		}
+	default:
+		t.Fatal("no reading delivered")
+	}
+}
+
+func TestEmitWithoutIndex(t *testing.T) {
+	b := NewBase("s1", "PresenceSensor", nil, nil, nil)
+	sub, _ := b.Subscribe("presence")
+	b.Emit("presence", true)
+	r := <-sub.C()
+	if r.Index != nil || r.Value != true {
+		t.Fatalf("reading = %+v", r)
+	}
+	if r.Time.IsZero() {
+		t.Fatal("real-clock reading has zero time")
+	}
+}
+
+func TestSlowSubscriberDropsOldest(t *testing.T) {
+	b := NewBase("s1", "PresenceSensor", nil, nil, nil)
+	sub, _ := b.Subscribe("presence")
+	for i := 0; i < 100; i++ {
+		b.Emit("presence", i)
+	}
+	// Channel capacity is 16; the newest readings must survive.
+	var last int
+	for {
+		select {
+		case r := <-sub.C():
+			last = r.Value.(int)
+		default:
+			if last != 99 {
+				t.Fatalf("newest delivered = %d, want 99", last)
+			}
+			return
+		}
+	}
+}
+
+func TestCancelStopsStream(t *testing.T) {
+	b := NewBase("s1", "S", nil, nil, nil)
+	sub, _ := b.Subscribe("x")
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	if _, ok := <-sub.C(); ok {
+		t.Fatal("channel not closed after Cancel")
+	}
+	b.Emit("x", 1) // must not panic
+}
+
+func TestCloseCancelsAllSubscriptions(t *testing.T) {
+	b := NewBase("s1", "S", nil, nil, nil)
+	s1, _ := b.Subscribe("x")
+	s2, _ := b.Subscribe("y")
+	b.Close()
+	b.Close() // idempotent
+	if _, ok := <-s1.C(); ok {
+		t.Fatal("s1 open after Close")
+	}
+	if _, ok := <-s2.C(); ok {
+		t.Fatal("s2 open after Close")
+	}
+	if _, err := b.Subscribe("x"); err == nil {
+		t.Fatal("Subscribe after Close succeeded")
+	}
+}
+
+func TestSubscribersAreIndependentPerSource(t *testing.T) {
+	b := NewBase("s1", "S", nil, nil, nil)
+	sx, _ := b.Subscribe("x")
+	sy, _ := b.Subscribe("y")
+	b.Emit("x", 1)
+	select {
+	case <-sy.C():
+		t.Fatal("y subscriber received x reading")
+	default:
+	}
+	if r := <-sx.C(); r.Value != 1 {
+		t.Fatalf("x reading = %+v", r)
+	}
+}

@@ -1,0 +1,158 @@
+package devsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/registry"
+)
+
+// FlightModel is a coarse point-mass aircraft in cruise used by the avionics
+// example (the paper's third domain, ref [9]). It exposes air-data and
+// attitude sensors and accepts control-surface deflections; the dynamics are
+// first-order and only meant to give the SCC control loop something real to
+// stabilize.
+type FlightModel struct {
+	mu sync.Mutex
+
+	altitude float64 // feet
+	airspeed float64 // knots
+	pitch    float64 // degrees
+	roll     float64 // degrees
+
+	elevator float64 // commanded deflection, degrees
+	aileron  float64
+
+	turbulence float64
+	rng        *rand.Rand
+}
+
+// NewFlightModel creates an aircraft trimmed at the given altitude/airspeed.
+func NewFlightModel(altitude, airspeed float64, seed int64) *FlightModel {
+	return &FlightModel{
+		altitude:   altitude,
+		airspeed:   airspeed,
+		turbulence: 0.3,
+		rng:        rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Step advances the dynamics by dt.
+func (f *FlightModel) Step(dt time.Duration) {
+	s := dt.Seconds()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Pitch follows elevator with a lag; altitude follows pitch.
+	f.pitch += (2*f.elevator - 0.5*f.pitch) * s
+	f.roll += (2*f.aileron - 0.5*f.roll) * s
+	f.pitch += (f.rng.Float64() - 0.5) * f.turbulence * s
+	f.roll += (f.rng.Float64() - 0.5) * f.turbulence * s
+	climbRate := f.airspeed * 101.3 * math.Sin(f.pitch*math.Pi/180) // ft/min at 1 knot ≈ 101.3 fpm
+	f.altitude += climbRate / 60 * s
+	f.airspeed += (-0.02*f.pitch - 0.001*(f.airspeed-250)) * s
+}
+
+// State returns the current flight state.
+func (f *FlightModel) State() (altitude, airspeed, pitch, roll float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.altitude, f.airspeed, f.pitch, f.roll
+}
+
+func (f *FlightModel) deflect(surface string, degrees float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	switch surface {
+	case "ELEVATOR":
+		f.elevator = clamp(degrees, -15, 15)
+	case "AILERON_L", "AILERON_R":
+		f.aileron = clamp(degrees, -20, 20)
+	}
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// AvionicsSuite bundles the simulated devices of the avionics design around
+// one FlightModel.
+type AvionicsSuite struct {
+	Model    *FlightModel
+	ADCs     []*device.Base // AirDataComputer, positions LEFT/RIGHT
+	Attitude []*device.Base // AttitudeSensor, axes PITCH/ROLL
+	Surfaces []*device.Base // ControlSurface actuators
+	Panel    *device.Base   // AutopilotPanel
+}
+
+// NewAvionicsSuite builds the device set for the avionics design.
+func NewAvionicsSuite(model *FlightModel, now func() time.Time) *AvionicsSuite {
+	s := &AvionicsSuite{Model: model}
+	for _, pos := range []string{"LEFT", "RIGHT"} {
+		adc := device.NewBase("adc-"+pos, "AirDataComputer", nil,
+			registry.Attributes{"position": pos}, now)
+		adc.OnQuery("airspeed", func() (any, error) {
+			_, as, _, _ := model.State()
+			return as, nil
+		})
+		adc.OnQuery("altitude", func() (any, error) {
+			alt, _, _, _ := model.State()
+			return alt, nil
+		})
+		s.ADCs = append(s.ADCs, adc)
+	}
+	for _, axis := range []string{"PITCH", "ROLL"} {
+		axis := axis
+		att := device.NewBase("att-"+axis, "AttitudeSensor", nil,
+			registry.Attributes{"axis": axis}, now)
+		att.OnQuery("angle", func() (any, error) {
+			_, _, pitch, roll := model.State()
+			if axis == "PITCH" {
+				return pitch, nil
+			}
+			return roll, nil
+		})
+		s.Attitude = append(s.Attitude, att)
+	}
+	for _, sf := range []string{"ELEVATOR", "AILERON_L", "AILERON_R"} {
+		sf := sf
+		dev := device.NewBase("surf-"+sf, "ControlSurface", nil,
+			registry.Attributes{"surface": sf}, now)
+		dev.OnAction("deflect", func(args ...any) error {
+			if len(args) != 1 {
+				return fmt.Errorf("deflect takes 1 argument, got %d", len(args))
+			}
+			deg, ok := args[0].(float64)
+			if !ok {
+				return fmt.Errorf("deflect takes a Float, got %T", args[0])
+			}
+			model.deflect(sf, deg)
+			return nil
+		})
+		s.Surfaces = append(s.Surfaces, dev)
+	}
+	s.Panel = device.NewBase("ap-panel", "AutopilotPanel", nil, nil, now)
+	target := 30000.0
+	s.Panel.OnQuery("engaged", func() (any, error) { return true, nil })
+	s.Panel.OnQuery("targetAltitude", func() (any, error) { return target, nil })
+	s.Panel.OnAction("annunciate", func(args ...any) error { return nil })
+	return s
+}
+
+// AllDevices returns every device in the suite for bulk binding.
+func (s *AvionicsSuite) AllDevices() []*device.Base {
+	out := append([]*device.Base{}, s.ADCs...)
+	out = append(out, s.Attitude...)
+	out = append(out, s.Surfaces...)
+	out = append(out, s.Panel)
+	return out
+}

@@ -1,0 +1,261 @@
+// Package devsim provides deterministic simulated devices and workload
+// generators for the paper's three application domains. Physical hardware
+// (presence sensors embedded in parking spaces, a kitchen cooker, TV
+// prompters, display panels) is replaced by seeded stochastic models that
+// exercise exactly the same driver interface (internal/device) and therefore
+// the same orchestration code paths.
+//
+// The parking occupancy model is a two-state Markov chain per space with
+// time-of-day modulation: arrivals intensify during business hours, matching
+// the shape (not the absolute numbers) of the urban parking workloads the
+// paper's smart-city deployments report.
+package devsim
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/registry"
+	"repro/internal/simclock"
+)
+
+// ClockDevice is the paper's Clock device (Figure 5): it publishes
+// tickSecond/tickMinute/tickHour events driven by a simclock.Clock, and
+// serves the same counters query-driven.
+type ClockDevice struct {
+	*device.Base
+	clock   simclock.Clock
+	stopCh  chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+
+	mu                sync.Mutex
+	secs, mins, hours int
+}
+
+// NewClockDevice creates a Clock device. Call Run to start emitting ticks.
+func NewClockDevice(id string, clock simclock.Clock) *ClockDevice {
+	c := &ClockDevice{
+		Base:   device.NewBase(id, "Clock", nil, nil, clock.Now),
+		clock:  clock,
+		stopCh: make(chan struct{}),
+	}
+	c.OnQuery("tickSecond", func() (any, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.secs, nil
+	})
+	c.OnQuery("tickMinute", func() (any, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.mins, nil
+	})
+	c.OnQuery("tickHour", func() (any, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.hours, nil
+	})
+	return c
+}
+
+// Run starts the tick loops. Tickers are armed before Run returns so that
+// virtual-clock advances immediately after Run are observed. Stop with Stop.
+func (c *ClockDevice) Run() {
+	tick := func(period time.Duration, fire func()) func() {
+		t := c.clock.NewTicker(period)
+		return func() {
+			defer c.wg.Done()
+			defer t.Stop()
+			for {
+				select {
+				case <-c.stopCh:
+					return
+				case <-t.C:
+					fire()
+				}
+			}
+		}
+	}
+	c.wg.Add(3)
+	go tick(time.Second, func() {
+		c.mu.Lock()
+		c.secs++
+		n := c.secs
+		c.mu.Unlock()
+		c.Emit("tickSecond", n)
+	})()
+	go tick(time.Minute, func() {
+		c.mu.Lock()
+		c.mins++
+		n := c.mins
+		c.mu.Unlock()
+		c.Emit("tickMinute", n)
+	})()
+	go tick(time.Hour, func() {
+		c.mu.Lock()
+		c.hours++
+		n := c.hours
+		c.mu.Unlock()
+		c.Emit("tickHour", n)
+	})()
+}
+
+// Stop halts the tick loops.
+func (c *ClockDevice) Stop() {
+	c.stopped.Do(func() { close(c.stopCh) })
+	c.wg.Wait()
+}
+
+// CookerDevice simulates the paper's Cooker (Figure 5): its consumption
+// source reflects whether it is on, plus a small seeded fluctuation.
+type CookerDevice struct {
+	*device.Base
+
+	mu   sync.Mutex
+	on   bool
+	rng  *rand.Rand
+	watt float64
+}
+
+// NewCookerDevice creates a cooker. The cooker starts off.
+func NewCookerDevice(id string, seed int64, now func() time.Time) *CookerDevice {
+	c := &CookerDevice{
+		Base: device.NewBase(id, "Cooker", nil, nil, now),
+		rng:  rand.New(rand.NewSource(seed)),
+		watt: 1500,
+	}
+	c.OnQuery("consumption", func() (any, error) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		if !c.on {
+			return 0.0, nil
+		}
+		return c.watt + c.rng.Float64()*50, nil
+	})
+	c.OnAction("On", func(...any) error { c.setOn(true); return nil })
+	c.OnAction("Off", func(...any) error { c.setOn(false); return nil })
+	return c
+}
+
+func (c *CookerDevice) setOn(on bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.on = on
+}
+
+// IsOn reports whether the cooker is on.
+func (c *CookerDevice) IsOn() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.on
+}
+
+// PrompterDevice simulates the paper's Prompter (Figure 5): askQuestion
+// records the question and, when an answer policy is installed, emits an
+// indexed answer after a configurable user "think" delay of zero (answers
+// are immediate; tests drive timing through the clock instead).
+type PrompterDevice struct {
+	*device.Base
+
+	mu        sync.Mutex
+	questions []string
+	policy    func(question string) (answer string, respond bool)
+	nextQID   int
+}
+
+// NewPrompterDevice creates a prompter.
+func NewPrompterDevice(id string, now func() time.Time) *PrompterDevice {
+	p := &PrompterDevice{Base: device.NewBase(id, "Prompter", nil, nil, now)}
+	p.OnAction("askQuestion", func(args ...any) error {
+		if len(args) != 1 {
+			return fmt.Errorf("askQuestion takes 1 argument, got %d", len(args))
+		}
+		q, ok := args[0].(string)
+		if !ok {
+			return fmt.Errorf("askQuestion takes a string, got %T", args[0])
+		}
+		p.mu.Lock()
+		p.questions = append(p.questions, q)
+		p.nextQID++
+		qid := fmt.Sprintf("q%d", p.nextQID)
+		policy := p.policy
+		p.mu.Unlock()
+		if policy != nil {
+			if answer, respond := policy(q); respond {
+				p.EmitIndexed("answer", answer, qid)
+			}
+		}
+		return nil
+	})
+	return p
+}
+
+// AnswerWith installs the simulated user: a function deciding the answer for
+// each question.
+func (p *PrompterDevice) AnswerWith(policy func(question string) (string, bool)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.policy = policy
+}
+
+// Questions returns the questions asked so far.
+func (p *PrompterDevice) Questions() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]string(nil), p.questions...)
+}
+
+// RecorderDevice is a generic actuator that records every invocation of its
+// declared actions — the simulation stand-in for display panels and
+// messengers whose only effect is showing information.
+type RecorderDevice struct {
+	*device.Base
+
+	mu    sync.Mutex
+	calls map[string][]string
+}
+
+// NewRecorderDevice creates a recorder of the given kind. Each name in
+// actions becomes a recorded action taking one string argument.
+func NewRecorderDevice(id, kind string, kinds []string, attrs registry.Attributes,
+	actions []string, now func() time.Time) *RecorderDevice {
+	r := &RecorderDevice{
+		Base:  device.NewBase(id, kind, kinds, attrs, now),
+		calls: make(map[string][]string),
+	}
+	for _, a := range actions {
+		a := a
+		r.OnAction(a, func(args ...any) error {
+			msg := ""
+			if len(args) > 0 {
+				msg = fmt.Sprint(args[0])
+			}
+			r.mu.Lock()
+			r.calls[a] = append(r.calls[a], msg)
+			r.mu.Unlock()
+			return nil
+		})
+	}
+	return r
+}
+
+// Calls returns the recorded arguments of one action.
+func (r *RecorderDevice) Calls(action string) []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.calls[action]...)
+}
+
+// LastCall returns the latest recorded argument of one action.
+func (r *RecorderDevice) LastCall(action string) (string, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	cs := r.calls[action]
+	if len(cs) == 0 {
+		return "", false
+	}
+	return cs[len(cs)-1], true
+}

@@ -1,0 +1,285 @@
+// Package ast defines the abstract syntax tree of the DiaSpec design
+// language. The shape mirrors the paper's concrete syntax: a design is a
+// sequence of device, context, controller, structure and enumeration
+// declarations (Figures 5–8).
+package ast
+
+import (
+	"time"
+
+	"repro/internal/dsl/token"
+)
+
+// Design is a parsed DiaSpec compilation unit.
+type Design struct {
+	Decls []Decl
+}
+
+// Device returns the device declaration named name, or nil.
+func (d *Design) Device(name string) *DeviceDecl {
+	for _, decl := range d.Decls {
+		if dev, ok := decl.(*DeviceDecl); ok && dev.Name == name {
+			return dev
+		}
+	}
+	return nil
+}
+
+// Context returns the context declaration named name, or nil.
+func (d *Design) Context(name string) *ContextDecl {
+	for _, decl := range d.Decls {
+		if c, ok := decl.(*ContextDecl); ok && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Controller returns the controller declaration named name, or nil.
+func (d *Design) Controller(name string) *ControllerDecl {
+	for _, decl := range d.Decls {
+		if c, ok := decl.(*ControllerDecl); ok && c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Decl is a top-level declaration.
+type Decl interface {
+	// DeclName is the declared identifier.
+	DeclName() string
+	// Pos is the position of the declaration keyword.
+	Pos() token.Position
+	declNode()
+}
+
+// TypeRef is a reference to a type: a primitive (Integer, Float, Boolean,
+// String), a declared structure/enumeration name, or an array thereof
+// (e.g. `Availability[]`).
+type TypeRef struct {
+	Name    string
+	IsArray bool
+	TPos    token.Position
+}
+
+// String renders the reference in DiaSpec syntax.
+func (t TypeRef) String() string {
+	if t.IsArray {
+		return t.Name + "[]"
+	}
+	return t.Name
+}
+
+// DeviceDecl declares a device taxonomy entry (paper Figures 5 and 6).
+type DeviceDecl struct {
+	Name       string
+	Extends    string // empty when the device has no parent
+	Attributes []AttributeDecl
+	Sources    []SourceDecl
+	Actions    []ActionDecl
+	NamePos    token.Position
+}
+
+// AttributeDecl declares a deployment attribute, e.g.
+// `attribute parkingLot as ParkingLotEnum;`.
+type AttributeDecl struct {
+	Name string
+	Type TypeRef
+	APos token.Position
+}
+
+// SourceDecl declares a sensing facet, e.g. `source presence as Boolean;`
+// optionally `indexed by questionId as String`.
+type SourceDecl struct {
+	Name      string
+	Type      TypeRef
+	IndexName string  // empty when not indexed
+	IndexType TypeRef // valid only when IndexName != ""
+	SPos      token.Position
+}
+
+// ActionDecl declares an actuating facet, e.g.
+// `action update(status as String);`.
+type ActionDecl struct {
+	Name   string
+	Params []Param
+	APos   token.Position
+}
+
+// Param is one formal parameter of an action.
+type Param struct {
+	Name string
+	Type TypeRef
+}
+
+// ContextDecl declares a context component (paper Figures 7 and 8).
+type ContextDecl struct {
+	Name         string
+	Type         TypeRef // the context output type (`context Alert as Integer`)
+	Interactions []Interaction
+	NamePos      token.Position
+}
+
+// PublishMode is the publication discipline of a context interaction.
+type PublishMode int
+
+// Publish modes from the paper: `always publish`, `maybe publish`,
+// `no publish`.
+const (
+	AlwaysPublish PublishMode = iota + 1
+	MaybePublish
+	NoPublish
+)
+
+// String renders the mode in DiaSpec syntax.
+func (p PublishMode) String() string {
+	switch p {
+	case AlwaysPublish:
+		return "always publish"
+	case MaybePublish:
+		return "maybe publish"
+	case NoPublish:
+		return "no publish"
+	default:
+		return "PublishMode(?)"
+	}
+}
+
+// Interaction is one `when …` clause of a context.
+type Interaction interface {
+	Pos() token.Position
+	interactionNode()
+}
+
+// WhenProvided is an event-driven subscription:
+// `when provided tickSecond from Clock get … maybe publish;` (device source)
+// or `when provided ParkingAvailability get … always publish;` (context).
+type WhenProvided struct {
+	Source  string // device source name, or context name when From == ""
+	From    string // publishing device; empty for context-to-context
+	Gets    []GetClause
+	Publish PublishMode
+	WPos    token.Position
+}
+
+// WhenPeriodic is a periodic delivery:
+// `when periodic presence from PresenceSensor <10 min> grouped by parkingLot
+//
+//	[every <24 hr>] [with map as Boolean reduce as Integer] always publish;`.
+type WhenPeriodic struct {
+	Source  string
+	From    string
+	Period  time.Duration
+	GroupBy string        // attribute name; empty when not grouped
+	Every   time.Duration // aggregation window; 0 when absent
+	MapType *TypeRef      // nil when no `with map … reduce …` clause
+	RedType *TypeRef
+	Gets    []GetClause
+	Publish PublishMode
+	WPos    token.Position
+}
+
+// WhenRequired marks a context as pull-only (`when required;`), making it a
+// legal target of other components' `get` clauses.
+type WhenRequired struct {
+	WPos token.Position
+}
+
+// GetClause is a query-driven pull: `get consumption from Cooker` (device
+// source) or `get ParkingUsagePattern` (required context).
+type GetClause struct {
+	Name string // source name, or context name when From == ""
+	From string
+	GPos token.Position
+}
+
+// ControllerDecl declares a controller component.
+type ControllerDecl struct {
+	Name         string
+	Interactions []ControllerWhen
+	NamePos      token.Position
+}
+
+// ControllerWhen is `when provided <Context> do <action> on <Device>
+// [do …]*;`. The paper allows "one or more operations" per clause.
+type ControllerWhen struct {
+	Context string
+	Actions []DoAction
+	WPos    token.Position
+}
+
+// DoAction is one `do <action> on <Device>` operation.
+type DoAction struct {
+	Action string
+	Device string
+	DPos   token.Position
+}
+
+// StructureDecl declares a record type (paper Figure 8, `structure
+// Availability { … }`).
+type StructureDecl struct {
+	Name    string
+	Fields  []Field
+	NamePos token.Position
+}
+
+// Field is one structure member.
+type Field struct {
+	Name string
+	Type TypeRef
+}
+
+// EnumerationDecl declares an enumeration (paper Figures 6 and 8).
+type EnumerationDecl struct {
+	Name    string
+	Values  []string
+	NamePos token.Position
+}
+
+// DeclName implements Decl.
+func (d *DeviceDecl) DeclName() string { return d.Name }
+
+// Pos implements Decl.
+func (d *DeviceDecl) Pos() token.Position { return d.NamePos }
+func (d *DeviceDecl) declNode()           {}
+
+// DeclName implements Decl.
+func (c *ContextDecl) DeclName() string { return c.Name }
+
+// Pos implements Decl.
+func (c *ContextDecl) Pos() token.Position { return c.NamePos }
+func (c *ContextDecl) declNode()           {}
+
+// DeclName implements Decl.
+func (c *ControllerDecl) DeclName() string { return c.Name }
+
+// Pos implements Decl.
+func (c *ControllerDecl) Pos() token.Position { return c.NamePos }
+func (c *ControllerDecl) declNode()           {}
+
+// DeclName implements Decl.
+func (s *StructureDecl) DeclName() string { return s.Name }
+
+// Pos implements Decl.
+func (s *StructureDecl) Pos() token.Position { return s.NamePos }
+func (s *StructureDecl) declNode()           {}
+
+// DeclName implements Decl.
+func (e *EnumerationDecl) DeclName() string { return e.Name }
+
+// Pos implements Decl.
+func (e *EnumerationDecl) Pos() token.Position { return e.NamePos }
+func (e *EnumerationDecl) declNode()           {}
+
+// Pos implements Interaction.
+func (w *WhenProvided) Pos() token.Position { return w.WPos }
+func (w *WhenProvided) interactionNode()    {}
+
+// Pos implements Interaction.
+func (w *WhenPeriodic) Pos() token.Position { return w.WPos }
+func (w *WhenPeriodic) interactionNode()    {}
+
+// Pos implements Interaction.
+func (w *WhenRequired) Pos() token.Position { return w.WPos }
+func (w *WhenRequired) interactionNode()    {}

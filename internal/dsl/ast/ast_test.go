@@ -1,0 +1,80 @@
+package ast
+
+import (
+	"testing"
+
+	"repro/internal/dsl/token"
+)
+
+func sampleDesign() *Design {
+	return &Design{Decls: []Decl{
+		&DeviceDecl{Name: "Cooker", NamePos: token.Position{Line: 1, Col: 1}},
+		&ContextDecl{Name: "Alert", Type: TypeRef{Name: "Integer"}, NamePos: token.Position{Line: 5, Col: 1}},
+		&ControllerDecl{Name: "Notify", NamePos: token.Position{Line: 9, Col: 1}},
+		&StructureDecl{Name: "S", NamePos: token.Position{Line: 12, Col: 1}},
+		&EnumerationDecl{Name: "E", Values: []string{"A"}, NamePos: token.Position{Line: 15, Col: 1}},
+	}}
+}
+
+func TestDesignLookups(t *testing.T) {
+	d := sampleDesign()
+	if d.Device("Cooker") == nil || d.Device("Ghost") != nil {
+		t.Fatal("Device lookup wrong")
+	}
+	if d.Context("Alert") == nil || d.Context("Cooker") != nil {
+		t.Fatal("Context lookup wrong")
+	}
+	if d.Controller("Notify") == nil || d.Controller("Alert") != nil {
+		t.Fatal("Controller lookup wrong")
+	}
+}
+
+func TestDeclInterface(t *testing.T) {
+	d := sampleDesign()
+	wantNames := []string{"Cooker", "Alert", "Notify", "S", "E"}
+	wantLines := []int{1, 5, 9, 12, 15}
+	for i, decl := range d.Decls {
+		if decl.DeclName() != wantNames[i] {
+			t.Fatalf("decl %d name = %s, want %s", i, decl.DeclName(), wantNames[i])
+		}
+		if decl.Pos().Line != wantLines[i] {
+			t.Fatalf("decl %d line = %d, want %d", i, decl.Pos().Line, wantLines[i])
+		}
+	}
+}
+
+func TestTypeRefString(t *testing.T) {
+	if (TypeRef{Name: "Integer"}).String() != "Integer" {
+		t.Fatal("scalar TypeRef.String wrong")
+	}
+	if (TypeRef{Name: "Availability", IsArray: true}).String() != "Availability[]" {
+		t.Fatal("array TypeRef.String wrong")
+	}
+}
+
+func TestPublishModeString(t *testing.T) {
+	cases := map[PublishMode]string{
+		AlwaysPublish:  "always publish",
+		MaybePublish:   "maybe publish",
+		NoPublish:      "no publish",
+		PublishMode(0): "PublishMode(?)",
+	}
+	for m, want := range cases {
+		if m.String() != want {
+			t.Fatalf("%d.String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}
+
+func TestInteractionPositions(t *testing.T) {
+	pos := token.Position{Line: 3, Col: 2}
+	for _, in := range []Interaction{
+		&WhenProvided{WPos: pos},
+		&WhenPeriodic{WPos: pos},
+		&WhenRequired{WPos: pos},
+	} {
+		if in.Pos() != pos {
+			t.Fatalf("%T.Pos() = %v", in, in.Pos())
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package designs
+
+// The paper (§III) notes that "device declarations are factorized and form a
+// taxonomy dedicated to a given area, used across applications. For example,
+// we created a taxonomy of entities for the domain of assisted living."
+// (The HomeAssist platform, ref [10].) AssistedLivingTaxonomy is that shared
+// device catalogue; the application designs below contain no device
+// declarations of their own and are loaded together with the taxonomy via
+// dsl.LoadAll — one taxonomy, many applications.
+
+// AssistedLivingTaxonomy declares the shared device catalogue for the
+// assisted-living domain.
+const AssistedLivingTaxonomy = `
+// Shared assisted-living device taxonomy (paper §III, HomeAssist [10]).
+enumeration RoomEnum { KITCHEN, LIVING_ROOM, BEDROOM, BATHROOM, HALLWAY }
+
+device HomeSensor {
+	attribute room as RoomEnum;
+}
+
+device MotionDetector extends HomeSensor {
+	source motion as Boolean;
+}
+
+device DoorSensor extends HomeSensor {
+	source open as Boolean;
+}
+
+device BedSensor extends HomeSensor {
+	source occupied as Boolean;
+}
+
+device HomeActuator {
+	attribute room as RoomEnum;
+}
+
+device LightSwitch extends HomeActuator {
+	action switchOn;
+	action switchOff;
+}
+
+device SpeakerUnit extends HomeActuator {
+	action say(message as String);
+}
+
+device CareMessenger {
+	action notifyCaregiver(message as String);
+}
+`
+
+// NightPath is an assisted-living application on the shared taxonomy: when
+// the resident leaves the bed at night, light the path; if the entrance door
+// opens at night, alert the caregiver (wandering prevention).
+const NightPath = `
+context BedExit as Boolean {
+	when provided occupied from BedSensor
+	maybe publish;
+}
+
+context NightWandering as String {
+	when provided open from DoorSensor
+	get occupied from BedSensor
+	maybe publish;
+}
+
+controller PathLighting {
+	when provided BedExit
+	do switchOn on LightSwitch;
+}
+
+controller WanderingAlert {
+	when provided NightWandering
+	do notifyCaregiver on CareMessenger
+	do say on SpeakerUnit;
+}
+`
+
+// ActivityDigest is a second application on the same taxonomy: hourly
+// room-level activity summaries for caregivers, grouped by room.
+const ActivityDigest = `
+structure RoomActivity {
+	room as RoomEnum;
+	events as Integer;
+}
+
+context DailyActivity as RoomActivity[] {
+	when periodic motion from MotionDetector <10 min>
+	grouped by room every <24 hr>
+	always publish;
+}
+
+controller DigestMessenger {
+	when provided DailyActivity
+	do notifyCaregiver on CareMessenger;
+}
+`

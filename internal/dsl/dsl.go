@@ -1,0 +1,52 @@
+// Package dsl is the façade over the DiaSpec design language pipeline:
+// lexing, parsing (internal/dsl/parser) and semantic checking
+// (internal/dsl/check). Most clients only need Load.
+package dsl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dsl/ast"
+	"repro/internal/dsl/check"
+	"repro/internal/dsl/parser"
+)
+
+// Parse parses DiaSpec source text into an AST.
+func Parse(src string) (*ast.Design, error) {
+	return parser.Parse(src)
+}
+
+// Check semantically validates a parsed design and resolves it into a Model.
+func Check(design *ast.Design) (*check.Model, error) {
+	return check.Check(design)
+}
+
+// Load parses and checks src in one step.
+func Load(src string) (*check.Model, error) {
+	design, err := parser.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("dsl: %w", err)
+	}
+	model, err := check.Check(design)
+	if err != nil {
+		return nil, fmt.Errorf("dsl: %w", err)
+	}
+	return model, nil
+}
+
+// LoadAll parses and checks the concatenation of several design fragments —
+// typically a shared device taxonomy followed by one application design
+// (paper §III: taxonomies are "used across applications").
+func LoadAll(srcs ...string) (*check.Model, error) {
+	return Load(strings.Join(srcs, "\n"))
+}
+
+// MustLoad is Load for trusted built-in designs; it panics on error.
+func MustLoad(src string) *check.Model {
+	m, err := Load(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}

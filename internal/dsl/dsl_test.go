@@ -1,0 +1,60 @@
+package dsl_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dsl"
+	"repro/internal/dsl/designs"
+)
+
+func TestLoadBuiltinDesigns(t *testing.T) {
+	for name, src := range map[string]string{
+		"cooker":   designs.Cooker,
+		"parking":  designs.Parking,
+		"avionics": designs.Avionics,
+	} {
+		t.Run(name, func(t *testing.T) {
+			m, err := dsl.Load(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(m.Devices) == 0 || len(m.Contexts) == 0 || len(m.Controllers) == 0 {
+				t.Fatalf("incomplete model: %d/%d/%d",
+					len(m.Devices), len(m.Contexts), len(m.Controllers))
+			}
+		})
+	}
+}
+
+func TestLoadWrapsParseErrors(t *testing.T) {
+	_, err := dsl.Load("device {")
+	if err == nil || !strings.Contains(err.Error(), "dsl: parse error") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLoadWrapsCheckErrors(t *testing.T) {
+	_, err := dsl.Load("context C as Integer { when provided Ghost always publish; }")
+	if err == nil || !strings.Contains(err.Error(), "dsl: check error") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParseThenCheckEqualsLoad(t *testing.T) {
+	design, err := dsl.Parse(designs.Cooker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := dsl.Check(design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := dsl.Load(designs.Cooker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Devices) != len(m2.Devices) || len(m.Contexts) != len(m2.Contexts) {
+		t.Fatal("Parse+Check disagrees with Load")
+	}
+}

@@ -1,0 +1,147 @@
+// Package lexer turns DiaSpec source text into tokens. Line comments (`//`)
+// and block comments (`/* */`) are skipped; positions are tracked for error
+// reporting.
+package lexer
+
+import (
+	"fmt"
+	"unicode"
+	"unicode/utf8"
+
+	"repro/internal/dsl/token"
+)
+
+// Lexer scans DiaSpec source text.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// New returns a Lexer over src.
+func New(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Next returns the next token. After the end of input it keeps returning an
+// EOF token.
+func (l *Lexer) Next() token.Token {
+	l.skipSpaceAndComments()
+	pos := token.Position{Line: l.line, Col: l.col}
+	if l.off >= len(l.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}
+	}
+	r, size := utf8.DecodeRuneInString(l.src[l.off:])
+	switch {
+	case isIdentStart(r):
+		lit := l.scanWhile(isIdentPart)
+		if kw, ok := token.Keywords[lit]; ok {
+			return token.Token{Kind: kw, Lit: lit, Pos: pos}
+		}
+		return token.Token{Kind: token.Ident, Lit: lit, Pos: pos}
+	case unicode.IsDigit(r):
+		lit := l.scanWhile(unicode.IsDigit)
+		return token.Token{Kind: token.Int, Lit: lit, Pos: pos}
+	}
+	l.advance(size)
+	var k token.Kind
+	switch r {
+	case '{':
+		k = token.LBrace
+	case '}':
+		k = token.RBrace
+	case '(':
+		k = token.LParen
+	case ')':
+		k = token.RParen
+	case '[':
+		k = token.LBracket
+	case ']':
+		k = token.RBracket
+	case '<':
+		k = token.Less
+	case '>':
+		k = token.Greater
+	case ';':
+		k = token.Semicolon
+	case ',':
+		k = token.Comma
+	default:
+		return token.Token{Kind: token.Illegal, Lit: string(r), Pos: pos}
+	}
+	return token.Token{Kind: k, Pos: pos}
+}
+
+// All scans the remaining input and returns every token up to and including
+// EOF, or an error at the first illegal rune.
+func (l *Lexer) All() ([]token.Token, error) {
+	var out []token.Token
+	for {
+		t := l.Next()
+		if t.Kind == token.Illegal {
+			return nil, fmt.Errorf("lexer: %s: illegal character %q", t.Pos, t.Lit)
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}
+
+func (l *Lexer) skipSpaceAndComments() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance(1)
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '/':
+			for l.off < len(l.src) && l.src[l.off] != '\n' {
+				l.advance(1)
+			}
+		case c == '/' && l.off+1 < len(l.src) && l.src[l.off+1] == '*':
+			l.advance(2)
+			for l.off < len(l.src) {
+				if l.src[l.off] == '*' && l.off+1 < len(l.src) && l.src[l.off+1] == '/' {
+					l.advance(2)
+					break
+				}
+				l.advance(1)
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *Lexer) scanWhile(pred func(rune) bool) string {
+	start := l.off
+	for l.off < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.off:])
+		if !pred(r) {
+			break
+		}
+		l.advance(size)
+	}
+	return l.src[start:l.off]
+}
+
+func (l *Lexer) advance(n int) {
+	for i := 0; i < n && l.off < len(l.src); i++ {
+		if l.src[l.off] == '\n' {
+			l.line++
+			l.col = 1
+		} else {
+			l.col++
+		}
+		l.off++
+	}
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

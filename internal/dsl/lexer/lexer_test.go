@@ -1,0 +1,168 @@
+package lexer
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsl/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := New(src).All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]token.Kind, len(toks))
+	for i, tok := range toks {
+		out[i] = tok.Kind
+	}
+	return out
+}
+
+func TestScanDeviceDeclaration(t *testing.T) {
+	got := kinds(t, "device Cooker { source consumption as Float; }")
+	want := []token.Kind{
+		token.KwDevice, token.Ident, token.LBrace,
+		token.KwSource, token.Ident, token.KwAs, token.Ident, token.Semicolon,
+		token.RBrace, token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("kind[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanDurationLiteral(t *testing.T) {
+	toks, err := New("<10 min>").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != token.Less || toks[1].Kind != token.Int || toks[1].Lit != "10" ||
+		toks[2].Kind != token.Ident || toks[2].Lit != "min" || toks[3].Kind != token.Greater {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestKeywordsRecognized(t *testing.T) {
+	for spelling, kind := range token.Keywords {
+		toks, err := New(spelling).All()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if toks[0].Kind != kind {
+			t.Errorf("%q scanned as %v, want %v", spelling, toks[0].Kind, kind)
+		}
+	}
+}
+
+func TestKeywordPrefixIsIdent(t *testing.T) {
+	toks, err := New("devices mapper oneOf").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if toks[i].Kind != token.Ident {
+			t.Fatalf("token %d = %v, want identifier", i, toks[i])
+		}
+	}
+}
+
+func TestPositionsTracked(t *testing.T) {
+	toks, err := New("a\n  b\n\tc").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Fatalf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Fatalf("b at %v", toks[1].Pos)
+	}
+	if toks[2].Pos.Line != 3 || toks[2].Pos.Col != 2 {
+		t.Fatalf("c at %v", toks[2].Pos)
+	}
+	if toks[1].Pos.String() != "2:3" {
+		t.Fatalf("Position.String = %q", toks[1].Pos.String())
+	}
+}
+
+func TestCommentsSkipped(t *testing.T) {
+	got := kinds(t, "a // comment to end\nb /* inline */ c /* unterminated")
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("kinds = %v", got)
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	if _, err := New("a @ b").All(); err == nil || !strings.Contains(err.Error(), "illegal character") {
+		t.Fatalf("err = %v", err)
+	}
+	tok := New("€").Next()
+	if tok.Kind != token.Illegal {
+		t.Fatalf("kind = %v, want Illegal", tok.Kind)
+	}
+}
+
+func TestEOFIsSticky(t *testing.T) {
+	l := New("x")
+	l.Next() // x
+	for i := 0; i < 3; i++ {
+		if tok := l.Next(); tok.Kind != token.EOF {
+			t.Fatalf("Next() after EOF = %v", tok)
+		}
+	}
+}
+
+func TestUnderscoreIdentifiers(t *testing.T) {
+	toks, err := New("NORTH_EAST_14Y _x x_1").All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Lit != "NORTH_EAST_14Y" || toks[1].Lit != "_x" || toks[2].Lit != "x_1" {
+		t.Fatalf("tokens = %v", toks)
+	}
+}
+
+func TestTokenString(t *testing.T) {
+	toks, _ := New("device x 42 ;").All()
+	if !strings.Contains(toks[0].String(), "device") ||
+		!strings.Contains(toks[1].String(), `"x"`) ||
+		!strings.Contains(toks[2].String(), `"42"`) ||
+		toks[3].String() != "';'" {
+		t.Fatalf("strings: %v %v %v %v", toks[0], toks[1], toks[2], toks[3])
+	}
+	if token.Kind(999).String() != "Kind(999)" {
+		t.Fatal("unknown kind String wrong")
+	}
+}
+
+// Property: the lexer terminates and never panics on arbitrary input, and
+// token positions are monotonically non-decreasing.
+func TestQuickLexerTotalityAndMonotonicPositions(t *testing.T) {
+	f := func(src string) bool {
+		l := New(src)
+		prevLine, prevCol := 1, 0
+		for i := 0; i < len(src)+8; i++ {
+			tok := l.Next()
+			if tok.Kind == token.EOF || tok.Kind == token.Illegal {
+				return true
+			}
+			if tok.Pos.Line < prevLine ||
+				(tok.Pos.Line == prevLine && tok.Pos.Col <= prevCol) {
+				return false
+			}
+			prevLine, prevCol = tok.Pos.Line, tok.Pos.Col
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,567 @@
+// Package parser builds a DiaSpec AST from source text. It is a straight
+// recursive-descent parser with one token of lookahead; syntax errors are
+// reported with source positions.
+package parser
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/dsl/ast"
+	"repro/internal/dsl/lexer"
+	"repro/internal/dsl/token"
+)
+
+// Error is a positioned syntax error.
+type Error struct {
+	Pos token.Position
+	Msg string
+}
+
+// Error implements error.
+func (e *Error) Error() string { return fmt.Sprintf("parse error at %s: %s", e.Pos, e.Msg) }
+
+// Parse parses a complete DiaSpec design.
+func Parse(src string) (*ast.Design, error) {
+	toks, err := lexer.New(src).All()
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	design := &ast.Design{}
+	for !p.at(token.EOF) {
+		decl, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		design.Decls = append(design.Decls, decl)
+	}
+	return design, nil
+}
+
+type parser struct {
+	toks []token.Token
+	i    int
+}
+
+func (p *parser) cur() token.Token     { return p.toks[p.i] }
+func (p *parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *parser) advance() token.Token {
+	t := p.toks[p.i]
+	if t.Kind != token.EOF {
+		p.i++
+	}
+	return t
+}
+
+func (p *parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if !p.at(k) {
+		return token.Token{}, p.errf("expected %s, found %s", k, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.cur().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) parseDecl() (ast.Decl, error) {
+	switch p.cur().Kind {
+	case token.KwDevice:
+		return p.parseDevice()
+	case token.KwContext:
+		return p.parseContext()
+	case token.KwController:
+		return p.parseController()
+	case token.KwStructure:
+		return p.parseStructure()
+	case token.KwEnumeration:
+		return p.parseEnumeration()
+	default:
+		return nil, p.errf("expected a declaration (device, context, controller, structure, enumeration), found %s", p.cur())
+	}
+}
+
+func (p *parser) parseDevice() (*ast.DeviceDecl, error) {
+	kw := p.advance() // device
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	d := &ast.DeviceDecl{Name: name.Lit, NamePos: kw.Pos}
+	if p.accept(token.KwExtends) {
+		parent, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		d.Extends = parent.Lit
+	}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(token.RBrace) {
+		switch p.cur().Kind {
+		case token.KwAttribute:
+			a, err := p.parseAttribute()
+			if err != nil {
+				return nil, err
+			}
+			d.Attributes = append(d.Attributes, a)
+		case token.KwSource:
+			s, err := p.parseSource()
+			if err != nil {
+				return nil, err
+			}
+			d.Sources = append(d.Sources, s)
+		case token.KwAction:
+			a, err := p.parseAction()
+			if err != nil {
+				return nil, err
+			}
+			d.Actions = append(d.Actions, a)
+		default:
+			return nil, p.errf("expected attribute, source or action in device %s, found %s", d.Name, p.cur())
+		}
+	}
+	p.advance() // }
+	return d, nil
+}
+
+func (p *parser) parseAttribute() (ast.AttributeDecl, error) {
+	kw := p.advance() // attribute
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return ast.AttributeDecl{}, err
+	}
+	if _, err := p.expect(token.KwAs); err != nil {
+		return ast.AttributeDecl{}, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return ast.AttributeDecl{}, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return ast.AttributeDecl{}, err
+	}
+	return ast.AttributeDecl{Name: name.Lit, Type: typ, APos: kw.Pos}, nil
+}
+
+func (p *parser) parseSource() (ast.SourceDecl, error) {
+	kw := p.advance() // source
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return ast.SourceDecl{}, err
+	}
+	if _, err := p.expect(token.KwAs); err != nil {
+		return ast.SourceDecl{}, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return ast.SourceDecl{}, err
+	}
+	s := ast.SourceDecl{Name: name.Lit, Type: typ, SPos: kw.Pos}
+	if p.accept(token.KwIndexed) {
+		if _, err := p.expect(token.KwBy); err != nil {
+			return ast.SourceDecl{}, err
+		}
+		idx, err := p.expect(token.Ident)
+		if err != nil {
+			return ast.SourceDecl{}, err
+		}
+		if _, err := p.expect(token.KwAs); err != nil {
+			return ast.SourceDecl{}, err
+		}
+		idxType, err := p.parseType()
+		if err != nil {
+			return ast.SourceDecl{}, err
+		}
+		s.IndexName, s.IndexType = idx.Lit, idxType
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return ast.SourceDecl{}, err
+	}
+	return s, nil
+}
+
+func (p *parser) parseAction() (ast.ActionDecl, error) {
+	kw := p.advance() // action
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return ast.ActionDecl{}, err
+	}
+	a := ast.ActionDecl{Name: name.Lit, APos: kw.Pos}
+	if p.accept(token.LParen) {
+		if !p.at(token.RParen) {
+			for {
+				pn, err := p.expect(token.Ident)
+				if err != nil {
+					return ast.ActionDecl{}, err
+				}
+				if _, err := p.expect(token.KwAs); err != nil {
+					return ast.ActionDecl{}, err
+				}
+				pt, err := p.parseType()
+				if err != nil {
+					return ast.ActionDecl{}, err
+				}
+				a.Params = append(a.Params, ast.Param{Name: pn.Lit, Type: pt})
+				if !p.accept(token.Comma) {
+					break
+				}
+			}
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return ast.ActionDecl{}, err
+		}
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return ast.ActionDecl{}, err
+	}
+	return a, nil
+}
+
+func (p *parser) parseType() (ast.TypeRef, error) {
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return ast.TypeRef{}, err
+	}
+	t := ast.TypeRef{Name: name.Lit, TPos: name.Pos}
+	if p.accept(token.LBracket) {
+		if _, err := p.expect(token.RBracket); err != nil {
+			return ast.TypeRef{}, err
+		}
+		t.IsArray = true
+	}
+	return t, nil
+}
+
+func (p *parser) parseContext() (*ast.ContextDecl, error) {
+	kw := p.advance() // context
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.KwAs); err != nil {
+		return nil, err
+	}
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	c := &ast.ContextDecl{Name: name.Lit, Type: typ, NamePos: kw.Pos}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(token.RBrace) {
+		in, err := p.parseInteraction()
+		if err != nil {
+			return nil, err
+		}
+		c.Interactions = append(c.Interactions, in)
+	}
+	p.advance() // }
+	return c, nil
+}
+
+func (p *parser) parseInteraction() (ast.Interaction, error) {
+	wkw, err := p.expect(token.KwWhen)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case p.accept(token.KwProvided):
+		w := &ast.WhenProvided{WPos: wkw.Pos}
+		src, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		w.Source = src.Lit
+		if p.accept(token.KwFrom) {
+			from, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			w.From = from.Lit
+		}
+		if w.Gets, err = p.parseGets(); err != nil {
+			return nil, err
+		}
+		if w.Publish, err = p.parsePublish(); err != nil {
+			return nil, err
+		}
+		return w, nil
+
+	case p.accept(token.KwPeriodic):
+		w := &ast.WhenPeriodic{WPos: wkw.Pos}
+		src, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		w.Source = src.Lit
+		if _, err := p.expect(token.KwFrom); err != nil {
+			return nil, err
+		}
+		from, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		w.From = from.Lit
+		if w.Period, err = p.parseDuration(); err != nil {
+			return nil, err
+		}
+		if p.accept(token.KwGrouped) {
+			if _, err := p.expect(token.KwBy); err != nil {
+				return nil, err
+			}
+			attr, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			w.GroupBy = attr.Lit
+			if p.accept(token.KwEvery) {
+				if w.Every, err = p.parseDuration(); err != nil {
+					return nil, err
+				}
+			}
+			if p.accept(token.KwWith) {
+				if _, err := p.expect(token.KwMap); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.KwAs); err != nil {
+					return nil, err
+				}
+				mt, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.KwReduce); err != nil {
+					return nil, err
+				}
+				if _, err := p.expect(token.KwAs); err != nil {
+					return nil, err
+				}
+				rt, err := p.parseType()
+				if err != nil {
+					return nil, err
+				}
+				w.MapType, w.RedType = &mt, &rt
+			}
+		}
+		if w.Gets, err = p.parseGets(); err != nil {
+			return nil, err
+		}
+		if w.Publish, err = p.parsePublish(); err != nil {
+			return nil, err
+		}
+		return w, nil
+
+	case p.accept(token.KwRequired):
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		return &ast.WhenRequired{WPos: wkw.Pos}, nil
+
+	default:
+		return nil, p.errf("expected 'provided', 'periodic' or 'required' after 'when', found %s", p.cur())
+	}
+}
+
+func (p *parser) parseGets() ([]ast.GetClause, error) {
+	var gets []ast.GetClause
+	for p.at(token.KwGet) {
+		g := ast.GetClause{GPos: p.advance().Pos}
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		g.Name = name.Lit
+		if p.accept(token.KwFrom) {
+			from, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			g.From = from.Lit
+		}
+		gets = append(gets, g)
+	}
+	return gets, nil
+}
+
+func (p *parser) parsePublish() (ast.PublishMode, error) {
+	var mode ast.PublishMode
+	switch {
+	case p.accept(token.KwAlways):
+		mode = ast.AlwaysPublish
+	case p.accept(token.KwMaybe):
+		mode = ast.MaybePublish
+	case p.accept(token.KwNo):
+		mode = ast.NoPublish
+	default:
+		return 0, p.errf("expected 'always', 'maybe' or 'no' publish mode, found %s", p.cur())
+	}
+	if _, err := p.expect(token.KwPublish); err != nil {
+		return 0, err
+	}
+	if _, err := p.expect(token.Semicolon); err != nil {
+		return 0, err
+	}
+	return mode, nil
+}
+
+// parseDuration parses `<10 min>`-style duration literals.
+func (p *parser) parseDuration() (time.Duration, error) {
+	if _, err := p.expect(token.Less); err != nil {
+		return 0, err
+	}
+	num, err := p.expect(token.Int)
+	if err != nil {
+		return 0, err
+	}
+	n, err := strconv.Atoi(num.Lit)
+	if err != nil || n <= 0 {
+		return 0, p.errf("invalid duration count %q", num.Lit)
+	}
+	unitTok, err := p.expect(token.Ident)
+	if err != nil {
+		return 0, err
+	}
+	var unit time.Duration
+	switch unitTok.Lit {
+	case "ms":
+		unit = time.Millisecond
+	case "s", "sec":
+		unit = time.Second
+	case "min":
+		unit = time.Minute
+	case "h", "hr":
+		unit = time.Hour
+	case "d", "day":
+		unit = 24 * time.Hour
+	default:
+		return 0, p.errf("unknown duration unit %q (want ms, sec, min, hr or day)", unitTok.Lit)
+	}
+	if _, err := p.expect(token.Greater); err != nil {
+		return 0, err
+	}
+	return time.Duration(n) * unit, nil
+}
+
+func (p *parser) parseController() (*ast.ControllerDecl, error) {
+	kw := p.advance() // controller
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	c := &ast.ControllerDecl{Name: name.Lit, NamePos: kw.Pos}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(token.RBrace) {
+		wkw, err := p.expect(token.KwWhen)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.KwProvided); err != nil {
+			return nil, err
+		}
+		ctxName, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		w := ast.ControllerWhen{Context: ctxName.Lit, WPos: wkw.Pos}
+		for p.at(token.KwDo) {
+			dkw := p.advance()
+			act, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.KwOn); err != nil {
+				return nil, err
+			}
+			dev, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			w.Actions = append(w.Actions, ast.DoAction{Action: act.Lit, Device: dev.Lit, DPos: dkw.Pos})
+		}
+		if len(w.Actions) == 0 {
+			return nil, p.errf("controller %s: 'when provided %s' needs at least one 'do … on …'", c.Name, w.Context)
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		c.Interactions = append(c.Interactions, w)
+	}
+	p.advance() // }
+	return c, nil
+}
+
+func (p *parser) parseStructure() (*ast.StructureDecl, error) {
+	kw := p.advance() // structure
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	s := &ast.StructureDecl{Name: name.Lit, NamePos: kw.Pos}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(token.RBrace) {
+		fn, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.KwAs); err != nil {
+			return nil, err
+		}
+		ft, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semicolon); err != nil {
+			return nil, err
+		}
+		s.Fields = append(s.Fields, ast.Field{Name: fn.Lit, Type: ft})
+	}
+	p.advance() // }
+	return s, nil
+}
+
+func (p *parser) parseEnumeration() (*ast.EnumerationDecl, error) {
+	kw := p.advance() // enumeration
+	name, err := p.expect(token.Ident)
+	if err != nil {
+		return nil, err
+	}
+	e := &ast.EnumerationDecl{Name: name.Lit, NamePos: kw.Pos}
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	for !p.at(token.RBrace) {
+		v, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		e.Values = append(e.Values, v.Lit)
+		if !p.accept(token.Comma) {
+			break
+		}
+	}
+	if _, err := p.expect(token.RBrace); err != nil {
+		return nil, err
+	}
+	if len(e.Values) == 0 {
+		return nil, &Error{Pos: kw.Pos, Msg: fmt.Sprintf("enumeration %s has no values", e.Name)}
+	}
+	return e, nil
+}

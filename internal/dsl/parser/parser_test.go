@@ -1,0 +1,459 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dsl/ast"
+)
+
+// figure5 is the paper's Figure 5 verbatim: device declarations of the
+// cooker monitoring application.
+const figure5 = `
+device Clock {
+	source tickSecond as Integer;
+	source tickMinute as Integer;
+	source tickHour as Integer;
+}
+
+device Cooker {
+	source consumption as Float;
+	action On;
+	action Off;
+}
+
+device Prompter {
+	source answer as String indexed by questionId as String;
+	action askQuestion;
+}
+`
+
+// figure6 is the paper's Figure 6 with the elided enum tails ("...") filled
+// in; the paper's ellipses are not part of the concrete syntax.
+const figure6 = `
+device PresenceSensor {
+	attribute parkingLot as ParkingLotEnum;
+	source presence as Boolean;
+}
+
+device DisplayPanel {
+	action update(status as String);
+}
+
+device ParkingEntrancePanel extends DisplayPanel {
+	attribute location as ParkingLotEnum;
+}
+
+device CityEntrancePanel extends DisplayPanel {
+	attribute location as CityEntranceEnum;
+}
+
+device Messenger {
+	action sendMessage(message as String);
+}
+
+enumeration ParkingLotEnum {
+	A22, B16, D6
+}
+
+enumeration CityEntranceEnum {
+	NORTH_EAST_14Y, SOUTH_EAST_1A
+}
+`
+
+// figure7 is the paper's Figure 7 verbatim: the cooker monitoring design.
+const figure7 = `
+context Alert as Integer {
+	when provided tickSecond from Clock
+	get currentElectricConsumption from Cooker
+	maybe publish;
+}
+
+controller Notify {
+	when provided Alert
+	do askQuestion on TvPrompter;
+}
+
+context RemoteTurnOff as Boolean {
+	when provided answer from TvPrompter
+	get currentElectricConsumption from Cooker
+	maybe publish;
+}
+
+controller TurnOff {
+	when provided RemoteTurnOff
+	do off on Cooker;
+}
+`
+
+// figure8 is the paper's Figure 8 with its enum tail filled in (the "..."
+// in UsagePatternEnum-adjacent listings); everything else is verbatim,
+// including the paper's "udpate" typo, which the parser must accept (it is
+// a name-resolution error, not a syntax error).
+const figure8 = `
+context ParkingAvailability as Availability[] {
+	when periodic presence from PresenceSensor <10 min>
+	grouped by parkingLot
+	with map as Boolean reduce as Integer
+	always publish;
+}
+
+context ParkingUsagePattern as UsagePattern[] {
+	when periodic presence from PresenceSensor <1 hr>
+	grouped by parkingLot
+	no publish;
+
+	when required;
+}
+
+context AverageOccupancy as ParkingOccupancy[] {
+	when periodic presence from PresenceSensor <10 min>
+	grouped by parkingLot every <24 hr>
+	always publish;
+}
+
+context ParkingSuggestion as ParkingLotEnum[] {
+	when provided ParkingAvailability
+	get ParkingUsagePattern
+	always publish;
+}
+
+controller ParkingEntrancePanelController {
+	when provided ParkingAvailability
+	do udpate on ParkingEntrancePanel;
+}
+
+controller CityEntrancePanelController {
+	when provided ParkingSuggestion
+	do update on CityEntrancePanel;
+}
+
+controller MessengerController {
+	when provided AverageOccupancy
+	do sendMessage on Messenger;
+}
+
+structure Availability {
+	parkingLot as ParkingLotEnum;
+	count as Integer;
+}
+
+structure UsagePattern {
+	parkingLot as ParkingLotEnum;
+	level as UsagePatternEnum;
+}
+
+structure ParkingOccupancy {
+	parkingLot as ParkingLotEnum;
+	occupancy as Float;
+}
+
+enumeration UsagePatternEnum { HIGH, MODERATE, LOW }
+`
+
+func TestParseFigure5(t *testing.T) {
+	d, err := Parse(figure5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Decls) != 3 {
+		t.Fatalf("decls = %d, want 3", len(d.Decls))
+	}
+	clock := d.Device("Clock")
+	if clock == nil || len(clock.Sources) != 3 {
+		t.Fatalf("Clock = %+v, want 3 sources", clock)
+	}
+	if clock.Sources[0].Name != "tickSecond" || clock.Sources[0].Type.Name != "Integer" {
+		t.Fatalf("first source = %+v", clock.Sources[0])
+	}
+	cooker := d.Device("Cooker")
+	if cooker == nil || len(cooker.Actions) != 2 || cooker.Actions[0].Name != "On" {
+		t.Fatalf("Cooker = %+v", cooker)
+	}
+	prompter := d.Device("Prompter")
+	if prompter == nil {
+		t.Fatal("Prompter missing")
+	}
+	ans := prompter.Sources[0]
+	if ans.IndexName != "questionId" || ans.IndexType.Name != "String" {
+		t.Fatalf("indexed source = %+v, want indexed by questionId as String", ans)
+	}
+}
+
+func TestParseFigure6(t *testing.T) {
+	d, err := Parse(figure6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := d.Device("PresenceSensor")
+	if ps == nil || len(ps.Attributes) != 1 || ps.Attributes[0].Name != "parkingLot" ||
+		ps.Attributes[0].Type.Name != "ParkingLotEnum" {
+		t.Fatalf("PresenceSensor = %+v", ps)
+	}
+	pep := d.Device("ParkingEntrancePanel")
+	if pep == nil || pep.Extends != "DisplayPanel" {
+		t.Fatalf("ParkingEntrancePanel = %+v, want extends DisplayPanel", pep)
+	}
+	dp := d.Device("DisplayPanel")
+	if len(dp.Actions) != 1 || len(dp.Actions[0].Params) != 1 ||
+		dp.Actions[0].Params[0].Name != "status" || dp.Actions[0].Params[0].Type.Name != "String" {
+		t.Fatalf("DisplayPanel.update = %+v", dp.Actions)
+	}
+	var enums int
+	for _, decl := range d.Decls {
+		if e, ok := decl.(*ast.EnumerationDecl); ok {
+			enums++
+			if len(e.Values) < 2 {
+				t.Fatalf("enum %s has %d values", e.Name, len(e.Values))
+			}
+		}
+	}
+	if enums != 2 {
+		t.Fatalf("enums = %d, want 2", enums)
+	}
+}
+
+func TestParseFigure7(t *testing.T) {
+	d, err := Parse(figure7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alert := d.Context("Alert")
+	if alert == nil || alert.Type.Name != "Integer" || alert.Type.IsArray {
+		t.Fatalf("Alert = %+v", alert)
+	}
+	wp, ok := alert.Interactions[0].(*ast.WhenProvided)
+	if !ok {
+		t.Fatalf("Alert interaction = %T, want WhenProvided", alert.Interactions[0])
+	}
+	if wp.Source != "tickSecond" || wp.From != "Clock" {
+		t.Fatalf("subscription = %+v", wp)
+	}
+	if len(wp.Gets) != 1 || wp.Gets[0].Name != "currentElectricConsumption" || wp.Gets[0].From != "Cooker" {
+		t.Fatalf("gets = %+v", wp.Gets)
+	}
+	if wp.Publish != ast.MaybePublish {
+		t.Fatalf("publish = %v, want maybe", wp.Publish)
+	}
+	notify := d.Controller("Notify")
+	if notify == nil || len(notify.Interactions) != 1 {
+		t.Fatalf("Notify = %+v", notify)
+	}
+	cw := notify.Interactions[0]
+	if cw.Context != "Alert" || len(cw.Actions) != 1 ||
+		cw.Actions[0].Action != "askQuestion" || cw.Actions[0].Device != "TvPrompter" {
+		t.Fatalf("Notify when = %+v", cw)
+	}
+}
+
+func TestParseFigure8(t *testing.T) {
+	d, err := Parse(figure8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa := d.Context("ParkingAvailability")
+	if pa == nil || pa.Type.Name != "Availability" || !pa.Type.IsArray {
+		t.Fatalf("ParkingAvailability = %+v", pa)
+	}
+	wp := pa.Interactions[0].(*ast.WhenPeriodic)
+	if wp.Source != "presence" || wp.From != "PresenceSensor" {
+		t.Fatalf("periodic = %+v", wp)
+	}
+	if wp.Period != 10*time.Minute {
+		t.Fatalf("period = %v, want 10m", wp.Period)
+	}
+	if wp.GroupBy != "parkingLot" {
+		t.Fatalf("grouped by = %q", wp.GroupBy)
+	}
+	if wp.MapType == nil || wp.MapType.Name != "Boolean" || wp.RedType == nil || wp.RedType.Name != "Integer" {
+		t.Fatalf("map/reduce types = %v/%v", wp.MapType, wp.RedType)
+	}
+	if wp.Publish != ast.AlwaysPublish {
+		t.Fatalf("publish = %v", wp.Publish)
+	}
+
+	up := d.Context("ParkingUsagePattern")
+	if len(up.Interactions) != 2 {
+		t.Fatalf("UsagePattern interactions = %d, want 2", len(up.Interactions))
+	}
+	if up.Interactions[0].(*ast.WhenPeriodic).Period != time.Hour {
+		t.Fatal("UsagePattern period != 1hr")
+	}
+	if _, ok := up.Interactions[1].(*ast.WhenRequired); !ok {
+		t.Fatalf("second interaction = %T, want WhenRequired", up.Interactions[1])
+	}
+
+	ao := d.Context("AverageOccupancy")
+	aop := ao.Interactions[0].(*ast.WhenPeriodic)
+	if aop.Every != 24*time.Hour {
+		t.Fatalf("every = %v, want 24h", aop.Every)
+	}
+
+	sugg := d.Context("ParkingSuggestion")
+	swp := sugg.Interactions[0].(*ast.WhenProvided)
+	if swp.Source != "ParkingAvailability" || swp.From != "" {
+		t.Fatalf("suggestion subscription = %+v", swp)
+	}
+	if len(swp.Gets) != 1 || swp.Gets[0].Name != "ParkingUsagePattern" || swp.Gets[0].From != "" {
+		t.Fatalf("suggestion gets = %+v", swp.Gets)
+	}
+
+	if c := d.Controller("MessengerController"); c == nil ||
+		c.Interactions[0].Actions[0].Action != "sendMessage" {
+		t.Fatal("MessengerController wrong")
+	}
+
+	var structs, enums int
+	for _, decl := range d.Decls {
+		switch s := decl.(type) {
+		case *ast.StructureDecl:
+			structs++
+			if len(s.Fields) != 2 {
+				t.Fatalf("structure %s has %d fields, want 2", s.Name, len(s.Fields))
+			}
+		case *ast.EnumerationDecl:
+			enums++
+		}
+	}
+	if structs != 3 || enums != 1 {
+		t.Fatalf("structs=%d enums=%d, want 3/1", structs, enums)
+	}
+}
+
+func TestParseDurations(t *testing.T) {
+	cases := map[string]time.Duration{
+		"<5 ms>":   5 * time.Millisecond,
+		"<10 s>":   10 * time.Second,
+		"<30 sec>": 30 * time.Second,
+		"<10 min>": 10 * time.Minute,
+		"<1 hr>":   time.Hour,
+		"<2 h>":    2 * time.Hour,
+		"<1 day>":  24 * time.Hour,
+		"<3 d>":    72 * time.Hour,
+	}
+	for lit, want := range cases {
+		src := `context C as Integer { when periodic s from D ` + lit + ` always publish; }`
+		d, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: %v", lit, err)
+		}
+		got := d.Context("C").Interactions[0].(*ast.WhenPeriodic).Period
+		if got != want {
+			t.Fatalf("%s parsed as %v, want %v", lit, got, want)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"empty decl", "widget X {}", "expected a declaration"},
+		{"missing name", "device { }", "expected identifier"},
+		{"missing brace", "device D source x as Integer;", "'{'"},
+		{"bad member", "device D { banana x; }", "expected attribute, source or action"},
+		{"missing as", "device D { source x Integer; }", "'as'"},
+		{"missing semicolon", "device D { source x as Integer }", "';'"},
+		{"bad when", "context C as Integer { when sometimes x; }", "'provided', 'periodic' or 'required'"},
+		{"bad publish", "context C as Integer { when provided x from D sometimes publish; }", "publish mode"},
+		{"bad duration unit", "context C as Integer { when periodic x from D <10 lightyears> always publish; }", "unknown duration unit"},
+		{"zero duration", "context C as Integer { when periodic x from D <0 min> always publish; }", "invalid duration count"},
+		{"controller without do", "controller K { when provided C; }", "at least one 'do"},
+		{"empty enum", "enumeration E { }", "no values"},
+		{"illegal char", "device D @ {}", "illegal character"},
+		{"array missing bracket", "context C as A[ { when required; }", "']'"},
+		{"dangling extends", "device D extends { }", "expected identifier"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse(tc.src)
+			if err == nil {
+				t.Fatalf("Parse(%q) succeeded, want error containing %q", tc.src, tc.wantSub)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("error %q does not contain %q", err, tc.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorsCarryPositions(t *testing.T) {
+	_, err := Parse("device D {\n  source x as ;\n}")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	perr, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("err type %T, want *Error", err)
+	}
+	if perr.Pos.Line != 2 {
+		t.Fatalf("error line = %d, want 2", perr.Pos.Line)
+	}
+}
+
+func TestCommentsAreSkipped(t *testing.T) {
+	src := `
+// a line comment
+device D { /* block
+   spanning lines */ source x as Integer; // trailing
+}`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev := d.Device("D"); dev == nil || len(dev.Sources) != 1 {
+		t.Fatalf("parsed %+v", d)
+	}
+}
+
+func TestMultipleDosInController(t *testing.T) {
+	src := `controller K { when provided C do a on D1 do b on D2; }`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := d.Controller("K").Interactions[0].Actions
+	if len(acts) != 2 || acts[0].Action != "a" || acts[1].Device != "D2" {
+		t.Fatalf("actions = %+v", acts)
+	}
+}
+
+func TestActionParamForms(t *testing.T) {
+	src := `device D { action a; action b(); action c(x as Integer, y as E[]); }`
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acts := d.Device("D").Actions
+	if len(acts[0].Params) != 0 || len(acts[1].Params) != 0 {
+		t.Fatal("bare/nullary actions should have no params")
+	}
+	if len(acts[2].Params) != 2 || !acts[2].Params[1].Type.IsArray {
+		t.Fatalf("params = %+v", acts[2].Params)
+	}
+}
+
+func TestTrailingEnumComma(t *testing.T) {
+	d, err := Parse("enumeration E { A, B, }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := d.Decls[0].(*ast.EnumerationDecl).Values
+	if len(vals) != 2 {
+		t.Fatalf("values = %v", vals)
+	}
+}
+
+// Property: parsing never panics on arbitrary byte soup and either returns a
+// design or an error, not both nil.
+func TestQuickParseTotality(t *testing.T) {
+	f := func(src string) bool {
+		d, err := Parse(src)
+		return (d == nil) != (err == nil)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

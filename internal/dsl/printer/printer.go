@@ -1,0 +1,158 @@
+// Package printer renders a DiaSpec AST back to canonical design text. It is
+// the inverse of the parser up to formatting: Parse(Print(d)) is structurally
+// identical to d (property-tested), which gives tools a way to normalize,
+// diff and persist designs.
+package printer
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/dsl/ast"
+)
+
+// Print renders a design as canonical DiaSpec source.
+func Print(d *ast.Design) string {
+	var b strings.Builder
+	for i, decl := range d.Decls {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		printDecl(&b, decl)
+	}
+	return b.String()
+}
+
+func printDecl(b *strings.Builder, decl ast.Decl) {
+	switch d := decl.(type) {
+	case *ast.DeviceDecl:
+		printDevice(b, d)
+	case *ast.ContextDecl:
+		printContext(b, d)
+	case *ast.ControllerDecl:
+		printController(b, d)
+	case *ast.StructureDecl:
+		printStructure(b, d)
+	case *ast.EnumerationDecl:
+		printEnumeration(b, d)
+	}
+}
+
+func printDevice(b *strings.Builder, d *ast.DeviceDecl) {
+	fmt.Fprintf(b, "device %s", d.Name)
+	if d.Extends != "" {
+		fmt.Fprintf(b, " extends %s", d.Extends)
+	}
+	b.WriteString(" {\n")
+	for _, a := range d.Attributes {
+		fmt.Fprintf(b, "\tattribute %s as %s;\n", a.Name, a.Type)
+	}
+	for _, s := range d.Sources {
+		fmt.Fprintf(b, "\tsource %s as %s", s.Name, s.Type)
+		if s.IndexName != "" {
+			fmt.Fprintf(b, " indexed by %s as %s", s.IndexName, s.IndexType)
+		}
+		b.WriteString(";\n")
+	}
+	for _, a := range d.Actions {
+		fmt.Fprintf(b, "\taction %s", a.Name)
+		if len(a.Params) > 0 {
+			b.WriteByte('(')
+			for i, p := range a.Params {
+				if i > 0 {
+					b.WriteString(", ")
+				}
+				fmt.Fprintf(b, "%s as %s", p.Name, p.Type)
+			}
+			b.WriteByte(')')
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+}
+
+func printContext(b *strings.Builder, c *ast.ContextDecl) {
+	fmt.Fprintf(b, "context %s as %s {\n", c.Name, c.Type)
+	for _, in := range c.Interactions {
+		printInteraction(b, in)
+	}
+	b.WriteString("}\n")
+}
+
+func printInteraction(b *strings.Builder, in ast.Interaction) {
+	switch w := in.(type) {
+	case *ast.WhenProvided:
+		fmt.Fprintf(b, "\twhen provided %s", w.Source)
+		if w.From != "" {
+			fmt.Fprintf(b, " from %s", w.From)
+		}
+		printGets(b, w.Gets)
+		fmt.Fprintf(b, "\n\t%s;\n", w.Publish)
+	case *ast.WhenPeriodic:
+		fmt.Fprintf(b, "\twhen periodic %s from %s %s", w.Source, w.From, duration(w.Period))
+		if w.GroupBy != "" {
+			fmt.Fprintf(b, "\n\tgrouped by %s", w.GroupBy)
+			if w.Every > 0 {
+				fmt.Fprintf(b, " every %s", duration(w.Every))
+			}
+			if w.MapType != nil {
+				fmt.Fprintf(b, "\n\twith map as %s reduce as %s", w.MapType, w.RedType)
+			}
+		}
+		printGets(b, w.Gets)
+		fmt.Fprintf(b, "\n\t%s;\n", w.Publish)
+	case *ast.WhenRequired:
+		b.WriteString("\twhen required;\n")
+	}
+}
+
+func printGets(b *strings.Builder, gets []ast.GetClause) {
+	for _, g := range gets {
+		fmt.Fprintf(b, "\n\tget %s", g.Name)
+		if g.From != "" {
+			fmt.Fprintf(b, " from %s", g.From)
+		}
+	}
+}
+
+func printController(b *strings.Builder, c *ast.ControllerDecl) {
+	fmt.Fprintf(b, "controller %s {\n", c.Name)
+	for _, w := range c.Interactions {
+		fmt.Fprintf(b, "\twhen provided %s", w.Context)
+		for _, a := range w.Actions {
+			fmt.Fprintf(b, "\n\tdo %s on %s", a.Action, a.Device)
+		}
+		b.WriteString(";\n")
+	}
+	b.WriteString("}\n")
+}
+
+func printStructure(b *strings.Builder, s *ast.StructureDecl) {
+	fmt.Fprintf(b, "structure %s {\n", s.Name)
+	for _, f := range s.Fields {
+		fmt.Fprintf(b, "\t%s as %s;\n", f.Name, f.Type)
+	}
+	b.WriteString("}\n")
+}
+
+func printEnumeration(b *strings.Builder, e *ast.EnumerationDecl) {
+	fmt.Fprintf(b, "enumeration %s { %s }\n", e.Name, strings.Join(e.Values, ", "))
+}
+
+// duration renders a time.Duration as a DiaSpec duration literal using the
+// largest exact unit.
+func duration(d time.Duration) string {
+	switch {
+	case d%(24*time.Hour) == 0:
+		return fmt.Sprintf("<%d day>", d/(24*time.Hour))
+	case d%time.Hour == 0:
+		return fmt.Sprintf("<%d hr>", d/time.Hour)
+	case d%time.Minute == 0:
+		return fmt.Sprintf("<%d min>", d/time.Minute)
+	case d%time.Second == 0:
+		return fmt.Sprintf("<%d sec>", d/time.Second)
+	default:
+		return fmt.Sprintf("<%d ms>", d/time.Millisecond)
+	}
+}

@@ -1,0 +1,276 @@
+package printer
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/dsl/ast"
+	"repro/internal/dsl/designs"
+	"repro/internal/dsl/parser"
+)
+
+// stripPositions zeroes all position fields so structural comparison
+// ignores formatting differences.
+func stripPositions(d *ast.Design) *ast.Design {
+	out := &ast.Design{}
+	for _, decl := range d.Decls {
+		switch v := decl.(type) {
+		case *ast.DeviceDecl:
+			c := *v
+			c.NamePos = ast.DeviceDecl{}.NamePos
+			for i := range c.Attributes {
+				c.Attributes[i].APos = c.NamePos
+				c.Attributes[i].Type.TPos = c.NamePos
+			}
+			for i := range c.Sources {
+				c.Sources[i].SPos = c.NamePos
+				c.Sources[i].Type.TPos = c.NamePos
+				c.Sources[i].IndexType.TPos = c.NamePos
+			}
+			for i := range c.Actions {
+				c.Actions[i].APos = c.NamePos
+				for j := range c.Actions[i].Params {
+					c.Actions[i].Params[j].Type.TPos = c.NamePos
+				}
+			}
+			out.Decls = append(out.Decls, &c)
+		case *ast.ContextDecl:
+			c := *v
+			c.NamePos = ast.ContextDecl{}.NamePos
+			c.Type.TPos = c.NamePos
+			var ins []ast.Interaction
+			for _, in := range c.Interactions {
+				switch w := in.(type) {
+				case *ast.WhenProvided:
+					cw := *w
+					cw.WPos = c.NamePos
+					cw.Gets = stripGets(cw.Gets)
+					ins = append(ins, &cw)
+				case *ast.WhenPeriodic:
+					cw := *w
+					cw.WPos = c.NamePos
+					cw.Gets = stripGets(cw.Gets)
+					if cw.MapType != nil {
+						mt := *cw.MapType
+						mt.TPos = c.NamePos
+						cw.MapType = &mt
+						rt := *cw.RedType
+						rt.TPos = c.NamePos
+						cw.RedType = &rt
+					}
+					ins = append(ins, &cw)
+				case *ast.WhenRequired:
+					ins = append(ins, &ast.WhenRequired{})
+				}
+			}
+			c.Interactions = ins
+			out.Decls = append(out.Decls, &c)
+		case *ast.ControllerDecl:
+			c := *v
+			c.NamePos = ast.ControllerDecl{}.NamePos
+			var ws []ast.ControllerWhen
+			for _, w := range c.Interactions {
+				cw := w
+				cw.WPos = c.NamePos
+				var as []ast.DoAction
+				for _, a := range w.Actions {
+					a.DPos = c.NamePos
+					as = append(as, a)
+				}
+				cw.Actions = as
+				ws = append(ws, cw)
+			}
+			c.Interactions = ws
+			out.Decls = append(out.Decls, &c)
+		case *ast.StructureDecl:
+			c := *v
+			c.NamePos = ast.StructureDecl{}.NamePos
+			for i := range c.Fields {
+				c.Fields[i].Type.TPos = c.NamePos
+			}
+			out.Decls = append(out.Decls, &c)
+		case *ast.EnumerationDecl:
+			c := *v
+			c.NamePos = ast.EnumerationDecl{}.NamePos
+			out.Decls = append(out.Decls, &c)
+		}
+	}
+	return out
+}
+
+func stripGets(gets []ast.GetClause) []ast.GetClause {
+	var out []ast.GetClause
+	for _, g := range gets {
+		g.GPos = ast.GetClause{}.GPos
+		out = append(out, g)
+	}
+	return out
+}
+
+func roundTrip(t *testing.T, src string) {
+	t.Helper()
+	d1, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse original: %v", err)
+	}
+	printed := Print(d1)
+	d2, err := parser.Parse(printed)
+	if err != nil {
+		t.Fatalf("parse printed output: %v\n%s", err, printed)
+	}
+	if !reflect.DeepEqual(stripPositions(d1), stripPositions(d2)) {
+		t.Fatalf("round trip changed the design\noriginal: %s\nprinted: %s", src, printed)
+	}
+}
+
+func TestRoundTripPaperDesigns(t *testing.T) {
+	for name, src := range map[string]string{
+		"cooker":   designs.Cooker,
+		"parking":  designs.Parking,
+		"avionics": designs.Avionics,
+	} {
+		t.Run(name, func(t *testing.T) { roundTrip(t, src) })
+	}
+}
+
+func TestPrintIsIdempotent(t *testing.T) {
+	d, err := parser.Parse(designs.Parking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once := Print(d)
+	d2, err := parser.Parse(once)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twice := Print(d2)
+	if once != twice {
+		t.Fatal("Print is not idempotent")
+	}
+}
+
+func TestDurationRendering(t *testing.T) {
+	cases := map[time.Duration]string{
+		24 * time.Hour:         "<1 day>",
+		48 * time.Hour:         "<2 day>",
+		time.Hour:              "<1 hr>",
+		10 * time.Minute:       "<10 min>",
+		30 * time.Second:       "<30 sec>",
+		250 * time.Millisecond: "<250 ms>",
+	}
+	for d, want := range cases {
+		if got := duration(d); got != want {
+			t.Errorf("duration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+// Property: randomly constructed designs survive the print→parse round trip
+// structurally intact.
+func TestQuickRandomDesignRoundTrip(t *testing.T) {
+	gen := func(seed int64) *ast.Design {
+		rng := rand.New(rand.NewSource(seed))
+		d := &ast.Design{}
+		names := []string{"Alpha", "Beta", "Gamma", "Delta"}
+		types := []string{"Integer", "Float", "Boolean", "String"}
+		// A couple of devices with random members.
+		for i := 0; i < 2; i++ {
+			dev := &ast.DeviceDecl{Name: "Dev" + names[i]}
+			for s := 0; s <= rng.Intn(3); s++ {
+				src := ast.SourceDecl{
+					Name: "src" + names[s],
+					Type: ast.TypeRef{Name: types[rng.Intn(len(types))]},
+				}
+				if rng.Intn(2) == 0 {
+					src.IndexName = "idx"
+					src.IndexType = ast.TypeRef{Name: "String"}
+				}
+				dev.Sources = append(dev.Sources, src)
+			}
+			dev.Attributes = append(dev.Attributes, ast.AttributeDecl{
+				Name: "zone", Type: ast.TypeRef{Name: "String"},
+			})
+			for a := 0; a <= rng.Intn(2); a++ {
+				act := ast.ActionDecl{Name: "Act" + names[a]}
+				for p := 0; p < rng.Intn(3); p++ {
+					act.Params = append(act.Params, ast.Param{
+						Name: "p" + names[p],
+						Type: ast.TypeRef{Name: types[rng.Intn(len(types))], IsArray: rng.Intn(3) == 0},
+					})
+				}
+				dev.Actions = append(dev.Actions, act)
+			}
+			d.Decls = append(d.Decls, dev)
+		}
+		// A context with a random interaction mix.
+		ctx := &ast.ContextDecl{Name: "Ctx", Type: ast.TypeRef{Name: "Integer"}}
+		periods := []time.Duration{time.Second, time.Minute, 10 * time.Minute, time.Hour}
+		pubs := []ast.PublishMode{ast.AlwaysPublish, ast.MaybePublish, ast.NoPublish}
+		w := &ast.WhenPeriodic{
+			Source:  "srcAlpha",
+			From:    "DevAlpha",
+			Period:  periods[rng.Intn(len(periods))],
+			Publish: pubs[rng.Intn(len(pubs))],
+		}
+		if rng.Intn(2) == 0 {
+			w.GroupBy = "zone"
+			if rng.Intn(2) == 0 {
+				w.Every = w.Period * time.Duration(2+rng.Intn(5))
+			}
+			if rng.Intn(2) == 0 {
+				mt := ast.TypeRef{Name: "Boolean"}
+				rt := ast.TypeRef{Name: "Integer"}
+				w.MapType, w.RedType = &mt, &rt
+			}
+		}
+		if rng.Intn(2) == 0 {
+			w.Gets = append(w.Gets, ast.GetClause{Name: "srcAlpha", From: "DevBeta"})
+		}
+		ctx.Interactions = append(ctx.Interactions, w, &ast.WhenRequired{})
+		d.Decls = append(d.Decls, ctx)
+		d.Decls = append(d.Decls, &ast.EnumerationDecl{Name: "E", Values: []string{"A", "B"}})
+		d.Decls = append(d.Decls, &ast.StructureDecl{Name: "S", Fields: []ast.Field{
+			{Name: "f", Type: ast.TypeRef{Name: "E"}},
+		}})
+		return d
+	}
+	f := func(seed int64) bool {
+		d1 := gen(seed)
+		printed := Print(d1)
+		d2, err := parser.Parse(printed)
+		if err != nil {
+			t.Logf("printed design does not parse (seed %d): %v\n%s", seed, err, printed)
+			return false
+		}
+		return reflect.DeepEqual(stripPositions(d1), stripPositions(d2))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintedDesignContainsExpectedClauses(t *testing.T) {
+	d, err := parser.Parse(designs.Parking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Print(d)
+	for _, want := range []string{
+		"when periodic presence from PresenceSensor <10 min>",
+		"grouped by parkingLot",
+		"with map as Boolean reduce as Integer",
+		"grouped by parkingLot every <1 day>",
+		"always publish;",
+		"device ParkingEntrancePanel extends DisplayPanel {",
+		"action update(status as String);",
+		"enumeration UsagePatternEnum { HIGH, MODERATE, LOW }",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printed design lacks %q", want)
+		}
+	}
+}

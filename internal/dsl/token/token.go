@@ -1,0 +1,176 @@
+// Package token defines the lexical tokens of the DiaSpec design language
+// as used in the paper's Figures 5–8: device/context/controller/structure/
+// enumeration declarations, facet declarations, and interaction clauses
+// (`when provided`, `when periodic … <10 min>`, `grouped by`,
+// `with map … reduce …`, `every`, publish modes, `do … on …`).
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+// Token kinds. Keyword kinds mirror the DiaSpec surface syntax.
+const (
+	Illegal Kind = iota
+	EOF
+	Ident
+	Int
+
+	// Punctuation.
+	LBrace    // {
+	RBrace    // }
+	LParen    // (
+	RParen    // )
+	LBracket  // [
+	RBracket  // ]
+	Less      // <
+	Greater   // >
+	Semicolon // ;
+	Comma     // ,
+
+	// Keywords.
+	KwDevice
+	KwContext
+	KwController
+	KwStructure
+	KwEnumeration
+	KwExtends
+	KwAttribute
+	KwSource
+	KwAction
+	KwAs
+	KwIndexed
+	KwBy
+	KwWhen
+	KwProvided
+	KwPeriodic
+	KwRequired
+	KwGet
+	KwFrom
+	KwGrouped
+	KwEvery
+	KwWith
+	KwMap
+	KwReduce
+	KwAlways
+	KwMaybe
+	KwNo
+	KwPublish
+	KwDo
+	KwOn
+)
+
+var kindNames = map[Kind]string{
+	Illegal:       "illegal",
+	EOF:           "EOF",
+	Ident:         "identifier",
+	Int:           "integer",
+	LBrace:        "'{'",
+	RBrace:        "'}'",
+	LParen:        "'('",
+	RParen:        "')'",
+	LBracket:      "'['",
+	RBracket:      "']'",
+	Less:          "'<'",
+	Greater:       "'>'",
+	Semicolon:     "';'",
+	Comma:         "','",
+	KwDevice:      "'device'",
+	KwContext:     "'context'",
+	KwController:  "'controller'",
+	KwStructure:   "'structure'",
+	KwEnumeration: "'enumeration'",
+	KwExtends:     "'extends'",
+	KwAttribute:   "'attribute'",
+	KwSource:      "'source'",
+	KwAction:      "'action'",
+	KwAs:          "'as'",
+	KwIndexed:     "'indexed'",
+	KwBy:          "'by'",
+	KwWhen:        "'when'",
+	KwProvided:    "'provided'",
+	KwPeriodic:    "'periodic'",
+	KwRequired:    "'required'",
+	KwGet:         "'get'",
+	KwFrom:        "'from'",
+	KwGrouped:     "'grouped'",
+	KwEvery:       "'every'",
+	KwWith:        "'with'",
+	KwMap:         "'map'",
+	KwReduce:      "'reduce'",
+	KwAlways:      "'always'",
+	KwMaybe:       "'maybe'",
+	KwNo:          "'no'",
+	KwPublish:     "'publish'",
+	KwDo:          "'do'",
+	KwOn:          "'on'",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to their token kinds.
+var Keywords = map[string]Kind{
+	"device":      KwDevice,
+	"context":     KwContext,
+	"controller":  KwController,
+	"structure":   KwStructure,
+	"enumeration": KwEnumeration,
+	"extends":     KwExtends,
+	"attribute":   KwAttribute,
+	"source":      KwSource,
+	"action":      KwAction,
+	"as":          KwAs,
+	"indexed":     KwIndexed,
+	"by":          KwBy,
+	"when":        KwWhen,
+	"provided":    KwProvided,
+	"periodic":    KwPeriodic,
+	"required":    KwRequired,
+	"get":         KwGet,
+	"from":        KwFrom,
+	"grouped":     KwGrouped,
+	"every":       KwEvery,
+	"with":        KwWith,
+	"map":         KwMap,
+	"reduce":      KwReduce,
+	"always":      KwAlways,
+	"maybe":       KwMaybe,
+	"no":          KwNo,
+	"publish":     KwPublish,
+	"do":          KwDo,
+	"on":          KwOn,
+}
+
+// Position locates a token in the source text (1-based).
+type Position struct {
+	Line int
+	Col  int
+}
+
+// String implements fmt.Stringer.
+func (p Position) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical unit.
+type Token struct {
+	Kind Kind
+	// Lit is the literal text for Ident and Int tokens.
+	Lit string
+	Pos Position
+}
+
+// String implements fmt.Stringer.
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident, Int:
+		return fmt.Sprintf("%s %q", t.Kind, t.Lit)
+	default:
+		return t.Kind.String()
+	}
+}

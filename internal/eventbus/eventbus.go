@@ -1,0 +1,326 @@
+// Package eventbus implements the publish/subscribe substrate used by the
+// orchestration runtime to route values between components. In the paper's
+// Sense-Compute-Control architecture every straight arrow in a design graph
+// (device source → context, context → context, context → controller) is an
+// event-driven delivery; this bus is the runtime realization of those arrows.
+//
+// Topics are strings (a component or "Device.source" name). Each subscriber
+// owns a bounded queue drained by a dedicated goroutine, so one slow consumer
+// cannot stall publishers or its peers. The overflow policy is configurable
+// per subscription: Block (backpressure), DropOldest (keep fresh sensor
+// readings, the usual IoT choice) or DropNewest.
+package eventbus
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy selects the behaviour of a full subscription queue.
+type Policy int
+
+const (
+	// Block makes Publish wait until the subscriber has queue space.
+	Block Policy = iota + 1
+	// DropOldest discards the oldest queued event to admit the new one.
+	DropOldest
+	// DropNewest discards the event being published.
+	DropNewest
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case Block:
+		return "block"
+	case DropOldest:
+		return "drop-oldest"
+	case DropNewest:
+		return "drop-newest"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Event is a value published on a topic.
+type Event struct {
+	// Topic names the logical channel the event was published on.
+	Topic string
+	// Payload carries the published value.
+	Payload any
+	// Time is the publication time as observed by the publisher's clock.
+	Time time.Time
+	// Seq is a bus-wide monotonically increasing publication number.
+	Seq uint64
+}
+
+// Handler consumes events delivered to a subscription.
+type Handler func(Event)
+
+// ErrClosed is returned by operations on a closed bus.
+var ErrClosed = errors.New("eventbus: closed")
+
+// Bus is a topic-based publish/subscribe dispatcher. The zero value is not
+// usable; use New.
+type Bus struct {
+	mu     sync.RWMutex
+	subs   map[string][]*Subscription
+	closed bool
+	seq    uint64
+	wg     sync.WaitGroup
+
+	stats Stats
+}
+
+// Stats aggregates bus counters. Values are monotonically increasing over
+// the bus lifetime.
+type Stats struct {
+	// Published counts Publish calls that found the bus open.
+	Published uint64
+	// Delivered counts events handed to subscriber handlers.
+	Delivered uint64
+	// Dropped counts events discarded by DropOldest/DropNewest queues.
+	Dropped uint64
+}
+
+// New returns an empty open bus.
+func New() *Bus {
+	return &Bus{subs: make(map[string][]*Subscription)}
+}
+
+// SubOption configures a subscription.
+type SubOption func(*subConfig)
+
+type subConfig struct {
+	queue  int
+	policy Policy
+}
+
+// WithQueue sets the subscription queue capacity. n must be at least 1; the
+// default is 64.
+func WithQueue(n int) SubOption {
+	return func(c *subConfig) { c.queue = n }
+}
+
+// WithPolicy sets the overflow policy. The default is Block.
+func WithPolicy(p Policy) SubOption {
+	return func(c *subConfig) { c.policy = p }
+}
+
+// Subscribe registers h for events published on topic. The handler runs on a
+// dedicated goroutine owned by the subscription; handlers for one
+// subscription never run concurrently with themselves. Cancel the
+// subscription with its Cancel method; Close cancels all subscriptions.
+func (b *Bus) Subscribe(topic string, h Handler, opts ...SubOption) (*Subscription, error) {
+	if h == nil {
+		return nil, errors.New("eventbus: nil handler")
+	}
+	cfg := subConfig{queue: 64, policy: Block}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.queue < 1 {
+		return nil, fmt.Errorf("eventbus: queue capacity %d < 1", cfg.queue)
+	}
+	switch cfg.policy {
+	case Block, DropOldest, DropNewest:
+	default:
+		return nil, fmt.Errorf("eventbus: unknown policy %v", cfg.policy)
+	}
+
+	s := &Subscription{
+		bus:    b,
+		topic:  topic,
+		h:      h,
+		queue:  make(chan Event, cfg.queue),
+		policy: cfg.policy,
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return nil, ErrClosed
+	}
+	b.subs[topic] = append(b.subs[topic], s)
+	b.wg.Add(1)
+	b.mu.Unlock()
+
+	go s.run(&b.wg)
+	return s, nil
+}
+
+// Publish delivers payload to every current subscriber of topic. With Block
+// subscriptions it may wait for queue space; with the drop policies it never
+// blocks. now is recorded as the event time.
+func (b *Bus) Publish(topic string, payload any, now time.Time) error {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return ErrClosed
+	}
+	b.seq++
+	ev := Event{Topic: topic, Payload: payload, Time: now, Seq: b.seq}
+	subs := make([]*Subscription, len(b.subs[topic]))
+	copy(subs, b.subs[topic])
+	b.stats.Published++
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		s.enqueue(ev)
+	}
+	return nil
+}
+
+// Subscribers reports the number of active subscriptions on topic.
+func (b *Bus) Subscribers(topic string) int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.subs[topic])
+}
+
+// Stats returns a snapshot of the bus counters.
+func (b *Bus) Stats() Stats {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.stats
+}
+
+// Close cancels every subscription and waits for in-flight handler calls to
+// finish. Further Publish and Subscribe calls return ErrClosed. Close is
+// idempotent.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		b.wg.Wait()
+		return
+	}
+	b.closed = true
+	var all []*Subscription
+	for _, subs := range b.subs {
+		all = append(all, subs...)
+	}
+	b.subs = make(map[string][]*Subscription)
+	b.mu.Unlock()
+
+	for _, s := range all {
+		s.stop()
+	}
+	b.wg.Wait()
+}
+
+func (b *Bus) remove(s *Subscription) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	subs := b.subs[s.topic]
+	for i, other := range subs {
+		if other == s {
+			b.subs[s.topic] = append(subs[:i:i], subs[i+1:]...)
+			break
+		}
+	}
+	if len(b.subs[s.topic]) == 0 {
+		delete(b.subs, s.topic)
+	}
+}
+
+func (b *Bus) countDelivered() {
+	b.mu.Lock()
+	b.stats.Delivered++
+	b.mu.Unlock()
+}
+
+func (b *Bus) countDropped() {
+	b.mu.Lock()
+	b.stats.Dropped++
+	b.mu.Unlock()
+}
+
+// Subscription is a single subscriber's registration on a topic.
+type Subscription struct {
+	bus    *Bus
+	topic  string
+	h      Handler
+	queue  chan Event
+	policy Policy
+
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
+}
+
+// Topic reports the topic this subscription listens on.
+func (s *Subscription) Topic() string { return s.topic }
+
+// Cancel removes the subscription and waits for its drain goroutine to
+// finish; events already queued are still delivered before Cancel returns.
+// Cancel is idempotent and safe to call from any goroutine except the
+// subscription's own handler.
+func (s *Subscription) Cancel() {
+	s.bus.remove(s)
+	s.stop()
+	<-s.done
+}
+
+func (s *Subscription) stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+}
+
+func (s *Subscription) enqueue(ev Event) {
+	switch s.policy {
+	case DropNewest:
+		select {
+		case s.queue <- ev:
+		default:
+			s.bus.countDropped()
+		}
+	case DropOldest:
+		for {
+			select {
+			case s.queue <- ev:
+				return
+			case <-s.stopCh:
+				return
+			default:
+			}
+			select {
+			case <-s.queue:
+				s.bus.countDropped()
+			default:
+			}
+		}
+	default: // Block
+		select {
+		case s.queue <- ev:
+		case <-s.stopCh:
+			// Shutting down; dropping the event is intended.
+		}
+	}
+}
+
+func (s *Subscription) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	defer close(s.done)
+	for {
+		select {
+		case ev := <-s.queue:
+			s.h(ev)
+			s.bus.countDelivered()
+		case <-s.stopCh:
+			// Deliver what is already queued, then exit.
+			for {
+				select {
+				case ev := <-s.queue:
+					s.h(ev)
+					s.bus.countDelivered()
+				default:
+					return
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package eventbus
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2017, 6, 5, 0, 0, 0, 0, time.UTC)
+
+func TestPublishDeliversToSubscriber(t *testing.T) {
+	b := New()
+	defer b.Close()
+	got := make(chan Event, 1)
+	if _, err := b.Subscribe("presence", func(ev Event) { got <- ev }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("presence", true, t0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-got:
+		if ev.Topic != "presence" || ev.Payload != true || !ev.Time.Equal(t0) || ev.Seq != 1 {
+			t.Fatalf("unexpected event %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("event not delivered")
+	}
+}
+
+func TestFanOutToMultipleSubscribers(t *testing.T) {
+	b := New()
+	defer b.Close()
+	const n = 7
+	var wg sync.WaitGroup
+	wg.Add(n)
+	var count atomic.Int64
+	for i := 0; i < n; i++ {
+		if _, err := b.Subscribe("t", func(Event) {
+			count.Add(1)
+			wg.Done()
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Publish("t", 42, t0); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if got := count.Load(); got != n {
+		t.Fatalf("delivered %d, want %d", got, n)
+	}
+}
+
+func TestNoDeliveryAcrossTopics(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var count atomic.Int64
+	if _, err := b.Subscribe("a", func(Event) { count.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("b", 1, t0); err != nil {
+		t.Fatal(err)
+	}
+	b.Close()
+	if got := count.Load(); got != 0 {
+		t.Fatalf("topic a received %d events published on b", got)
+	}
+}
+
+func TestOrderingPerSubscriber(t *testing.T) {
+	b := New()
+	defer b.Close()
+	const n = 500
+	var mu sync.Mutex
+	var got []int
+	done := make(chan struct{})
+	if _, err := b.Subscribe("t", func(ev Event) {
+		mu.Lock()
+		got = append(got, ev.Payload.(int))
+		if len(got) == n {
+			close(done)
+		}
+		mu.Unlock()
+	}, WithQueue(n)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := b.Publish("t", i, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	mu.Lock()
+	defer mu.Unlock()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("got[%d] = %d, want %d (FIFO violated)", i, v, i)
+		}
+	}
+}
+
+func TestCancelStopsDelivery(t *testing.T) {
+	b := New()
+	defer b.Close()
+	var count atomic.Int64
+	sub, err := b.Subscribe("t", func(Event) { count.Add(1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Publish("t", 1, t0); err != nil {
+		t.Fatal(err)
+	}
+	sub.Cancel()
+	after := count.Load()
+	if err := b.Publish("t", 2, t0); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if got := count.Load(); got != after {
+		t.Fatalf("delivered %d events after Cancel, want 0", got-after)
+	}
+	if n := b.Subscribers("t"); n != 0 {
+		t.Fatalf("Subscribers = %d after Cancel, want 0", n)
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	b := New()
+	defer b.Close()
+	sub, err := b.Subscribe("t", func(Event) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub.Cancel()
+	sub.Cancel()
+}
+
+func TestDropOldestKeepsMostRecent(t *testing.T) {
+	b := New()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var got []int
+	sub, err := b.Subscribe("t", func(ev Event) {
+		<-release
+		mu.Lock()
+		got = append(got, ev.Payload.(int))
+		mu.Unlock()
+	}, WithQueue(1), WithPolicy(DropOldest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sub
+	// Fill the queue while the handler is idle (first event may be
+	// consumed into the handler immediately, so publish enough).
+	for i := 0; i < 10; i++ {
+		if err := b.Publish("t", i, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) == 0 || got[len(got)-1] != 9 {
+		t.Fatalf("last delivered = %v, want trailing event 9", got)
+	}
+	if len(got) >= 10 {
+		t.Fatalf("delivered %d events through a 1-slot drop-oldest queue, want < 10", len(got))
+	}
+	if st := b.Stats(); st.Dropped == 0 {
+		t.Fatal("Stats.Dropped = 0, want > 0")
+	}
+}
+
+func TestDropNewestDiscardsOverflow(t *testing.T) {
+	b := New()
+	release := make(chan struct{})
+	var mu sync.Mutex
+	var got []int
+	if _, err := b.Subscribe("t", func(ev Event) {
+		<-release
+		mu.Lock()
+		got = append(got, ev.Payload.(int))
+		mu.Unlock()
+	}, WithQueue(1), WithPolicy(DropNewest)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := b.Publish("t", i, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) >= 10 {
+		t.Fatalf("delivered %d events, want overflow discarded", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("out-of-order delivery %v", got)
+		}
+	}
+}
+
+func TestBlockPolicyAppliesBackpressure(t *testing.T) {
+	b := New()
+	defer b.Close()
+	release := make(chan struct{})
+	started := make(chan struct{}, 16)
+	if _, err := b.Subscribe("t", func(Event) {
+		started <- struct{}{}
+		<-release
+	}, WithQueue(1), WithPolicy(Block)); err != nil {
+		t.Fatal(err)
+	}
+	// First publish goes to the handler, second fills the queue, third
+	// must block.
+	for i := 0; i < 2; i++ {
+		if err := b.Publish("t", i, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-started
+	blocked := make(chan struct{})
+	go func() {
+		_ = b.Publish("t", 2, t0)
+		close(blocked)
+	}()
+	select {
+	case <-blocked:
+		t.Fatal("third publish returned despite full Block queue")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case <-blocked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish still blocked after handler drained")
+	}
+}
+
+func TestClosedBusRejectsOperations(t *testing.T) {
+	b := New()
+	b.Close()
+	if err := b.Publish("t", 1, t0); err != ErrClosed {
+		t.Fatalf("Publish on closed bus: err = %v, want ErrClosed", err)
+	}
+	if _, err := b.Subscribe("t", func(Event) {}); err != ErrClosed {
+		t.Fatalf("Subscribe on closed bus: err = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestSubscribeValidation(t *testing.T) {
+	b := New()
+	defer b.Close()
+	if _, err := b.Subscribe("t", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if _, err := b.Subscribe("t", func(Event) {}, WithQueue(0)); err == nil {
+		t.Fatal("zero queue accepted")
+	}
+	if _, err := b.Subscribe("t", func(Event) {}, WithPolicy(Policy(99))); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPublishDuringCloseDoesNotPanic(t *testing.T) {
+	b := New()
+	for i := 0; i < 8; i++ {
+		if _, err := b.Subscribe("t", func(Event) { time.Sleep(time.Microsecond) }, WithQueue(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			if err := b.Publish("t", i, t0); err != nil {
+				return
+			}
+		}
+	}()
+	time.Sleep(time.Millisecond)
+	b.Close()
+	wg.Wait()
+}
+
+func TestStatsCountsDelivered(t *testing.T) {
+	b := New()
+	var wg sync.WaitGroup
+	wg.Add(3)
+	if _, err := b.Subscribe("t", func(Event) { wg.Done() }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := b.Publish("t", i, t0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	b.Close()
+	st := b.Stats()
+	if st.Published != 3 || st.Delivered != 3 {
+		t.Fatalf("Stats = %+v, want Published=3 Delivered=3", st)
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{
+		Block:      "block",
+		DropOldest: "drop-oldest",
+		DropNewest: "drop-newest",
+		Policy(9):  "Policy(9)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Policy.String() = %q, want %q", got, want)
+		}
+	}
+}
+
+// Property: with Block policy and sufficient queue, every published event is
+// delivered exactly once, in order, regardless of payload contents.
+func TestQuickExactlyOnceDelivery(t *testing.T) {
+	f := func(payloads []int64) bool {
+		if len(payloads) > 256 {
+			payloads = payloads[:256]
+		}
+		b := New()
+		var mu sync.Mutex
+		var got []int64
+		if _, err := b.Subscribe("t", func(ev Event) {
+			mu.Lock()
+			got = append(got, ev.Payload.(int64))
+			mu.Unlock()
+		}, WithQueue(len(payloads)+1)); err != nil {
+			return false
+		}
+		for _, p := range payloads {
+			if err := b.Publish("t", p, t0); err != nil {
+				return false
+			}
+		}
+		b.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		if len(got) != len(payloads) {
+			return false
+		}
+		for i := range got {
+			if got[i] != payloads[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

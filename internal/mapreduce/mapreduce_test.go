@@ -1,0 +1,238 @@
+package mapreduce
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// vacancyMap is the paper's Figure 10 Map phase: emit true for each vacant
+// space, keyed by parking lot.
+func vacancyMap(lot string, present bool, emit func(string, bool)) {
+	if !present {
+		emit(lot, true)
+	}
+}
+
+// countReduce is the paper's Figure 10 Reduce phase: availability per lot.
+func countReduce(lot string, values []bool, emit func(string, int)) {
+	emit(lot, len(values))
+}
+
+func parkingInput(n int, seed int64) []Pair[string, bool] {
+	rng := rand.New(rand.NewSource(seed))
+	lots := []string{"A22", "B16", "D6", "E3", "F9"}
+	in := make([]Pair[string, bool], n)
+	for i := range in {
+		in[i] = Pair[string, bool]{Key: lots[rng.Intn(len(lots))], Value: rng.Intn(100) < 70}
+	}
+	return in
+}
+
+func TestFigure10ParkingAvailability(t *testing.T) {
+	in := []Pair[string, bool]{
+		{"A22", true}, {"A22", false}, {"A22", false},
+		{"B16", true}, {"B16", true},
+		{"D6", false},
+	}
+	got := Run(in, vacancyMap, countReduce, Config{Workers: 4})
+	SortByKeyString(got)
+	want := []Pair[string, int]{{"A22", 2}, {"D6", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("availability = %v, want %v", got, want)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	if got := Run(nil, vacancyMap, countReduce, Config{}); got != nil {
+		t.Fatalf("Run(nil) = %v, want nil", got)
+	}
+	if got := RunSequential(nil, vacancyMap, countReduce); got != nil {
+		t.Fatalf("RunSequential(nil) = %v, want nil", got)
+	}
+}
+
+func TestParallelMatchesSequentialBothShuffles(t *testing.T) {
+	in := parkingInput(10_000, 42)
+	want := RunSequential(in, vacancyMap, countReduce)
+	SortByKeyString(want)
+	for _, sh := range []Shuffle{ShufflePartitioned, ShuffleSingle} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			got := Run(in, vacancyMap, countReduce, Config{Workers: workers, Shuffle: sh})
+			SortByKeyString(got)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("shuffle=%v workers=%d: got %v, want %v", sh, workers, got, want)
+			}
+		}
+	}
+}
+
+// Reducer value order must match sequential execution even under parallel
+// map scheduling; this is what makes non-commutative reducers usable.
+func TestValueOrderIsInputOrder(t *testing.T) {
+	const n = 5000
+	in := make([]Pair[string, int], n)
+	for i := range in {
+		in[i] = Pair[string, int]{Key: fmt.Sprintf("g%d", i%7), Value: i}
+	}
+	identity := func(k string, v int, emit func(string, int)) { emit(k, v) }
+	concat := func(k string, vs []int, emit func(string, string)) {
+		var b strings.Builder
+		for _, v := range vs {
+			fmt.Fprintf(&b, "%d,", v)
+		}
+		emit(k, b.String())
+	}
+	want := RunSequential(in, identity, concat)
+	SortByKeyString(want)
+	got := Run(in, identity, concat, Config{Workers: 8, ChunkSize: 17})
+	SortByKeyString(got)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel value order differs from input order")
+	}
+}
+
+func TestMultipleEmitsPerRecord(t *testing.T) {
+	in := []Pair[string, int]{{"x", 3}, {"y", 2}}
+	fanOut := func(k string, v int, emit func(string, int)) {
+		for i := 0; i < v; i++ {
+			emit(k, i)
+		}
+	}
+	sum := func(k string, vs []int, emit func(string, int)) {
+		s := 0
+		for _, v := range vs {
+			s += v
+		}
+		emit(k, s)
+	}
+	got := Run(in, fanOut, sum, Config{Workers: 4})
+	SortByKeyString(got)
+	want := []Pair[string, int]{{"x", 3}, {"y", 1}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestReduceCanEmitZeroOrMany(t *testing.T) {
+	in := []Pair[string, int]{{"a", 1}, {"b", 2}}
+	identity := func(k string, v int, emit func(string, int)) { emit(k, v) }
+	expand := func(k string, vs []int, emit func(string, int)) {
+		if k == "a" {
+			return // zero emissions
+		}
+		emit(k, vs[0])
+		emit(k+"-copy", vs[0])
+	}
+	got := Run(in, identity, expand, Config{Workers: 2})
+	SortByKeyString(got)
+	want := []Pair[string, int]{{"b", 2}, {"b-copy", 2}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestMapPhaseRunsConcurrently(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	const n = 256
+	in := make([]Pair[int, int], n)
+	for i := range in {
+		in[i] = Pair[int, int]{Key: i, Value: i}
+	}
+	var inFlight atomic.Int64
+	sawTwo := make(chan struct{})
+	var closeOnce sync.Once
+	m := func(k, v int, emit func(int, int)) {
+		if inFlight.Add(1) >= 2 {
+			closeOnce.Do(func() { close(sawTwo) })
+		}
+		// Wait briefly for a second concurrent map call; the rendezvous
+		// succeeds as soon as any two calls overlap.
+		select {
+		case <-sawTwo:
+		case <-time.After(10 * time.Millisecond):
+		}
+		inFlight.Add(-1)
+		emit(k%4, v)
+	}
+	r := func(k int, vs []int, emit func(int, int)) { emit(k, len(vs)) }
+	Run(in, m, r, Config{Workers: 4, ChunkSize: 8})
+	select {
+	case <-sawTwo:
+	default:
+		t.Fatal("map phase never ran 2 tasks concurrently")
+	}
+}
+
+func TestCustomKeyHashIsUsed(t *testing.T) {
+	in := parkingInput(1000, 7)
+	var called atomic.Int64
+	cfg := Config{
+		Workers: 4,
+		KeyHash: func(k any) uint64 {
+			called.Add(1)
+			return uint64(len(k.(string)))
+		},
+	}
+	got := Run(in, vacancyMap, countReduce, cfg)
+	want := RunSequential(in, vacancyMap, countReduce)
+	SortByKeyString(got)
+	SortByKeyString(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("custom hash changed results")
+	}
+	if called.Load() == 0 {
+		t.Fatal("custom KeyHash never called")
+	}
+}
+
+func TestShuffleString(t *testing.T) {
+	if ShufflePartitioned.String() != "partitioned" || ShuffleSingle.String() != "single" ||
+		Shuffle(7).String() != "Shuffle(7)" {
+		t.Fatal("Shuffle.String() wrong")
+	}
+}
+
+// Property: for arbitrary inputs, parallel Run ≡ RunSequential (word-count
+// style job exercising grouping, multi-emit and value ordering).
+func TestQuickParallelEquivalence(t *testing.T) {
+	m := func(_ int, sentence string, emit func(string, int)) {
+		for _, w := range strings.Fields(sentence) {
+			emit(w, 1)
+		}
+	}
+	r := func(w string, vs []int, emit func(string, int)) {
+		emit(w, len(vs))
+	}
+	words := []string{"sense", "compute", "control", "orchestrate", "iot"}
+	f := func(picks []uint8, workers uint8) bool {
+		if len(picks) > 300 {
+			picks = picks[:300]
+		}
+		in := make([]Pair[int, string], len(picks))
+		for i, p := range picks {
+			var b strings.Builder
+			for j := 0; j < int(p%4)+1; j++ {
+				b.WriteString(words[(int(p)+j)%len(words)])
+				b.WriteByte(' ')
+			}
+			in[i] = Pair[int, string]{Key: i, Value: b.String()}
+		}
+		want := RunSequential(in, m, r)
+		SortByKeyString(want)
+		got := Run(in, m, r, Config{Workers: int(workers%8) + 1, ChunkSize: 13})
+		SortByKeyString(got)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,555 @@
+// Package registry implements entity binding and discovery, the first of the
+// paper's four orchestration activities. Entities (devices or services) are
+// registered with a kind (their device taxonomy type, including ancestors for
+// DiaSpec's `extends` hierarchies), a set of attribute values (e.g.
+// parkingLot=A22) and an optional network endpoint. Applications discover
+// entities at runtime with attribute-filtered queries — the mechanism behind
+// the generated `discover.parkingEntrancePanels().whereLocation(...)` chain
+// in the paper's Figure 11.
+//
+// Registrations may carry a lease (TTL) so that entities that stop renewing
+// disappear from discovery, and watchers receive change notifications, which
+// the runtime uses for runtime-time binding (the paper's fourth binding
+// time).
+package registry
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// ID uniquely identifies a registered entity.
+type ID string
+
+// Attributes is the attribute set of an entity. Keys are attribute names
+// from the device declaration; values are their rendered form.
+type Attributes map[string]string
+
+// Clone returns an independent copy of a.
+func (a Attributes) Clone() Attributes {
+	if a == nil {
+		return nil
+	}
+	out := make(Attributes, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// BindingTime identifies when an entity was bound, per the paper §IV:
+// "entity binding can occur at configuration time, deployment time, launch
+// time, or runtime".
+type BindingTime int
+
+// Binding times, in the paper's order.
+const (
+	BindConfiguration BindingTime = iota + 1
+	BindDeployment
+	BindLaunch
+	BindRuntime
+)
+
+// String implements fmt.Stringer.
+func (b BindingTime) String() string {
+	switch b {
+	case BindConfiguration:
+		return "configuration"
+	case BindDeployment:
+		return "deployment"
+	case BindLaunch:
+		return "launch"
+	case BindRuntime:
+		return "runtime"
+	default:
+		return fmt.Sprintf("BindingTime(%d)", int(b))
+	}
+}
+
+// Entity describes a registered thing.
+type Entity struct {
+	// ID is the unique entity identifier.
+	ID ID
+	// Kind is the entity's concrete device type, e.g. "ParkingEntrancePanel".
+	Kind string
+	// Kinds lists Kind plus every taxonomy ancestor (DiaSpec `extends`),
+	// e.g. ["ParkingEntrancePanel", "DisplayPanel"]. Discover queries
+	// match against this set. If empty, it is derived as [Kind].
+	Kinds []string
+	// Attrs holds the entity's attribute values.
+	Attrs Attributes
+	// Endpoint is the transport address serving this entity; empty for
+	// in-process entities.
+	Endpoint string
+	// Bound records when in the lifecycle the entity was bound.
+	Bound BindingTime
+}
+
+// isKind reports whether the entity is of kind k or inherits from it.
+func (e *Entity) isKind(k string) bool {
+	for _, have := range e.Kinds {
+		if have == k {
+			return true
+		}
+	}
+	return false
+}
+
+// Query selects entities by kind and attribute equality.
+type Query struct {
+	// Kind restricts matches to entities of this kind or its subtypes.
+	// Empty matches all kinds.
+	Kind string
+	// Where requires each listed attribute to equal the given value.
+	Where Attributes
+	// Limit bounds the number of results; 0 means unlimited.
+	Limit int
+}
+
+// ChangeType classifies a watch notification.
+type ChangeType int
+
+// Watch notification kinds.
+const (
+	Added ChangeType = iota + 1
+	Updated
+	Removed
+	Expired
+)
+
+// String implements fmt.Stringer.
+func (c ChangeType) String() string {
+	switch c {
+	case Added:
+		return "added"
+	case Updated:
+		return "updated"
+	case Removed:
+		return "removed"
+	case Expired:
+		return "expired"
+	default:
+		return fmt.Sprintf("ChangeType(%d)", int(c))
+	}
+}
+
+// Change is a single registry mutation observed by a watcher.
+type Change struct {
+	Type   ChangeType
+	Entity Entity
+}
+
+// Errors returned by Registry operations.
+var (
+	ErrNotFound  = errors.New("registry: entity not found")
+	ErrDuplicate = errors.New("registry: entity already registered")
+	ErrClosed    = errors.New("registry: closed")
+)
+
+type record struct {
+	entity  Entity
+	expires time.Time // zero when the registration has no lease
+}
+
+// Registry is a concurrency-safe entity directory with attribute indexes,
+// leases and watchers. Use New.
+type Registry struct {
+	clock simclock.Clock
+
+	mu       sync.RWMutex
+	closed   bool
+	entities map[ID]*record
+	byKind   map[string]map[ID]struct{}
+	byAttr   map[string]map[ID]struct{} // "key\x00value" -> ids
+	watchers map[*Watcher]struct{}
+}
+
+// Option configures a Registry.
+type Option func(*Registry)
+
+// WithClock sets the time source used for lease expiry. The default is the
+// real clock.
+func WithClock(c simclock.Clock) Option {
+	return func(r *Registry) { r.clock = c }
+}
+
+// New returns an empty registry.
+func New(opts ...Option) *Registry {
+	r := &Registry{
+		clock:    simclock.Real{},
+		entities: make(map[ID]*record),
+		byKind:   make(map[string]map[ID]struct{}),
+		byAttr:   make(map[string]map[ID]struct{}),
+		watchers: make(map[*Watcher]struct{}),
+	}
+	for _, o := range opts {
+		o(r)
+	}
+	return r
+}
+
+// RegisterOption configures a single registration.
+type RegisterOption func(*registerConfig)
+
+type registerConfig struct {
+	ttl time.Duration
+}
+
+// WithTTL gives the registration a lease that expires after d unless renewed.
+func WithTTL(d time.Duration) RegisterOption {
+	return func(c *registerConfig) { c.ttl = d }
+}
+
+// Register adds e to the registry. It fails with ErrDuplicate if the ID is
+// already present (and not expired).
+func (r *Registry) Register(e Entity, opts ...RegisterOption) error {
+	if e.ID == "" {
+		return errors.New("registry: empty entity ID")
+	}
+	if e.Kind == "" {
+		return errors.New("registry: empty entity kind")
+	}
+	if len(e.Kinds) == 0 {
+		e.Kinds = []string{e.Kind}
+	}
+	e.Attrs = e.Attrs.Clone()
+	var cfg registerConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+
+	now := r.clock.Now()
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	r.sweepLocked(now)
+	if _, ok := r.entities[e.ID]; ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrDuplicate, e.ID)
+	}
+	rec := &record{entity: e}
+	if cfg.ttl > 0 {
+		rec.expires = now.Add(cfg.ttl)
+	}
+	r.entities[e.ID] = rec
+	r.indexLocked(&rec.entity)
+	r.notifyLocked(Change{Type: Added, Entity: rec.entity})
+	r.mu.Unlock()
+	return nil
+}
+
+// Update replaces the attributes and endpoint of an existing entity. The
+// kind and lease are unchanged.
+func (r *Registry) Update(id ID, attrs Attributes, endpoint string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.sweepLocked(r.clock.Now())
+	rec, ok := r.entities[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	r.unindexLocked(&rec.entity)
+	rec.entity.Attrs = attrs.Clone()
+	rec.entity.Endpoint = endpoint
+	r.indexLocked(&rec.entity)
+	r.notifyLocked(Change{Type: Updated, Entity: rec.entity})
+	return nil
+}
+
+// Renew extends the lease of id by ttl from now. Renewing an entity
+// registered without a TTL gives it one.
+func (r *Registry) Renew(id ID, ttl time.Duration) error {
+	if ttl <= 0 {
+		return errors.New("registry: non-positive TTL")
+	}
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	r.sweepLocked(now)
+	rec, ok := r.entities[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	rec.expires = now.Add(ttl)
+	return nil
+}
+
+// Unregister removes id from the registry.
+func (r *Registry) Unregister(id ID) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrClosed
+	}
+	rec, ok := r.entities[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, id)
+	}
+	r.removeLocked(rec, Removed)
+	return nil
+}
+
+// Get returns the entity registered under id.
+func (r *Registry) Get(id ID) (Entity, bool) {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked(now)
+	rec, ok := r.entities[id]
+	if !ok {
+		return Entity{}, false
+	}
+	return cloneEntity(rec.entity), true
+}
+
+// Discover returns entities matching q, sorted by ID for determinism.
+func (r *Registry) Discover(q Query) []Entity {
+	now := r.clock.Now()
+	r.mu.Lock()
+	r.sweepLocked(now)
+	ids := r.candidateIDsLocked(q)
+	out := make([]Entity, 0, len(ids))
+	for id := range ids {
+		rec := r.entities[id]
+		if rec == nil {
+			continue
+		}
+		if q.Kind != "" && !rec.entity.isKind(q.Kind) {
+			continue
+		}
+		if !matchesWhere(rec.entity.Attrs, q.Where) {
+			continue
+		}
+		out = append(out, cloneEntity(rec.entity))
+	}
+	r.mu.Unlock()
+
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	if q.Limit > 0 && len(out) > q.Limit {
+		out = out[:q.Limit]
+	}
+	return out
+}
+
+// Count reports the number of live registrations.
+func (r *Registry) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sweepLocked(r.clock.Now())
+	return len(r.entities)
+}
+
+// Sweep removes expired registrations immediately and reports how many were
+// evicted. Expiry also happens lazily on every read/write, so calling Sweep
+// is only needed to force notifications promptly.
+func (r *Registry) Sweep() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sweepLocked(r.clock.Now())
+}
+
+// Watch registers a watcher whose channel receives changes matching q.
+// The channel has capacity buf (minimum 1); when it is full the oldest
+// pending notification is dropped and the watcher's Missed counter
+// incremented. Close the watcher with its Cancel method.
+func (r *Registry) Watch(q Query, buf int) (*Watcher, error) {
+	if buf < 1 {
+		buf = 1
+	}
+	w := &Watcher{
+		reg: r,
+		q:   q,
+		ch:  make(chan Change, buf),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrClosed
+	}
+	r.watchers[w] = struct{}{}
+	return w, nil
+}
+
+// Close shuts down the registry: all watcher channels are closed and
+// further mutations fail with ErrClosed.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for w := range r.watchers {
+		close(w.ch)
+	}
+	r.watchers = make(map[*Watcher]struct{})
+}
+
+func (r *Registry) candidateIDsLocked(q Query) map[ID]struct{} {
+	// Pick the most selective index available: the smallest attribute
+	// posting list, else the kind index, else the full table.
+	var best map[ID]struct{}
+	for k, v := range q.Where {
+		set := r.byAttr[attrKey(k, v)]
+		if best == nil || len(set) < len(best) {
+			best = set
+		}
+		if len(set) == 0 {
+			return nil
+		}
+	}
+	if best == nil && q.Kind != "" {
+		best = r.byKind[q.Kind]
+	}
+	if best == nil {
+		all := make(map[ID]struct{}, len(r.entities))
+		for id := range r.entities {
+			all[id] = struct{}{}
+		}
+		return all
+	}
+	return best
+}
+
+func (r *Registry) indexLocked(e *Entity) {
+	for _, k := range e.Kinds {
+		set := r.byKind[k]
+		if set == nil {
+			set = make(map[ID]struct{})
+			r.byKind[k] = set
+		}
+		set[e.ID] = struct{}{}
+	}
+	for k, v := range e.Attrs {
+		key := attrKey(k, v)
+		set := r.byAttr[key]
+		if set == nil {
+			set = make(map[ID]struct{})
+			r.byAttr[key] = set
+		}
+		set[e.ID] = struct{}{}
+	}
+}
+
+func (r *Registry) unindexLocked(e *Entity) {
+	for _, k := range e.Kinds {
+		if set := r.byKind[k]; set != nil {
+			delete(set, e.ID)
+			if len(set) == 0 {
+				delete(r.byKind, k)
+			}
+		}
+	}
+	for k, v := range e.Attrs {
+		key := attrKey(k, v)
+		if set := r.byAttr[key]; set != nil {
+			delete(set, e.ID)
+			if len(set) == 0 {
+				delete(r.byAttr, key)
+			}
+		}
+	}
+}
+
+func (r *Registry) removeLocked(rec *record, why ChangeType) {
+	delete(r.entities, rec.entity.ID)
+	r.unindexLocked(&rec.entity)
+	r.notifyLocked(Change{Type: why, Entity: rec.entity})
+}
+
+func (r *Registry) sweepLocked(now time.Time) int {
+	n := 0
+	for _, rec := range r.entities {
+		if !rec.expires.IsZero() && !rec.expires.After(now) {
+			r.removeLocked(rec, Expired)
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Registry) notifyLocked(c Change) {
+	for w := range r.watchers {
+		if w.q.Kind != "" && !c.Entity.isKind(w.q.Kind) {
+			continue
+		}
+		if !matchesWhere(c.Entity.Attrs, w.q.Where) {
+			continue
+		}
+		ev := c
+		ev.Entity = cloneEntity(c.Entity)
+		for {
+			select {
+			case w.ch <- ev:
+			default:
+				select {
+				case <-w.ch:
+					w.missed++
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+}
+
+// Watcher receives registry change notifications.
+type Watcher struct {
+	reg    *Registry
+	q      Query
+	ch     chan Change
+	missed uint64
+}
+
+// C returns the notification channel. It is closed when the watcher is
+// cancelled or the registry closed.
+func (w *Watcher) C() <-chan Change { return w.ch }
+
+// Missed reports how many notifications were dropped because the channel was
+// full.
+func (w *Watcher) Missed() uint64 {
+	w.reg.mu.RLock()
+	defer w.reg.mu.RUnlock()
+	return w.missed
+}
+
+// Cancel detaches the watcher and closes its channel. Idempotent.
+func (w *Watcher) Cancel() {
+	w.reg.mu.Lock()
+	defer w.reg.mu.Unlock()
+	if _, ok := w.reg.watchers[w]; ok {
+		delete(w.reg.watchers, w)
+		close(w.ch)
+	}
+}
+
+func matchesWhere(attrs, where Attributes) bool {
+	for k, v := range where {
+		if attrs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func attrKey(k, v string) string { return k + "\x00" + v }
+
+func cloneEntity(e Entity) Entity {
+	e.Attrs = e.Attrs.Clone()
+	e.Kinds = append([]string(nil), e.Kinds...)
+	return e
+}

@@ -1,0 +1,204 @@
+// Package require implements the research direction the paper's conclusion
+// poses: "Can design declarations be used to match the requirements of an
+// application with the resources of an infrastructure? The application
+// requirements could be extracted (or estimated) from the design
+// declarations; they could include devices, network bandwidth, and
+// processing capability."
+//
+// Extract derives, from a checked design, the device kinds an application
+// needs (with the facets and attributes it relies on), the per-device
+// message rates implied by periodic clauses, and the processing stages
+// implied by `grouped by`/MapReduce clauses. Match checks those
+// requirements against a live registry — the deployment-time complement of
+// the static checks in internal/dsl/check.
+package require
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/dsl/check"
+	"repro/internal/registry"
+)
+
+// DeviceNeed describes why and how the application depends on one device
+// kind.
+type DeviceNeed struct {
+	// Kind is the device kind (taxonomy matching applies).
+	Kind string
+	// Sources lists the source facets the design reads.
+	Sources []string
+	// Actions lists the action facets the design invokes.
+	Actions []string
+	// Attributes lists the attributes discovery and grouping rely on;
+	// every bound entity of this kind must carry them.
+	Attributes []string
+	// PollsPerHour is the total periodic query rate per device implied by
+	// the design's periodic clauses (0 when only event/query driven).
+	PollsPerHour float64
+}
+
+// Processing describes a declared processing stage.
+type Processing struct {
+	Context string
+	// GroupedBy is the partitioning attribute.
+	GroupedBy string
+	// MapReduce reports whether the stage declares a MapReduce lowering.
+	MapReduce bool
+	// Period is the delivery period feeding the stage.
+	Period time.Duration
+	// Window is the `every` aggregation window (0 if none).
+	Window time.Duration
+}
+
+// Requirements is the extracted infrastructure demand of a design.
+type Requirements struct {
+	// Devices maps kind to its need.
+	Devices map[string]*DeviceNeed
+	// Processing lists declared processing stages.
+	Processing []Processing
+}
+
+// KindNames returns required kinds sorted alphabetically.
+func (r *Requirements) KindNames() []string {
+	out := make([]string, 0, len(r.Devices))
+	for k := range r.Devices {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EstimateReadingsPerDay projects the total periodic readings per day for a
+// hypothetical fleet (kind → device count) — the design-derived bandwidth
+// estimate the paper's conclusion calls for.
+func (r *Requirements) EstimateReadingsPerDay(fleet map[string]int) float64 {
+	total := 0.0
+	for kind, need := range r.Devices {
+		total += need.PollsPerHour * 24 * float64(fleet[kind])
+	}
+	return total
+}
+
+// Extract derives Requirements from a checked design model.
+func Extract(m *check.Model) *Requirements {
+	r := &Requirements{Devices: make(map[string]*DeviceNeed)}
+	need := func(kind string) *DeviceNeed {
+		n := r.Devices[kind]
+		if n == nil {
+			n = &DeviceNeed{Kind: kind}
+			r.Devices[kind] = n
+		}
+		return n
+	}
+	addOnce := func(list *[]string, v string) {
+		for _, have := range *list {
+			if have == v {
+				return
+			}
+		}
+		*list = append(*list, v)
+	}
+
+	for _, name := range m.ContextNames() {
+		ctx := m.Contexts[name]
+		for _, in := range ctx.Interactions {
+			if in.TriggerKind == check.FromDeviceSource && in.TriggerDevice != nil {
+				n := need(in.TriggerDevice.Name)
+				addOnce(&n.Sources, in.TriggerSource.Name)
+				if in.Kind == check.Periodic {
+					n.PollsPerHour += float64(time.Hour) / float64(in.Period)
+					if in.GroupBy != nil {
+						addOnce(&n.Attributes, in.GroupBy.Name)
+					}
+					r.Processing = append(r.Processing, Processing{
+						Context:   ctx.Name,
+						GroupedBy: groupName(in),
+						MapReduce: in.MapType != nil,
+						Period:    in.Period,
+						Window:    in.Every,
+					})
+				}
+			}
+			for _, g := range in.Gets {
+				if g.Kind == check.FromDeviceSource {
+					n := need(g.Device.Name)
+					addOnce(&n.Sources, g.Source.Name)
+				}
+			}
+		}
+	}
+	for _, name := range m.ControllerNames() {
+		ctrl := m.Controllers[name]
+		for _, w := range ctrl.Interactions {
+			for _, a := range w.Actions {
+				n := need(a.Device.Name)
+				addOnce(&n.Actions, a.Action.Name)
+			}
+		}
+	}
+	for _, n := range r.Devices {
+		sort.Strings(n.Sources)
+		sort.Strings(n.Actions)
+		sort.Strings(n.Attributes)
+	}
+	sort.Slice(r.Processing, func(i, j int) bool { return r.Processing[i].Context < r.Processing[j].Context })
+	return r
+}
+
+func groupName(in *check.Interaction) string {
+	if in.GroupBy == nil {
+		return ""
+	}
+	return in.GroupBy.Name
+}
+
+// Issue is one mismatch between requirements and infrastructure.
+type Issue struct {
+	Kind string
+	Msg  string
+}
+
+// String implements fmt.Stringer.
+func (i Issue) String() string { return fmt.Sprintf("%s: %s", i.Kind, i.Msg) }
+
+// Report is the outcome of matching requirements against a registry.
+type Report struct {
+	// Counts maps required kind to bound entity count.
+	Counts map[string]int
+	// Issues lists mismatches; an empty list means the infrastructure
+	// satisfies the design.
+	Issues []Issue
+}
+
+// OK reports whether the infrastructure satisfies every requirement.
+func (r *Report) OK() bool { return len(r.Issues) == 0 }
+
+// Match checks the requirements against the entities currently bound in the
+// registry: every required kind must have at least one entity, and every
+// entity of a kind must carry the attributes the design groups or filters
+// by.
+func Match(req *Requirements, reg *registry.Registry) *Report {
+	rep := &Report{Counts: make(map[string]int)}
+	for _, kind := range req.KindNames() {
+		needThis := req.Devices[kind]
+		entities := reg.Discover(registry.Query{Kind: kind})
+		rep.Counts[kind] = len(entities)
+		if len(entities) == 0 {
+			rep.Issues = append(rep.Issues, Issue{Kind: kind, Msg: "no bound entity of this kind"})
+			continue
+		}
+		for _, attr := range needThis.Attributes {
+			for _, e := range entities {
+				if _, ok := e.Attrs[attr]; !ok {
+					rep.Issues = append(rep.Issues, Issue{
+						Kind: kind,
+						Msg:  fmt.Sprintf("entity %s lacks attribute %q required for grouping", e.ID, attr),
+					})
+				}
+			}
+		}
+	}
+	return rep
+}

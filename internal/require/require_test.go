@@ -1,0 +1,208 @@
+package require
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/dsl"
+	"repro/internal/dsl/designs"
+	"repro/internal/registry"
+)
+
+func TestExtractParkingRequirements(t *testing.T) {
+	m, err := dsl.Load(designs.Parking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Extract(m)
+
+	kinds := req.KindNames()
+	want := []string{"CityEntrancePanel", "Messenger", "ParkingEntrancePanel", "PresenceSensor"}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+
+	ps := req.Devices["PresenceSensor"]
+	if len(ps.Sources) != 1 || ps.Sources[0] != "presence" {
+		t.Fatalf("PresenceSensor sources = %v", ps.Sources)
+	}
+	if len(ps.Attributes) != 1 || ps.Attributes[0] != "parkingLot" {
+		t.Fatalf("PresenceSensor attributes = %v", ps.Attributes)
+	}
+	// Three periodic clauses poll presence: 2×(every 10 min → 6/hr) +
+	// 1×(hourly → 1/hr) = 13 polls/hour.
+	if ps.PollsPerHour != 13 {
+		t.Fatalf("PollsPerHour = %v, want 13", ps.PollsPerHour)
+	}
+
+	pep := req.Devices["ParkingEntrancePanel"]
+	if len(pep.Actions) != 1 || pep.Actions[0] != "update" {
+		t.Fatalf("panel actions = %v", pep.Actions)
+	}
+
+	if len(req.Processing) != 3 {
+		t.Fatalf("processing stages = %d, want 3", len(req.Processing))
+	}
+	var mrStages, windowed int
+	for _, p := range req.Processing {
+		if p.GroupedBy != "parkingLot" {
+			t.Fatalf("stage %s grouped by %q", p.Context, p.GroupedBy)
+		}
+		if p.MapReduce {
+			mrStages++
+		}
+		if p.Window > 0 {
+			if p.Window != 24*time.Hour {
+				t.Fatalf("window = %v", p.Window)
+			}
+			windowed++
+		}
+	}
+	if mrStages != 1 || windowed != 1 {
+		t.Fatalf("mr=%d windowed=%d, want 1/1", mrStages, windowed)
+	}
+}
+
+func TestExtractCookerRequirements(t *testing.T) {
+	m, err := dsl.Load(designs.Cooker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Extract(m)
+	cooker := req.Devices["Cooker"]
+	if cooker == nil {
+		t.Fatal("Cooker not required")
+	}
+	// consumption is pulled via get; Off is actuated.
+	if len(cooker.Sources) != 1 || cooker.Sources[0] != "consumption" {
+		t.Fatalf("cooker sources = %v", cooker.Sources)
+	}
+	if len(cooker.Actions) != 1 || cooker.Actions[0] != "Off" {
+		t.Fatalf("cooker actions = %v", cooker.Actions)
+	}
+	if cooker.PollsPerHour != 0 {
+		t.Fatalf("cooker polls = %v, want 0 (no periodic clause)", cooker.PollsPerHour)
+	}
+	clock := req.Devices["Clock"]
+	if clock == nil || len(clock.Sources) != 1 || clock.Sources[0] != "tickSecond" {
+		t.Fatalf("clock need = %+v", clock)
+	}
+}
+
+func TestEstimateReadingsPerDay(t *testing.T) {
+	m, err := dsl.Load(designs.Parking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Extract(m)
+	// 1000 sensors × 13 polls/hour × 24h = 312000 readings/day.
+	got := req.EstimateReadingsPerDay(map[string]int{"PresenceSensor": 1000})
+	if got != 312000 {
+		t.Fatalf("EstimateReadingsPerDay = %v, want 312000", got)
+	}
+	if req.EstimateReadingsPerDay(nil) != 0 {
+		t.Fatal("empty fleet should estimate 0")
+	}
+}
+
+func TestMatchSatisfiedInfrastructure(t *testing.T) {
+	m, err := dsl.Load(designs.Parking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Extract(m)
+	reg := registry.New()
+	defer reg.Close()
+	add := func(id, kind string, kinds []string, attrs registry.Attributes) {
+		t.Helper()
+		if err := reg.Register(registry.Entity{ID: registry.ID(id), Kind: kind, Kinds: kinds, Attrs: attrs}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add("s1", "PresenceSensor", nil, registry.Attributes{"parkingLot": "A22"})
+	add("s2", "PresenceSensor", nil, registry.Attributes{"parkingLot": "B16"})
+	add("p1", "ParkingEntrancePanel", []string{"ParkingEntrancePanel", "DisplayPanel"},
+		registry.Attributes{"location": "A22"})
+	add("c1", "CityEntrancePanel", []string{"CityEntrancePanel", "DisplayPanel"},
+		registry.Attributes{"location": "NORTH_EAST_14Y"})
+	add("m1", "Messenger", nil, nil)
+
+	rep := Match(req, reg)
+	if !rep.OK() {
+		t.Fatalf("expected satisfied infrastructure, issues: %v", rep.Issues)
+	}
+	if rep.Counts["PresenceSensor"] != 2 {
+		t.Fatalf("counts = %v", rep.Counts)
+	}
+}
+
+func TestMatchReportsMissingKindAndAttribute(t *testing.T) {
+	m, err := dsl.Load(designs.Parking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Extract(m)
+	reg := registry.New()
+	defer reg.Close()
+	// A sensor without the grouping attribute; panels and messenger absent.
+	if err := reg.Register(registry.Entity{ID: "s1", Kind: "PresenceSensor"}); err != nil {
+		t.Fatal(err)
+	}
+	rep := Match(req, reg)
+	if rep.OK() {
+		t.Fatal("expected issues")
+	}
+	var missingKinds, missingAttrs int
+	for _, issue := range rep.Issues {
+		switch {
+		case strings.Contains(issue.Msg, "no bound entity"):
+			missingKinds++
+		case strings.Contains(issue.Msg, "lacks attribute"):
+			missingAttrs++
+		}
+		if issue.String() == "" {
+			t.Fatal("empty issue string")
+		}
+	}
+	if missingKinds != 3 { // both panels + messenger
+		t.Fatalf("missing kinds = %d, want 3 (issues: %v)", missingKinds, rep.Issues)
+	}
+	if missingAttrs != 1 {
+		t.Fatalf("missing attrs = %d, want 1 (issues: %v)", missingAttrs, rep.Issues)
+	}
+}
+
+func TestMatchHonoursTaxonomy(t *testing.T) {
+	// A requirement on a parent kind is satisfied by a subtype entity.
+	m, err := dsl.Load(`
+device DisplayPanel { action update(status as String); }
+device LobbyPanel extends DisplayPanel { }
+device Pulse { source beat as Integer; }
+context C as Integer { when provided beat from Pulse always publish; }
+controller K { when provided C do update on DisplayPanel; }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := Extract(m)
+	reg := registry.New()
+	defer reg.Close()
+	if err := reg.Register(registry.Entity{
+		ID: "lp1", Kind: "LobbyPanel", Kinds: []string{"LobbyPanel", "DisplayPanel"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(registry.Entity{ID: "pu1", Kind: "Pulse"}); err != nil {
+		t.Fatal(err)
+	}
+	rep := Match(req, reg)
+	if !rep.OK() {
+		t.Fatalf("subtype should satisfy parent-kind requirement; issues: %v", rep.Issues)
+	}
+}

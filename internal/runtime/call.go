@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dsl/check"
+	"repro/internal/registry"
+)
+
+// ContextCall carries one delivery to a context handler plus the
+// query-driven pull interface scoped to the interaction's declared `get`
+// clauses — the runtime equivalent of the paper's generated `discover`
+// parameter (Figure 9: "exposes a specialized interface to querying the
+// current consumption of the cooker").
+type ContextCall struct {
+	// ContextName is the receiving context.
+	ContextName string
+	// Interaction is the resolved design clause being delivered.
+	Interaction *check.Interaction
+	// InteractionIndex is the position of Interaction in the context's
+	// declaration; generated adapters dispatch on it.
+	InteractionIndex int
+	// Reading is the triggering device reading for event-driven
+	// device-source deliveries; nil otherwise.
+	Reading *device.Reading
+	// Value is the triggering context value for context-to-context
+	// deliveries; nil otherwise.
+	Value any
+	// Readings holds one periodic round of ungrouped readings.
+	Readings []device.Reading
+	// Grouped holds a periodic round grouped by the `grouped by`
+	// attribute (raw values per group), when no MapReduce is declared.
+	Grouped map[string][]any
+	// GroupedReduced holds the MapReduce output per group for
+	// `with map … reduce …` interactions (paper Figure 10's
+	// onPeriodicPresence map parameter).
+	GroupedReduced map[string]any
+	// Time is the delivery time.
+	Time time.Time
+
+	rt *Runtime
+}
+
+// SourceValue is one device's answer to a query-driven pull.
+type SourceValue struct {
+	DeviceID string
+	Attrs    registry.Attributes
+	Value    any
+}
+
+// QueryDevice performs the interaction's declared `get <source> from
+// <Device>` pull: every bound device of that kind is queried and the
+// answers returned. It fails if the design does not declare the pull,
+// keeping implementations conformant with their design.
+func (c *ContextCall) QueryDevice(deviceKind, source string) ([]SourceValue, error) {
+	var g *check.Get
+	for _, cand := range c.Interaction.Gets {
+		if cand.Kind == check.FromDeviceSource &&
+			cand.Device.Name == deviceKind && cand.Source.Name == source {
+			g = cand
+			break
+		}
+	}
+	if g == nil {
+		return nil, fmt.Errorf("runtime: context %s: design declares no 'get %s from %s' in this interaction",
+			c.ContextName, source, deviceKind)
+	}
+	entities := c.rt.reg.Discover(registry.Query{Kind: deviceKind})
+	out := make([]SourceValue, 0, len(entities))
+	var firstErr error
+	for _, e := range entities {
+		drv, err := c.rt.driverFor(e)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		v, err := drv.Query(source)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		out = append(out, SourceValue{DeviceID: string(e.ID), Attrs: e.Attrs, Value: v})
+	}
+	if len(out) == 0 && firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// QueryDeviceOne is QueryDevice for designs that expect exactly one bound
+// device (e.g. the home's single Cooker).
+func (c *ContextCall) QueryDeviceOne(deviceKind, source string) (any, error) {
+	vs, err := c.QueryDevice(deviceKind, source)
+	if err != nil {
+		return nil, err
+	}
+	if len(vs) != 1 {
+		return nil, fmt.Errorf("runtime: context %s: get %s from %s matched %d devices, want exactly 1",
+			c.ContextName, source, deviceKind, len(vs))
+	}
+	return vs[0].Value, nil
+}
+
+// QueryContext performs the interaction's declared `get <Context>` pull by
+// invoking the target context's RequiredHandler.
+func (c *ContextCall) QueryContext(name string) (any, error) {
+	var g *check.Get
+	for _, cand := range c.Interaction.Gets {
+		if cand.Kind == check.FromContext && cand.Context.Name == name {
+			g = cand
+			break
+		}
+	}
+	if g == nil {
+		return nil, fmt.Errorf("runtime: context %s: design declares no 'get %s' in this interaction",
+			c.ContextName, name)
+	}
+	c.rt.mu.Lock()
+	h := c.rt.contexts[name]
+	c.rt.mu.Unlock()
+	rh, ok := h.(RequiredHandler)
+	if !ok {
+		return nil, fmt.Errorf("runtime: context %s does not serve pulls", name)
+	}
+	return rh.OnRequired(&ContextCall{
+		ContextName: name,
+		Time:        c.rt.clock.Now(),
+		rt:          c.rt,
+	})
+}

@@ -1,0 +1,150 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dsl/check"
+	"repro/internal/eventbus"
+	"repro/internal/registry"
+)
+
+// wireController subscribes one `when provided <Context>` controller clause
+// to the context's publications.
+func (rt *Runtime) wireController(ctrl *check.Controller, w *check.ControllerWhen) error {
+	_, err := rt.bus.Subscribe(contextTopic(w.Context.Name), func(ev eventbus.Event) {
+		rt.mu.Lock()
+		h := rt.controllers[ctrl.Name]
+		rt.stats.ControllerTriggers++
+		rt.mu.Unlock()
+		if h == nil {
+			return
+		}
+		call := &ControllerCall{
+			ControllerName: ctrl.Name,
+			ContextName:    w.Context.Name,
+			Value:          ev.Payload,
+			Time:           ev.Time,
+			when:           w,
+			rt:             rt,
+		}
+		if err := h.OnContext(call); err != nil {
+			rt.reportError(ctrl.Name, err)
+		}
+	})
+	return err
+}
+
+// ControllerCall carries one context publication to a controller handler
+// plus the actuation interface: discovery-filtered device proxies restricted
+// to the design's `do … on …` set (paper Figure 11's `discover` object).
+type ControllerCall struct {
+	// ControllerName is the receiving controller.
+	ControllerName string
+	// ContextName is the publishing context.
+	ContextName string
+	// Value is the published context value.
+	Value any
+	// Time is the publication time.
+	Time time.Time
+
+	when *check.ControllerWhen
+	rt   *Runtime
+}
+
+// Devices discovers every bound device of the given kind (or taxonomy
+// subtype) and returns actuation proxies for them.
+func (c *ControllerCall) Devices(kind string) ([]*ActuatorProxy, error) {
+	return c.DevicesWhere(kind, nil)
+}
+
+// DevicesWhere discovers bound devices of the given kind whose attributes
+// match where — the runtime form of the paper's generated
+// `discover.parkingEntrancePanels().whereLocation(lot)` chain.
+func (c *ControllerCall) DevicesWhere(kind string, where registry.Attributes) ([]*ActuatorProxy, error) {
+	if !c.kindDeclared(kind) {
+		return nil, fmt.Errorf("runtime: controller %s: design declares no 'do … on %s' for context %s",
+			c.ControllerName, kind, c.ContextName)
+	}
+	entities := c.rt.reg.Discover(registry.Query{Kind: kind, Where: where})
+	out := make([]*ActuatorProxy, 0, len(entities))
+	for _, e := range entities {
+		out = append(out, &ActuatorProxy{entity: e, call: c})
+	}
+	return out, nil
+}
+
+// kindDeclared reports whether the design's do-set for this clause names the
+// kind or one of its taxonomy descendants.
+func (c *ControllerCall) kindDeclared(kind string) bool {
+	for _, a := range c.when.Actions {
+		if a.Device.Name == kind {
+			return true
+		}
+		for _, anc := range a.Device.Ancestors {
+			if anc == kind {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// actionDeclared returns the declared action entry matching the proxy's
+// device kinds and action name.
+func (c *ControllerCall) actionDeclared(kinds []string, action string) *check.ControllerAction {
+	for i := range c.when.Actions {
+		a := &c.when.Actions[i]
+		if a.Action.Name != action {
+			continue
+		}
+		for _, k := range kinds {
+			if a.Device.Name == k {
+				return a
+			}
+		}
+	}
+	return nil
+}
+
+// ActuatorProxy invokes actions on one discovered device. Invocations are
+// validated against the design (SCC conformance: a controller can only
+// perform its declared operations) and argument arity is checked against
+// the device declaration.
+type ActuatorProxy struct {
+	entity registry.Entity
+	call   *ControllerCall
+}
+
+// ID returns the device's entity ID.
+func (p *ActuatorProxy) ID() string { return string(p.entity.ID) }
+
+// Kind returns the device's concrete kind.
+func (p *ActuatorProxy) Kind() string { return p.entity.Kind }
+
+// Attr returns one attribute value of the device.
+func (p *ActuatorProxy) Attr(name string) string { return p.entity.Attrs[name] }
+
+// Invoke performs a declared action on the device.
+func (p *ActuatorProxy) Invoke(action string, args ...any) error {
+	decl := p.call.actionDeclared(p.entity.Kinds, action)
+	if decl == nil {
+		return fmt.Errorf("runtime: controller %s: design declares no 'do %s on %s'",
+			p.call.ControllerName, action, p.entity.Kind)
+	}
+	if len(args) != len(decl.Action.Params) {
+		return fmt.Errorf("runtime: action %s.%s takes %d argument(s), got %d",
+			p.entity.Kind, action, len(decl.Action.Params), len(args))
+	}
+	drv, err := p.call.rt.driverFor(p.entity)
+	if err != nil {
+		return err
+	}
+	if err := drv.Invoke(action, args...); err != nil {
+		return fmt.Errorf("runtime: actuate %s.%s: %w", p.entity.ID, action, err)
+	}
+	p.call.rt.mu.Lock()
+	p.call.rt.stats.Actuations++
+	p.call.rt.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,422 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dsl/ast"
+	"repro/internal/dsl/check"
+	"repro/internal/eventbus"
+	"repro/internal/mapreduce"
+	"repro/internal/registry"
+	"repro/internal/simclock"
+)
+
+// GroupedReading is one periodic reading tagged with the value of the
+// `grouped by` attribute of its producing device.
+type GroupedReading struct {
+	Group   string
+	Reading device.Reading
+}
+
+// periodicBatch is the payload delivered for one periodic interaction round.
+type periodicBatch struct {
+	readings []GroupedReading
+	at       time.Time
+}
+
+func sourceTopic(ctxName string, idx int) string {
+	return fmt.Sprintf("source/%s/%d", ctxName, idx)
+}
+
+func periodicTopic(ctxName string, idx int) string {
+	return fmt.Sprintf("periodic/%s/%d", ctxName, idx)
+}
+
+// wireProvided wires one `when provided` interaction: a bus subscription for
+// context-to-context arrows, or device subscriptions (tracked dynamically
+// through registry watches) funneled through the bus for device sources.
+func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interaction) error {
+	if in.TriggerKind == check.FromContext {
+		_, err := rt.bus.Subscribe(contextTopic(in.TriggerCtx.Name), func(ev eventbus.Event) {
+			rt.dispatchContext(ctx, in, &ContextCall{
+				ContextName:      ctx.Name,
+				Interaction:      in,
+				InteractionIndex: idx,
+				Value:            ev.Payload,
+				Time:             ev.Time,
+				rt:               rt,
+			})
+		})
+		return err
+	}
+
+	topic := sourceTopic(ctx.Name, idx)
+	if _, err := rt.bus.Subscribe(topic, func(ev eventbus.Event) {
+		r := ev.Payload.(device.Reading)
+		rt.dispatchContext(ctx, in, &ContextCall{
+			ContextName:      ctx.Name,
+			Interaction:      in,
+			InteractionIndex: idx,
+			Reading:          &r,
+			Time:             r.Time,
+			rt:               rt,
+		})
+	}); err != nil {
+		return err
+	}
+	return rt.trackDeviceSource(in.TriggerDevice.Name, in.TriggerSource.Name, topic)
+}
+
+// trackDeviceSource subscribes to the named source of every present and
+// future device of the given kind, forwarding readings onto the bus topic.
+func (rt *Runtime) trackDeviceSource(kind, source, topic string) error {
+	w, err := rt.reg.Watch(registry.Query{Kind: kind}, 64)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	rt.watchers = append(rt.watchers, w)
+	rt.mu.Unlock()
+
+	tracker := &sourceTracker{rt: rt, source: source, topic: topic, subs: make(map[registry.ID]*deviceSubscription)}
+	for _, e := range rt.reg.Discover(registry.Query{Kind: kind}) {
+		tracker.add(e)
+	}
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		for c := range w.C() {
+			switch c.Type {
+			case registry.Added, registry.Updated:
+				tracker.add(c.Entity)
+			case registry.Removed, registry.Expired:
+				tracker.remove(c.Entity.ID)
+			}
+		}
+		tracker.stopAll()
+	}()
+	return nil
+}
+
+type sourceTracker struct {
+	rt     *Runtime
+	source string
+	topic  string
+
+	mu   sync.Mutex
+	subs map[registry.ID]*deviceSubscription
+}
+
+func (t *sourceTracker) add(e registry.Entity) {
+	t.mu.Lock()
+	if _, dup := t.subs[e.ID]; dup {
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+
+	drv, err := t.rt.driverFor(e)
+	if err != nil {
+		t.rt.reportError("bind:"+string(e.ID), err)
+		return
+	}
+	sub, err := drv.Subscribe(t.source)
+	if err != nil {
+		t.rt.reportError("subscribe:"+string(e.ID), fmt.Errorf("source %s: %w", t.source, err))
+		return
+	}
+	ds := &deviceSubscription{sub: sub}
+	t.mu.Lock()
+	t.subs[e.ID] = ds
+	t.mu.Unlock()
+	t.rt.mu.Lock()
+	t.rt.devSubs = append(t.rt.devSubs, ds)
+	t.rt.mu.Unlock()
+
+	t.rt.wg.Add(1)
+	go func() {
+		defer t.rt.wg.Done()
+		for r := range sub.C() {
+			if err := t.rt.bus.Publish(t.topic, r, r.Time); err != nil {
+				return
+			}
+		}
+	}()
+}
+
+func (t *sourceTracker) remove(id registry.ID) {
+	t.mu.Lock()
+	ds, ok := t.subs[id]
+	delete(t.subs, id)
+	t.mu.Unlock()
+	if ok {
+		ds.stop()
+	}
+}
+
+func (t *sourceTracker) stopAll() {
+	t.mu.Lock()
+	subs := t.subs
+	t.subs = make(map[registry.ID]*deviceSubscription)
+	t.mu.Unlock()
+	for _, ds := range subs {
+		ds.stop()
+	}
+}
+
+type deviceSubscription struct {
+	sub  device.Subscription
+	once sync.Once
+}
+
+func (d *deviceSubscription) stop() {
+	d.once.Do(d.sub.Cancel)
+}
+
+// poller drives one `when periodic` interaction.
+type poller struct {
+	rt       *Runtime
+	ctx      *check.Context
+	in       *check.Interaction
+	idx      int
+	stopCh   chan struct{}
+	stopOnce sync.Once
+
+	// Every-window accumulation.
+	window      []GroupedReading
+	ticksInWin  int
+	flushEvery  int
+	queryParall int
+}
+
+func (rt *Runtime) startPoller(ctx *check.Context, idx int, in *check.Interaction) {
+	p := &poller{
+		rt:          rt,
+		ctx:         ctx,
+		in:          in,
+		idx:         idx,
+		stopCh:      make(chan struct{}),
+		queryParall: 32,
+	}
+	if in.Every > 0 {
+		p.flushEvery = int(in.Every / in.Period)
+	}
+	// Deliver batches through the bus so handler invocations for this
+	// interaction are serialized like every other delivery.
+	if _, err := rt.bus.Subscribe(periodicTopic(ctx.Name, idx), func(ev eventbus.Event) {
+		batch := ev.Payload.(periodicBatch)
+		p.dispatch(batch)
+	}); err != nil {
+		rt.reportError(ctx.Name, err)
+		return
+	}
+	rt.mu.Lock()
+	rt.pollers = append(rt.pollers, p)
+	rt.mu.Unlock()
+
+	// Arm the ticker before Start returns so that virtual-clock advances
+	// performed right after Start are observed.
+	ticker := rt.clock.NewTicker(in.Period)
+	rt.wg.Add(1)
+	go p.run(ticker)
+}
+
+func (p *poller) stop() { p.stopOnce.Do(func() { close(p.stopCh) }) }
+
+func (p *poller) run(ticker *simclock.Ticker) {
+	defer p.rt.wg.Done()
+	defer ticker.Stop()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case at := <-ticker.C:
+			p.poll(at)
+		}
+	}
+}
+
+// poll queries every bound device of the trigger kind in parallel and either
+// delivers the batch immediately or accumulates it into the `every` window.
+func (p *poller) poll(at time.Time) {
+	entities := p.rt.reg.Discover(registry.Query{Kind: p.in.TriggerDevice.Name})
+	readings := p.queryAll(entities, at)
+	p.rt.mu.Lock()
+	p.rt.stats.PeriodicPolls++
+	p.rt.mu.Unlock()
+
+	if p.flushEvery > 0 {
+		p.window = append(p.window, readings...)
+		p.ticksInWin++
+		if p.ticksInWin < p.flushEvery {
+			return
+		}
+		readings = p.window
+		p.window = nil
+		p.ticksInWin = 0
+	}
+	batch := periodicBatch{readings: readings, at: at}
+	if err := p.rt.bus.Publish(periodicTopic(p.ctx.Name, p.idx), batch, at); err != nil {
+		return
+	}
+}
+
+func (p *poller) queryAll(entities []registry.Entity, at time.Time) []GroupedReading {
+	groupAttr := ""
+	if p.in.GroupBy != nil {
+		groupAttr = p.in.GroupBy.Name
+	}
+	out := make([]GroupedReading, len(entities))
+	ok := make([]bool, len(entities))
+
+	workers := p.queryParall
+	if workers > len(entities) {
+		workers = len(entities)
+	}
+	if workers == 0 {
+		return nil
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				e := entities[i]
+				drv, err := p.rt.driverFor(e)
+				if err != nil {
+					p.rt.reportError("poll:"+string(e.ID), err)
+					continue
+				}
+				v, err := drv.Query(p.in.TriggerSource.Name)
+				if err != nil {
+					p.rt.reportError("poll:"+string(e.ID), err)
+					continue
+				}
+				out[i] = GroupedReading{
+					Group: e.Attrs[groupAttr],
+					Reading: device.Reading{
+						DeviceID: string(e.ID),
+						Source:   p.in.TriggerSource.Name,
+						Value:    v,
+						Time:     at,
+					},
+				}
+				ok[i] = true
+			}
+		}()
+	}
+	for i := range entities {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	kept := make([]GroupedReading, 0, len(entities))
+	for i, good := range ok {
+		if good {
+			kept = append(kept, out[i])
+		}
+	}
+	return kept
+}
+
+// dispatch runs the context handler for one periodic batch, applying
+// grouping and the MapReduce lowering when declared.
+func (p *poller) dispatch(batch periodicBatch) {
+	call := &ContextCall{
+		ContextName:      p.ctx.Name,
+		Interaction:      p.in,
+		InteractionIndex: p.idx,
+		Time:             batch.at,
+		rt:               p.rt,
+	}
+	if p.in.GroupBy == nil {
+		rs := make([]device.Reading, len(batch.readings))
+		for i, gr := range batch.readings {
+			rs[i] = gr.Reading
+		}
+		call.Readings = rs
+	} else if p.in.MapType != nil {
+		call.GroupedReduced = p.runMapReduce(batch.readings)
+	} else {
+		grouped := make(map[string][]any)
+		for _, gr := range batch.readings {
+			grouped[gr.Group] = append(grouped[gr.Group], gr.Reading.Value)
+		}
+		call.Grouped = grouped
+	}
+	p.rt.dispatchContext(p.ctx, p.in, call)
+}
+
+// runMapReduce lowers the grouped batch onto the MapReduce engine using the
+// handler's Map and Reduce phases (paper Figure 10). When Reduce emits
+// several values for one key, the last emission wins, matching the paper's
+// one-value-per-group framework contract.
+func (p *poller) runMapReduce(readings []GroupedReading) map[string]any {
+	p.rt.mu.Lock()
+	h := p.rt.contexts[p.ctx.Name]
+	p.rt.mu.Unlock()
+	mr, ok := h.(MapReducer)
+	if !ok {
+		p.rt.reportError(p.ctx.Name, fmt.Errorf("handler does not implement MapReducer"))
+		return nil
+	}
+	in := make([]mapreduce.Pair[string, any], len(readings))
+	for i, gr := range readings {
+		in[i] = mapreduce.Pair[string, any]{Key: gr.Group, Value: gr.Reading.Value}
+	}
+	pairs := mapreduce.Run(in,
+		func(k string, v any, emit func(string, any)) { mr.Map(k, v, emit) },
+		func(k string, vs []any, emit func(string, any)) { mr.Reduce(k, vs, emit) },
+		p.rt.mrCfg,
+	)
+	out := make(map[string]any, len(pairs))
+	for _, pr := range pairs {
+		out[pr.Key] = pr.Value
+	}
+	return out
+}
+
+// dispatchContext invokes the context handler and routes its output
+// according to the declared publish mode.
+func (rt *Runtime) dispatchContext(ctx *check.Context, in *check.Interaction, call *ContextCall) {
+	rt.mu.Lock()
+	h := rt.contexts[ctx.Name]
+	rt.stats.ContextTriggers++
+	rt.mu.Unlock()
+	if h == nil {
+		return
+	}
+	value, wantPublish, err := h.OnTrigger(call)
+	if err != nil {
+		rt.reportError(ctx.Name, err)
+		return
+	}
+	switch in.Publish {
+	case ast.AlwaysPublish:
+		rt.publishContext(ctx, value)
+	case ast.MaybePublish:
+		if wantPublish {
+			rt.publishContext(ctx, value)
+		}
+	case ast.NoPublish:
+		// Internal state update only.
+	}
+}
+
+// GroupKeys returns the sorted group keys of a grouped delivery; a helper
+// for deterministic iteration in handlers and reports.
+func GroupKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

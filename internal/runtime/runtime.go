@@ -1,0 +1,418 @@
+// Package runtime executes a checked DiaSpec design: it is the
+// inversion-of-control engine behind the paper's generated programming
+// frameworks (§V: "implementing a design is devoted to implementing the
+// declared contexts and controllers of an application, which are then called
+// as required by the runtime system").
+//
+// The runtime realizes the paper's four orchestration activities:
+//
+//   - binding: devices register into an attribute registry and are
+//     (re)bound to subscriptions at runtime as they appear and disappear;
+//   - delivering: event-driven triggers ride the event bus, periodic
+//     triggers are driven by a clock-based poller that queries device
+//     fleets, and query-driven pulls are served through ContextCall;
+//   - processing: `grouped by` periodic deliveries are partitioned per
+//     attribute value and optionally lowered onto the parallel MapReduce
+//     engine when the design declares `with map … reduce …`;
+//   - actuating: controllers receive context values and actuate devices
+//     through discovery-filtered proxies restricted to the design's
+//     `do … on …` set.
+//
+// SCC conformance is enforced both statically (internal/dsl/check) and
+// dynamically: controllers have no API to publish or to pull contexts that
+// the design does not route to them.
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dsl/check"
+	"repro/internal/eventbus"
+	"repro/internal/mapreduce"
+	"repro/internal/registry"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// ContextHandler is the SPI a context implementation provides. OnTrigger is
+// invoked once per delivery (event, context publication, or periodic batch);
+// the returned value is published to subscribers when publish is true (for
+// `maybe publish` designs) or unconditionally for `always publish` designs.
+type ContextHandler interface {
+	OnTrigger(call *ContextCall) (value any, publish bool, err error)
+}
+
+// RequiredHandler is additionally implemented by contexts declaring
+// `when required;` — the runtime serves `get <Context>` pulls through it.
+type RequiredHandler interface {
+	OnRequired(call *ContextCall) (any, error)
+}
+
+// ControllerHandler is the SPI a controller implementation provides.
+type ControllerHandler interface {
+	OnContext(call *ControllerCall) error
+}
+
+// MapReducer is optionally implemented by context handlers whose design
+// declares `with map … reduce …` (paper Figure 10). Keys are rendered
+// attribute values (e.g. the parking lot); the runtime executes Map over
+// individual readings and Reduce over per-group lists in parallel.
+type MapReducer interface {
+	Map(key string, value any, emit func(key string, v any))
+	Reduce(key string, values []any, emit func(key string, v any))
+}
+
+// ComponentError reports a failure inside a component or device interaction.
+type ComponentError struct {
+	Component string
+	Err       error
+	Time      time.Time
+}
+
+// Error implements error.
+func (e ComponentError) Error() string {
+	return fmt.Sprintf("runtime: component %s: %v", e.Component, e.Err)
+}
+
+// Stats aggregates runtime counters.
+type Stats struct {
+	// ContextTriggers counts deliveries dispatched to context handlers.
+	ContextTriggers uint64
+	// ContextPublishes counts values published by contexts.
+	ContextPublishes uint64
+	// ControllerTriggers counts deliveries dispatched to controllers.
+	ControllerTriggers uint64
+	// PeriodicPolls counts completed periodic polling rounds (including
+	// rounds accumulated into an `every` window).
+	PeriodicPolls uint64
+	// Actuations counts successful device action invocations.
+	Actuations uint64
+	// Errors counts component errors.
+	Errors uint64
+}
+
+// Runtime hosts one application built from a checked design.
+type Runtime struct {
+	model *check.Model
+	reg   *registry.Registry
+	bus   *eventbus.Bus
+	clock simclock.Clock
+	mrCfg mapreduce.Config
+
+	onError     func(ComponentError)
+	ownRegistry bool
+
+	mu          sync.Mutex
+	started     bool
+	stopped     bool
+	devices     map[string]device.Driver
+	contexts    map[string]ContextHandler
+	controllers map[string]ControllerHandler
+	clients     map[string]*transport.Client
+	pollers     []*poller
+	devSubs     []*deviceSubscription
+	watchers    []*registry.Watcher
+	stats       Stats
+	lastValues  map[string]any // last published value per context
+	wg          sync.WaitGroup
+}
+
+// Option configures a Runtime.
+type Option func(*Runtime)
+
+// WithClock sets the time source (virtual clocks make periodic designs
+// deterministic). Default: real time.
+func WithClock(c simclock.Clock) Option {
+	return func(rt *Runtime) { rt.clock = c }
+}
+
+// WithRegistry shares an externally owned registry (e.g. one populated by a
+// separate deployment process). By default the runtime creates and owns one.
+func WithRegistry(r *registry.Registry) Option {
+	return func(rt *Runtime) { rt.reg = r; rt.ownRegistry = false }
+}
+
+// WithMapReduceConfig tunes the processing engine used for
+// `with map … reduce …` interactions.
+func WithMapReduceConfig(cfg mapreduce.Config) Option {
+	return func(rt *Runtime) { rt.mrCfg = cfg }
+}
+
+// WithErrorHandler installs a callback invoked on every component error.
+// Errors are always counted in Stats regardless.
+func WithErrorHandler(f func(ComponentError)) Option {
+	return func(rt *Runtime) { rt.onError = f }
+}
+
+// New creates a Runtime for the given checked design model.
+func New(model *check.Model, opts ...Option) *Runtime {
+	rt := &Runtime{
+		model:       model,
+		clock:       simclock.Real{},
+		contexts:    make(map[string]ContextHandler),
+		controllers: make(map[string]ControllerHandler),
+		devices:     make(map[string]device.Driver),
+		clients:     make(map[string]*transport.Client),
+		lastValues:  make(map[string]any),
+		ownRegistry: true,
+	}
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.reg == nil {
+		rt.reg = registry.New(registry.WithClock(rt.clock))
+	}
+	rt.bus = eventbus.New()
+	return rt
+}
+
+// Model returns the design model this runtime executes.
+func (rt *Runtime) Model() *check.Model { return rt.model }
+
+// Registry returns the entity registry (shared or owned).
+func (rt *Runtime) Registry() *registry.Registry { return rt.reg }
+
+// Clock returns the runtime's time source.
+func (rt *Runtime) Clock() simclock.Clock { return rt.clock }
+
+// BindDevice binds a local driver: validates it against the design's device
+// taxonomy and registers it for discovery. Binding may happen before or
+// after Start (the paper's runtime binding).
+func (rt *Runtime) BindDevice(drv device.Driver) error {
+	decl, ok := rt.model.Devices[drv.Kind()]
+	if !ok {
+		return fmt.Errorf("runtime: device kind %s not declared in the design", drv.Kind())
+	}
+	for name := range drv.Attributes() {
+		if _, ok := decl.Attributes[name]; !ok {
+			return fmt.Errorf("runtime: device %s has undeclared attribute %s", drv.ID(), name)
+		}
+	}
+	rt.mu.Lock()
+	rt.devices[drv.ID()] = drv
+	rt.mu.Unlock()
+	entity := registry.Entity{
+		ID:    registry.ID(drv.ID()),
+		Kind:  drv.Kind(),
+		Kinds: decl.Kinds(),
+		Attrs: drv.Attributes(),
+		Bound: registry.BindRuntime,
+	}
+	if err := rt.reg.Register(entity); err != nil {
+		return fmt.Errorf("runtime: bind device %s: %w", drv.ID(), err)
+	}
+	return nil
+}
+
+// UnbindDevice removes a device from the registry and the runtime.
+func (rt *Runtime) UnbindDevice(id string) error {
+	rt.mu.Lock()
+	delete(rt.devices, id)
+	rt.mu.Unlock()
+	return rt.reg.Unregister(registry.ID(id))
+}
+
+// ImplementContext installs the implementation of a declared context.
+func (rt *Runtime) ImplementContext(name string, h ContextHandler) error {
+	ctx, ok := rt.model.Contexts[name]
+	if !ok {
+		return fmt.Errorf("runtime: context %s not declared in the design", name)
+	}
+	if ctx.Required {
+		if _, ok := h.(RequiredHandler); !ok {
+			return fmt.Errorf("runtime: context %s declares 'when required;' so its handler must implement RequiredHandler", name)
+		}
+	}
+	if needsMapReduce(ctx) {
+		if _, ok := h.(MapReducer); !ok {
+			return fmt.Errorf("runtime: context %s declares 'with map … reduce …' so its handler must implement MapReducer", name)
+		}
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.contexts[name] = h
+	return nil
+}
+
+// ImplementController installs the implementation of a declared controller.
+func (rt *Runtime) ImplementController(name string, h ControllerHandler) error {
+	if _, ok := rt.model.Controllers[name]; !ok {
+		return fmt.Errorf("runtime: controller %s not declared in the design", name)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.controllers[name] = h
+	return nil
+}
+
+func needsMapReduce(ctx *check.Context) bool {
+	for _, in := range ctx.Interactions {
+		if in.MapType != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Start validates that every declared component has an implementation and
+// wires the design: bus subscriptions for event-driven arrows, device
+// subscriptions (current and future, via registry watches) for device
+// sources, and pollers for periodic interactions.
+func (rt *Runtime) Start() error {
+	rt.mu.Lock()
+	if rt.started {
+		rt.mu.Unlock()
+		return errors.New("runtime: already started")
+	}
+	for name := range rt.model.Contexts {
+		if _, ok := rt.contexts[name]; !ok {
+			rt.mu.Unlock()
+			return fmt.Errorf("runtime: context %s has no implementation", name)
+		}
+	}
+	for name := range rt.model.Controllers {
+		if _, ok := rt.controllers[name]; !ok {
+			rt.mu.Unlock()
+			return fmt.Errorf("runtime: controller %s has no implementation", name)
+		}
+	}
+	rt.started = true
+	rt.mu.Unlock()
+
+	for _, name := range rt.model.ContextNames() {
+		ctx := rt.model.Contexts[name]
+		for idx, in := range ctx.Interactions {
+			switch in.Kind {
+			case check.Provided:
+				if err := rt.wireProvided(ctx, idx, in); err != nil {
+					return err
+				}
+			case check.Periodic:
+				rt.startPoller(ctx, idx, in)
+			case check.Required:
+				// Served on demand via ContextCall.
+			}
+		}
+	}
+	for _, name := range rt.model.ControllerNames() {
+		ctrl := rt.model.Controllers[name]
+		for _, w := range ctrl.Interactions {
+			if err := rt.wireController(ctrl, w); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stop tears down pollers, subscriptions and transports. It is idempotent.
+func (rt *Runtime) Stop() {
+	rt.mu.Lock()
+	if rt.stopped || !rt.started {
+		rt.stopped = true
+		rt.mu.Unlock()
+		return
+	}
+	rt.stopped = true
+	pollers := rt.pollers
+	devSubs := rt.devSubs
+	watchers := rt.watchers
+	clients := rt.clients
+	rt.pollers, rt.devSubs, rt.watchers = nil, nil, nil
+	rt.clients = make(map[string]*transport.Client)
+	rt.mu.Unlock()
+
+	for _, w := range watchers {
+		w.Cancel()
+	}
+	for _, p := range pollers {
+		p.stop()
+	}
+	for _, ds := range devSubs {
+		ds.stop()
+	}
+	rt.wg.Wait()
+	rt.bus.Close()
+	for _, c := range clients {
+		c.Close()
+	}
+	if rt.ownRegistry {
+		rt.reg.Close()
+	}
+}
+
+// Stats returns a snapshot of runtime counters.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.stats
+}
+
+// LastPublished returns the most recent value published by a context, if
+// any. Useful for inspection and tests.
+func (rt *Runtime) LastPublished(contextName string) (any, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	v, ok := rt.lastValues[contextName]
+	return v, ok
+}
+
+func (rt *Runtime) reportError(component string, err error) {
+	ce := ComponentError{Component: component, Err: err, Time: rt.clock.Now()}
+	rt.mu.Lock()
+	rt.stats.Errors++
+	handler := rt.onError
+	rt.mu.Unlock()
+	if handler != nil {
+		handler(ce)
+	}
+}
+
+// driverFor resolves an entity to a callable driver: the locally bound
+// driver when present, else a remote proxy dialed (and cached) through the
+// entity's endpoint.
+func (rt *Runtime) driverFor(e registry.Entity) (device.Driver, error) {
+	rt.mu.Lock()
+	if drv, ok := rt.devices[string(e.ID)]; ok {
+		rt.mu.Unlock()
+		return drv, nil
+	}
+	cli, ok := rt.clients[e.Endpoint]
+	rt.mu.Unlock()
+	if e.Endpoint == "" {
+		return nil, fmt.Errorf("runtime: entity %s is neither locally bound nor remotely reachable", e.ID)
+	}
+	if !ok {
+		var err error
+		cli, err = transport.Dial(e.Endpoint)
+		if err != nil {
+			return nil, fmt.Errorf("runtime: dial %s for %s: %w", e.Endpoint, e.ID, err)
+		}
+		rt.mu.Lock()
+		if existing, raced := rt.clients[e.Endpoint]; raced {
+			rt.mu.Unlock()
+			cli.Close()
+			cli = existing
+		} else {
+			rt.clients[e.Endpoint] = cli
+			rt.mu.Unlock()
+		}
+	}
+	return transport.NewRemoteDriver(cli, e), nil
+}
+
+func (rt *Runtime) publishContext(ctx *check.Context, value any) {
+	rt.mu.Lock()
+	rt.stats.ContextPublishes++
+	rt.lastValues[ctx.Name] = value
+	rt.mu.Unlock()
+	if err := rt.bus.Publish(contextTopic(ctx.Name), value, rt.clock.Now()); err != nil && !errors.Is(err, eventbus.ErrClosed) {
+		rt.reportError(ctx.Name, err)
+	}
+}
+
+func contextTopic(name string) string { return "context/" + name }

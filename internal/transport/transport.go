@@ -1,0 +1,562 @@
+// Package transport provides the networking substrate: a gob-over-TCP RPC
+// protocol that exposes device drivers remotely, the client-side proxies the
+// generated frameworks hand to controllers (paper §V.B: "a set of proxies
+// for invoking remote devices without the need for managing distributed
+// systems details"), and a deterministic wide-area link simulator standing
+// in for the paper's Sigfox/LoRa-class networks.
+//
+// One TCP connection multiplexes request/response calls (query, invoke) and
+// server-push subscription streams (event-driven delivery). Values crossing
+// the wire are gob-encoded; applications register their payload types with
+// RegisterType.
+package transport
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/registry"
+)
+
+// RegisterType registers a concrete payload type with the wire codec. It is
+// a thin wrapper over gob.Register so callers need not import encoding/gob.
+func RegisterType(v any) { gob.Register(v) }
+
+var registerBasics sync.Once
+
+func ensureBasicTypes() {
+	registerBasics.Do(func() {
+		gob.Register(time.Time{})
+		gob.Register([]any(nil))
+		gob.Register(map[string]any(nil))
+	})
+}
+
+// Wire messages. A single frame type flows in each direction.
+
+type request struct {
+	ID     uint64
+	Op     string // "query", "invoke", "subscribe", "cancel"
+	Device string
+	Facet  string
+	Args   []any
+	SubID  uint64
+}
+
+type response struct {
+	ID      uint64 // matches request.ID for call replies; 0 for pushes
+	SubID   uint64
+	Value   any
+	Err     string
+	Push    bool
+	Reading device.Reading
+	Closed  bool // subscription ended
+}
+
+// Errors returned by transport operations.
+var (
+	ErrClosed  = errors.New("transport: closed")
+	ErrTimeout = errors.New("transport: call timeout")
+)
+
+// Server exposes a set of local drivers over TCP.
+type Server struct {
+	ln net.Listener
+
+	mu      sync.Mutex
+	drivers map[string]device.Driver
+	conns   map[net.Conn]struct{}
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewServer starts a server listening on addr ("127.0.0.1:0" for an
+// ephemeral port).
+func NewServer(addr string) (*Server, error) {
+	ensureBasicTypes()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen: %w", err)
+	}
+	s := &Server{
+		ln:      ln,
+		drivers: make(map[string]device.Driver),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the server's listen address, suitable for registry Endpoint
+// fields.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Host makes drv callable by remote clients.
+func (s *Server) Host(drv device.Driver) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.drivers[drv.ID()] = drv
+}
+
+// Unhost removes a driver.
+func (s *Server) Unhost(id string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.drivers, id)
+}
+
+// Close stops the listener and all connections.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.Close()
+	}
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+
+	dec := gob.NewDecoder(conn)
+	out := make(chan response, 64)
+	done := make(chan struct{})
+
+	var writeWG sync.WaitGroup
+	writeWG.Add(1)
+	go func() {
+		defer writeWG.Done()
+		enc := gob.NewEncoder(conn)
+		for {
+			select {
+			case resp := <-out:
+				if err := enc.Encode(&resp); err != nil {
+					return
+				}
+			case <-done:
+				// Drain anything already queued, then stop.
+				for {
+					select {
+					case resp := <-out:
+						if err := enc.Encode(&resp); err != nil {
+							return
+						}
+					default:
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	type liveSub struct {
+		sub  device.Subscription
+		stop chan struct{}
+	}
+	subs := make(map[uint64]*liveSub)
+	var subsMu sync.Mutex
+	var subWG sync.WaitGroup
+
+	defer func() {
+		close(done)
+		subsMu.Lock()
+		for _, ls := range subs {
+			ls.sub.Cancel()
+			close(ls.stop)
+		}
+		subs = nil
+		subsMu.Unlock()
+		subWG.Wait()
+		writeWG.Wait()
+	}()
+
+	send := func(resp response) bool {
+		select {
+		case out <- resp:
+			return true
+		case <-done:
+			return false
+		}
+	}
+
+	for {
+		var req request
+		if err := dec.Decode(&req); err != nil {
+			return // EOF or broken conn
+		}
+		switch req.Op {
+		case "query":
+			drv := s.lookup(req.Device)
+			if drv == nil {
+				send(response{ID: req.ID, Err: "unknown device " + req.Device})
+				continue
+			}
+			v, err := drv.Query(req.Facet)
+			send(response{ID: req.ID, Value: v, Err: errString(err)})
+		case "invoke":
+			drv := s.lookup(req.Device)
+			if drv == nil {
+				send(response{ID: req.ID, Err: "unknown device " + req.Device})
+				continue
+			}
+			err := drv.Invoke(req.Facet, req.Args...)
+			send(response{ID: req.ID, Err: errString(err)})
+		case "subscribe":
+			drv := s.lookup(req.Device)
+			if drv == nil {
+				send(response{ID: req.ID, Err: "unknown device " + req.Device})
+				continue
+			}
+			sub, err := drv.Subscribe(req.Facet)
+			if err != nil {
+				send(response{ID: req.ID, Err: errString(err)})
+				continue
+			}
+			ls := &liveSub{sub: sub, stop: make(chan struct{})}
+			subsMu.Lock()
+			subs[req.SubID] = ls
+			subsMu.Unlock()
+			send(response{ID: req.ID})
+			subWG.Add(1)
+			go func(subID uint64, ls *liveSub) {
+				defer subWG.Done()
+				for {
+					select {
+					case r, ok := <-ls.sub.C():
+						if !ok {
+							send(response{SubID: subID, Push: true, Closed: true})
+							return
+						}
+						if !send(response{SubID: subID, Push: true, Reading: r}) {
+							return
+						}
+					case <-ls.stop:
+						return
+					}
+				}
+			}(req.SubID, ls)
+		case "cancel":
+			subsMu.Lock()
+			if ls, ok := subs[req.SubID]; ok {
+				delete(subs, req.SubID)
+				ls.sub.Cancel()
+				close(ls.stop)
+			}
+			subsMu.Unlock()
+			send(response{ID: req.ID})
+		default:
+			send(response{ID: req.ID, Err: "unknown op " + req.Op})
+		}
+	}
+}
+
+func (s *Server) lookup(id string) device.Driver {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.drivers[id]
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Client is a connection to one Server, multiplexing calls and subscription
+// streams.
+type Client struct {
+	conn net.Conn
+	enc  *gob.Encoder
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	subs    map[uint64]*clientSub
+	closed  bool
+
+	timeout time.Duration
+	wg      sync.WaitGroup
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithCallTimeout bounds each call round trip. Default 5s.
+func WithCallTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.timeout = d }
+}
+
+// Dial connects to a server address.
+func Dial(addr string, opts ...ClientOption) (*Client, error) {
+	ensureBasicTypes()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	c := &Client{
+		conn:    conn,
+		enc:     gob.NewEncoder(conn),
+		pending: make(map[uint64]chan response),
+		subs:    make(map[uint64]*clientSub),
+		timeout: 5 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	c.wg.Add(1)
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; outstanding calls fail and subscription
+// channels close.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		c.wg.Wait()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	_ = c.conn.Close()
+	c.wg.Wait()
+}
+
+func (c *Client) readLoop() {
+	defer c.wg.Done()
+	dec := gob.NewDecoder(c.conn)
+	for {
+		var resp response
+		if err := dec.Decode(&resp); err != nil {
+			c.failAll(err)
+			return
+		}
+		if resp.Push {
+			c.mu.Lock()
+			sub := c.subs[resp.SubID]
+			if resp.Closed {
+				delete(c.subs, resp.SubID)
+			}
+			c.mu.Unlock()
+			if sub == nil {
+				continue
+			}
+			if resp.Closed {
+				sub.closeOnce()
+				continue
+			}
+			// Drop-oldest on a slow consumer, matching device.Base.
+			for {
+				select {
+				case sub.ch <- resp.Reading:
+				default:
+					select {
+					case <-sub.ch:
+					default:
+					}
+					continue
+				}
+				break
+			}
+			continue
+		}
+		c.mu.Lock()
+		ch := c.pending[resp.ID]
+		delete(c.pending, resp.ID)
+		c.mu.Unlock()
+		if ch != nil {
+			ch <- resp
+		}
+	}
+}
+
+func (c *Client) failAll(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		ch <- response{Err: fmt.Sprintf("connection lost: %v", err)}
+	}
+	for id, sub := range c.subs {
+		delete(c.subs, id)
+		sub.closeOnce()
+	}
+}
+
+func (c *Client) call(req request) (response, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return response{}, ErrClosed
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan response, 1)
+	c.pending[req.ID] = ch
+	err := c.enc.Encode(&req)
+	c.mu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return response{}, fmt.Errorf("transport: send: %w", err)
+	}
+	select {
+	case resp := <-ch:
+		if resp.Err != "" {
+			return resp, errors.New(resp.Err)
+		}
+		return resp, nil
+	case <-time.After(c.timeout):
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return response{}, fmt.Errorf("%w after %v (%s %s.%s)", ErrTimeout, c.timeout, req.Op, req.Device, req.Facet)
+	}
+}
+
+// Query performs a remote query-driven read.
+func (c *Client) Query(deviceID, source string) (any, error) {
+	resp, err := c.call(request{Op: "query", Device: deviceID, Facet: source})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Value, nil
+}
+
+// Invoke performs a remote actuation.
+func (c *Client) Invoke(deviceID, action string, args ...any) error {
+	_, err := c.call(request{Op: "invoke", Device: deviceID, Facet: action, Args: args})
+	return err
+}
+
+// Subscribe opens a remote event-driven stream.
+func (c *Client) Subscribe(deviceID, source string) (device.Subscription, error) {
+	c.mu.Lock()
+	c.nextID++
+	subID := c.nextID
+	sub := &clientSub{client: c, id: subID, ch: make(chan device.Reading, 16)}
+	c.subs[subID] = sub
+	c.mu.Unlock()
+
+	if _, err := c.call(request{Op: "subscribe", Device: deviceID, Facet: source, SubID: subID}); err != nil {
+		c.mu.Lock()
+		delete(c.subs, subID)
+		c.mu.Unlock()
+		return nil, err
+	}
+	return sub, nil
+}
+
+type clientSub struct {
+	client *Client
+	id     uint64
+	ch     chan device.Reading
+	once   sync.Once
+}
+
+// C implements device.Subscription.
+func (s *clientSub) C() <-chan device.Reading { return s.ch }
+
+// Cancel implements device.Subscription.
+func (s *clientSub) Cancel() {
+	s.client.mu.Lock()
+	_, live := s.client.subs[s.id]
+	delete(s.client.subs, s.id)
+	s.client.mu.Unlock()
+	if live {
+		_, _ = s.client.call(request{Op: "cancel", SubID: s.id})
+		s.closeOnce()
+	}
+}
+
+func (s *clientSub) closeOnce() {
+	s.once.Do(func() { close(s.ch) })
+}
+
+// RemoteDriver adapts a Client + registry entity into a device.Driver, so
+// the runtime treats local and remote devices uniformly.
+type RemoteDriver struct {
+	client *Client
+	entity registry.Entity
+}
+
+var _ device.Driver = (*RemoteDriver)(nil)
+
+// NewRemoteDriver returns a proxy driver for entity reachable via client.
+func NewRemoteDriver(client *Client, entity registry.Entity) *RemoteDriver {
+	return &RemoteDriver{client: client, entity: entity}
+}
+
+// ID implements device.Driver.
+func (r *RemoteDriver) ID() string { return string(r.entity.ID) }
+
+// Kind implements device.Driver.
+func (r *RemoteDriver) Kind() string { return r.entity.Kind }
+
+// Kinds implements device.Driver.
+func (r *RemoteDriver) Kinds() []string { return append([]string(nil), r.entity.Kinds...) }
+
+// Attributes implements device.Driver.
+func (r *RemoteDriver) Attributes() registry.Attributes { return r.entity.Attrs.Clone() }
+
+// Query implements device.Driver.
+func (r *RemoteDriver) Query(source string) (any, error) {
+	return r.client.Query(string(r.entity.ID), source)
+}
+
+// Subscribe implements device.Driver.
+func (r *RemoteDriver) Subscribe(source string) (device.Subscription, error) {
+	return r.client.Subscribe(string(r.entity.ID), source)
+}
+
+// Invoke implements device.Driver.
+func (r *RemoteDriver) Invoke(action string, args ...any) error {
+	return r.client.Invoke(string(r.entity.ID), action, args...)
+}
