@@ -481,6 +481,203 @@ func BenchmarkC5_Actuation(b *testing.B) {
 	})
 }
 
+// BenchmarkSwarm_BusDelivery: the large-scale delivery substrate experiment.
+// One round fans 50k simulated sensor readings into per-source topics, as a
+// swarm-scale gather does. Configurations: the seed-style single-shard bus
+// with per-event publishes; the sharded bus with per-event publishes; and
+// the sharded bus using the PublishBatch fan-in path the runtime's source
+// forwarding now takes. The acceptance target is ≥2x readings/sec for the
+// sharded+batched path over single-shard.
+func BenchmarkSwarm_BusDelivery(b *testing.B) {
+	const devices = 50000
+	const topics = 64                 // distinct device-source topics
+	const perTopic = devices / topics // readings per topic per round
+	const chunk = 64                  // runtime's source fan-in batch size
+	payloads := make([][]any, topics) // topic -> readings of one round
+	topicNames := make([]string, topics)
+	for t := 0; t < topics; t++ {
+		topicNames[t] = fmt.Sprintf("source/Kind%02d/0", t)
+		payloads[t] = make([]any, perTopic)
+		for i := 0; i < perTopic; i++ {
+			payloads[t][i] = device.Reading{
+				DeviceID: fmt.Sprintf("sw-%02d-%04d", t, i),
+				Source:   "presence",
+				Value:    i%3 == 0,
+				Time:     benchEpoch,
+			}
+		}
+	}
+	mkBus := func(b *testing.B, shards int) *eventbus.Bus {
+		bus := eventbus.New(eventbus.WithShards(shards))
+		b.Cleanup(bus.Close)
+		for t := 0; t < topics; t++ {
+			_, err := bus.Subscribe(topicNames[t], func(eventbus.Event) {},
+				eventbus.WithQueue(1024), eventbus.WithPolicy(eventbus.DropOldest))
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		return bus
+	}
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(devices)*float64(b.N)/b.Elapsed().Seconds(), "readings/sec")
+	}
+	b.Run("single-shard", func(b *testing.B) {
+		bus := mkBus(b, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < topics; t++ {
+				for _, p := range payloads[t] {
+					if err := bus.Publish(topicNames[t], p, benchEpoch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		report(b)
+	})
+	b.Run("sharded", func(b *testing.B) {
+		bus := mkBus(b, eventbus.DefaultShards)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < topics; t++ {
+				for _, p := range payloads[t] {
+					if err := bus.Publish(topicNames[t], p, benchEpoch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		report(b)
+	})
+	b.Run("sharded-batch", func(b *testing.B) {
+		bus := mkBus(b, eventbus.DefaultShards)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for t := 0; t < topics; t++ {
+				round := payloads[t]
+				for lo := 0; lo < len(round); lo += chunk {
+					hi := lo + chunk
+					if hi > len(round) {
+						hi = len(round)
+					}
+					if err := bus.PublishBatch(topicNames[t], round[lo:hi], benchEpoch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		report(b)
+	})
+}
+
+// BenchmarkSwarm_PeriodicRound: one complete pull-based gathering round over
+// a 50k-sensor swarm through the real runtime (sharded-registry scan,
+// parallel query, MapReduce lowering, publish, actuation) — the DiaSwarm
+// workload end to end.
+func BenchmarkSwarm_PeriodicRound(b *testing.B) {
+	for _, sensors := range []int{10000, 50000} {
+		b.Run(fmt.Sprintf("sensors=%d", sensors), func(b *testing.B) {
+			vc := simclock.NewVirtual(benchEpoch)
+			model, err := dsl.Load(designs.Parking)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rt := runtime.New(model, runtime.WithClock(vc))
+			lots := []string{"A22", "B16", "D6", "E31", "F12"}
+			swarm := devsim.NewSwarm(devsim.SwarmConfig{
+				Sensors: sensors, Lots: lots, Seed: 7,
+			}, vc)
+			for _, s := range swarm.Sensors() {
+				if err := rt.BindDevice(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+			for _, lot := range lots {
+				p := devsim.NewRecorderDevice("panel-"+lot, "ParkingEntrancePanel",
+					[]string{"ParkingEntrancePanel", "DisplayPanel"},
+					registry.Attributes{"location": lot}, []string{"update"}, vc.Now)
+				if err := rt.BindDevice(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			city := devsim.NewRecorderDevice("city-1", "CityEntrancePanel",
+				[]string{"CityEntrancePanel", "DisplayPanel"},
+				registry.Attributes{"location": "NORTH_EAST_14Y"}, []string{"update"}, vc.Now)
+			if err := rt.BindDevice(city); err != nil {
+				b.Fatal(err)
+			}
+			msgr := devsim.NewRecorderDevice("m-1", "Messenger", nil, nil, []string{"sendMessage"}, vc.Now)
+			if err := rt.BindDevice(msgr); err != nil {
+				b.Fatal(err)
+			}
+			must := func(err error) {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			must(rt.ImplementContext("ParkingAvailability", benchAvailability{}))
+			must(rt.ImplementContext("ParkingUsagePattern", benchUsage{}))
+			must(rt.ImplementContext("AverageOccupancy", benchOccupancy{}))
+			must(rt.ImplementContext("ParkingSuggestion", benchSuggestion{}))
+			must(rt.ImplementController("ParkingEntrancePanelController", benchSink{}))
+			must(rt.ImplementController("CityEntrancePanelController", benchSink{}))
+			must(rt.ImplementController("MessengerController", benchSink{}))
+			must(rt.Start())
+			b.Cleanup(rt.Stop)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				before := rt.Stats().ContextPublishes
+				vc.Advance(10 * time.Minute)
+				for rt.Stats().ContextPublishes <= before {
+					time.Sleep(20 * time.Microsecond)
+				}
+			}
+			b.ReportMetric(float64(sensors)*float64(b.N)/b.Elapsed().Seconds(), "readings/sec")
+		})
+	}
+}
+
+// BenchmarkSwarm_RegistryScan: snapshot iteration vs full Discover clones
+// over a 50k-entity directory — the per-round binding cost of a periodic
+// gather.
+func BenchmarkSwarm_RegistryScan(b *testing.B) {
+	const n = 50000
+	reg := registry.New()
+	defer reg.Close()
+	lots := []string{"A22", "B16", "D6", "E31", "F12"}
+	for i := 0; i < n; i++ {
+		err := reg.Register(registry.Entity{
+			ID:    registry.ID(fmt.Sprintf("s%06d", i)),
+			Kind:  "PresenceSensor",
+			Attrs: registry.Attributes{"parkingLot": lots[i%len(lots)]},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := registry.Query{Kind: "PresenceSensor"}
+	b.Run("discover", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := reg.Discover(q); len(got) != n {
+				b.Fatal("short discover")
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			count := 0
+			reg.Scan(q, func(registry.Entity) bool {
+				count++
+				return true
+			})
+			if count != n {
+				b.Fatal("short scan")
+			}
+		}
+	})
+}
+
 // BenchmarkAblation_Shuffle: partitioned parallel shuffle vs single-point
 // merge (DESIGN.md §5).
 func BenchmarkAblation_Shuffle(b *testing.B) {

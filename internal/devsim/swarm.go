@@ -1,0 +1,308 @@
+package devsim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/registry"
+	"repro/internal/simclock"
+)
+
+// SwarmConfig shapes a large-scale simulated sensor population — the
+// paper's "large populations of devices" taken to its DiaSwarm scale
+// (tens of thousands of presence sensors reporting into one city-wide
+// computation).
+type SwarmConfig struct {
+	// Sensors is the total population size.
+	Sensors int
+	// Lots lists the group-attribute values; sensors spread round-robin.
+	Lots []string
+	// Kind is the device taxonomy type. Default "PresenceSensor".
+	Kind string
+	// Source is the boolean occupancy source name. Default "presence".
+	Source string
+	// GroupAttr is the grouping attribute name. Default "parkingLot".
+	GroupAttr string
+	// BaseOccupancy is the overnight occupancy fraction in [0, 1].
+	// Default 0.20.
+	BaseOccupancy float64
+	// PeakOccupancy is the midday occupancy fraction in [0, 1].
+	// Default 0.85.
+	PeakOccupancy float64
+	// TurnoverRate is the per-hour probability that an individual space
+	// changes state toward the target occupancy. Default 0.6.
+	TurnoverRate float64
+	// Seed makes the swarm deterministic.
+	Seed int64
+}
+
+func (c SwarmConfig) withDefaults() SwarmConfig {
+	if c.Kind == "" {
+		c.Kind = "PresenceSensor"
+	}
+	if c.Source == "" {
+		c.Source = "presence"
+	}
+	if c.GroupAttr == "" {
+		c.GroupAttr = "parkingLot"
+	}
+	if c.BaseOccupancy == 0 {
+		c.BaseOccupancy = 0.20
+	}
+	if c.PeakOccupancy == 0 {
+		c.PeakOccupancy = 0.85
+	}
+	if c.TurnoverRate == 0 {
+		c.TurnoverRate = 0.6
+	}
+	return c
+}
+
+// Swarm is a fleet of simulated occupancy sensors sized for scale
+// experiments: per-sensor state lives in one shared table instead of one
+// device.Base (map + mutex) per sensor, so 50k sensors cost a few MB and
+// binding them stays fast. Sensors implement device.Driver and serve all
+// three delivery modes; state only changes when Step is called, keeping
+// virtual-time experiments reproducible.
+type Swarm struct {
+	cfg   SwarmConfig
+	clock simclock.Clock
+
+	mu       sync.RWMutex
+	rng      *rand.Rand
+	occupied []bool
+	lastStep time.Time
+
+	subMu sync.Mutex
+	subs  map[int]map[*swarmSub]struct{}
+
+	sensors []*SwarmSensor
+}
+
+// NewSwarm builds the population. Sensors are initialized at the model's
+// base occupancy.
+func NewSwarm(cfg SwarmConfig, clock simclock.Clock) *Swarm {
+	cfg = cfg.withDefaults()
+	if len(cfg.Lots) == 0 {
+		cfg.Lots = []string{"L00"}
+	}
+	s := &Swarm{
+		cfg:      cfg,
+		clock:    clock,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		occupied: make([]bool, cfg.Sensors),
+		lastStep: clock.Now(),
+		subs:     make(map[int]map[*swarmSub]struct{}),
+		sensors:  make([]*SwarmSensor, cfg.Sensors),
+	}
+	for i := 0; i < cfg.Sensors; i++ {
+		lot := cfg.Lots[i%len(cfg.Lots)]
+		s.sensors[i] = &SwarmSensor{
+			swarm: s,
+			idx:   i,
+			id:    fmt.Sprintf("sw-%s-%06d", lot, i),
+			lot:   lot,
+		}
+		s.occupied[i] = s.rng.Float64() < cfg.BaseOccupancy
+	}
+	return s
+}
+
+// Sensors returns the population's drivers for binding.
+func (s *Swarm) Sensors() []*SwarmSensor { return s.sensors }
+
+// Size returns the number of sensors.
+func (s *Swarm) Size() int { return len(s.sensors) }
+
+// Lots returns the configured group-attribute values.
+func (s *Swarm) Lots() []string { return append([]string(nil), s.cfg.Lots...) }
+
+// targetOccupancy returns the diurnal occupancy target for a wall-clock
+// hour, peaking at 13:00 (same model as ParkingFleet).
+func (s *Swarm) targetOccupancy(at time.Time) float64 {
+	h := float64(at.Hour()) + float64(at.Minute())/60
+	phase := (h - 13) / 12 * math.Pi
+	day := math.Max(0, math.Cos(phase))
+	return s.cfg.BaseOccupancy + (s.cfg.PeakOccupancy-s.cfg.BaseOccupancy)*day
+}
+
+// Step advances the occupancy model to the clock's current time: each space
+// flips toward the diurnal target with probability proportional to the
+// elapsed time and the turnover rate. Sensors with event-driven subscribers
+// emit a reading when their state changes.
+func (s *Swarm) Step() {
+	now := s.clock.Now()
+	s.mu.Lock()
+	elapsed := now.Sub(s.lastStep)
+	if elapsed <= 0 {
+		s.mu.Unlock()
+		return
+	}
+	s.lastStep = now
+	target := s.targetOccupancy(now)
+	pFlip := s.cfg.TurnoverRate * elapsed.Hours()
+	if pFlip > 1 {
+		pFlip = 1
+	}
+	type change struct {
+		idx int
+		now bool
+	}
+	var changes []change
+	for i := range s.occupied {
+		if s.rng.Float64() > pFlip {
+			continue
+		}
+		next := s.rng.Float64() < target
+		if next != s.occupied[i] {
+			changes = append(changes, change{idx: i, now: next})
+		}
+		s.occupied[i] = next
+	}
+	s.mu.Unlock()
+	for _, c := range changes {
+		s.emit(c.idx, c.now, now)
+	}
+}
+
+// VacantPerLot reports the current number of free spaces per lot — the
+// ground truth a vacancy context over the swarm should reproduce.
+func (s *Swarm) VacantPerLot() map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]int, len(s.cfg.Lots))
+	for _, lot := range s.cfg.Lots {
+		out[lot] = 0
+	}
+	for i, occ := range s.occupied {
+		if !occ {
+			out[s.cfg.Lots[i%len(s.cfg.Lots)]]++
+		}
+	}
+	return out
+}
+
+// SetOccupied overrides one sensor's state; for tests that need exact
+// scenarios.
+func (s *Swarm) SetOccupied(sensorIdx int, occupied bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.occupied[sensorIdx] = occupied
+}
+
+func (s *Swarm) emit(idx int, value bool, at time.Time) {
+	s.subMu.Lock()
+	set := s.subs[idx]
+	if len(set) == 0 {
+		s.subMu.Unlock()
+		return
+	}
+	r := device.Reading{
+		DeviceID: s.sensors[idx].id,
+		Source:   s.cfg.Source,
+		Value:    value,
+		Time:     at,
+	}
+	for sub := range set {
+		for {
+			select {
+			case sub.ch <- r:
+			default:
+				select {
+				case <-sub.ch: // drop oldest
+				default:
+				}
+				continue
+			}
+			break
+		}
+	}
+	s.subMu.Unlock()
+}
+
+func (s *Swarm) dropSub(sub *swarmSub) {
+	s.subMu.Lock()
+	defer s.subMu.Unlock()
+	if set, ok := s.subs[sub.idx]; ok {
+		if _, live := set[sub]; live {
+			delete(set, sub)
+			close(sub.ch)
+			if len(set) == 0 {
+				delete(s.subs, sub.idx)
+			}
+		}
+	}
+}
+
+// SwarmSensor is one simulated occupancy sensor. It implements
+// device.Driver against the swarm's shared state table.
+type SwarmSensor struct {
+	swarm *Swarm
+	idx   int
+	id    string
+	lot   string
+}
+
+// ID implements device.Driver.
+func (d *SwarmSensor) ID() string { return d.id }
+
+// Kind implements device.Driver.
+func (d *SwarmSensor) Kind() string { return d.swarm.cfg.Kind }
+
+// Kinds implements device.Driver.
+func (d *SwarmSensor) Kinds() []string { return []string{d.swarm.cfg.Kind} }
+
+// Attributes implements device.Driver.
+func (d *SwarmSensor) Attributes() registry.Attributes {
+	return registry.Attributes{d.swarm.cfg.GroupAttr: d.lot}
+}
+
+// Query implements device.Driver (query-driven and periodic delivery).
+func (d *SwarmSensor) Query(source string) (any, error) {
+	if source != d.swarm.cfg.Source {
+		return nil, fmt.Errorf("%w: %s.%s", device.ErrUnknownSource, d.id, source)
+	}
+	d.swarm.mu.RLock()
+	v := d.swarm.occupied[d.idx]
+	d.swarm.mu.RUnlock()
+	return v, nil
+}
+
+// Subscribe implements device.Driver (event-driven delivery): the stream
+// carries this sensor's state changes as Step advances the model.
+func (d *SwarmSensor) Subscribe(source string) (device.Subscription, error) {
+	if source != d.swarm.cfg.Source {
+		return nil, fmt.Errorf("%w: %s.%s", device.ErrUnknownSource, d.id, source)
+	}
+	sub := &swarmSub{swarm: d.swarm, idx: d.idx, ch: make(chan device.Reading, 16)}
+	d.swarm.subMu.Lock()
+	set := d.swarm.subs[d.idx]
+	if set == nil {
+		set = make(map[*swarmSub]struct{})
+		d.swarm.subs[d.idx] = set
+	}
+	set[sub] = struct{}{}
+	d.swarm.subMu.Unlock()
+	return sub, nil
+}
+
+// Invoke implements device.Driver; sensors have no actions.
+func (d *SwarmSensor) Invoke(action string, args ...any) error {
+	return fmt.Errorf("%w: %s.%s", device.ErrUnknownAction, d.id, action)
+}
+
+type swarmSub struct {
+	swarm *Swarm
+	idx   int
+	ch    chan device.Reading
+}
+
+// C implements device.Subscription.
+func (s *swarmSub) C() <-chan device.Reading { return s.ch }
+
+// Cancel implements device.Subscription.
+func (s *swarmSub) Cancel() { s.swarm.dropSub(s) }

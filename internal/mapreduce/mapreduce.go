@@ -95,6 +95,27 @@ func defaultKeyHash(k any) uint64 {
 	return h.Sum64()
 }
 
+// StringKeyHash is a KeyHash optimized for string intermediate keys: it
+// hashes the bytes directly with FNV-1a and allocates nothing. Non-string
+// keys fall back to the reflective default. The runtime installs it for the
+// `grouped by` lowering, whose keys are always rendered attribute values.
+func StringKeyHash(k any) uint64 {
+	s, ok := k.(string)
+	if !ok {
+		return defaultKeyHash(k)
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
 // seqValue orders intermediate values by provenance so reducers observe a
 // deterministic value order regardless of map-task scheduling.
 type seqValue[V any] struct {

@@ -11,13 +11,20 @@
 // disappear from discovery, and watchers receive change notifications, which
 // the runtime uses for runtime-time binding (the paper's fourth binding
 // time).
+//
+// The directory is sharded by entity-ID hash: registrations, renewals and
+// lookups on distinct entities proceed without contention, and Scan visits
+// large populations one shard at a time so a 50k-device periodic gather
+// never holds a registry-wide lock.
 package registry
 
 import (
 	"errors"
 	"fmt"
+	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/simclock"
@@ -156,17 +163,34 @@ type record struct {
 	expires time.Time // zero when the registration has no lease
 }
 
-// Registry is a concurrency-safe entity directory with attribute indexes,
-// leases and watchers. Use New.
-type Registry struct {
-	clock simclock.Clock
+// DefaultShards is the shard count used when WithShards is not given.
+const DefaultShards = 16
 
-	mu       sync.RWMutex
-	closed   bool
+// idSeed makes the ID→shard hash vary between processes but stay consistent
+// within one registry lifetime.
+var idSeed = maphash.MakeSeed()
+
+// Registry is a concurrency-safe entity directory with attribute indexes,
+// leases and watchers, sharded by entity-ID hash. Use New.
+type Registry struct {
+	clock  simclock.Clock
+	shards []regShard
+	mask   uint64
+	closed atomic.Bool
+
+	watchMu    sync.Mutex
+	watchers   map[*Watcher]struct{}
+	watchCount atomic.Int64 // len(watchers), readable without watchMu
+}
+
+// regShard is one independent lock domain holding a subset of the entities
+// plus the kind and attribute indexes for exactly that subset.
+type regShard struct {
+	mu       sync.Mutex
 	entities map[ID]*record
 	byKind   map[string]map[ID]struct{}
 	byAttr   map[string]map[ID]struct{} // "key\x00value" -> ids
-	watchers map[*Watcher]struct{}
+	_        [32]byte                   // keep neighbouring shard locks off one cache line
 }
 
 // Option configures a Registry.
@@ -178,19 +202,44 @@ func WithClock(c simclock.Clock) Option {
 	return func(r *Registry) { r.clock = c }
 }
 
+// WithShards sets the number of lock domains. n is rounded up to a power of
+// two; values below 1 select one shard.
+func WithShards(n int) Option {
+	return func(r *Registry) {
+		count := 1
+		for count < n {
+			count <<= 1
+		}
+		r.shards = make([]regShard, count)
+		r.mask = uint64(count - 1)
+	}
+}
+
 // New returns an empty registry.
 func New(opts ...Option) *Registry {
 	r := &Registry{
 		clock:    simclock.Real{},
-		entities: make(map[ID]*record),
-		byKind:   make(map[string]map[ID]struct{}),
-		byAttr:   make(map[string]map[ID]struct{}),
+		shards:   make([]regShard, DefaultShards),
+		mask:     DefaultShards - 1,
 		watchers: make(map[*Watcher]struct{}),
 	}
 	for _, o := range opts {
 		o(r)
 	}
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.entities = make(map[ID]*record)
+		sh.byKind = make(map[string]map[ID]struct{})
+		sh.byAttr = make(map[string]map[ID]struct{})
+	}
 	return r
+}
+
+// ShardCount reports the number of independent lock domains.
+func (r *Registry) ShardCount() int { return len(r.shards) }
+
+func (r *Registry) shard(id ID) *regShard {
+	return &r.shards[maphash.String(idSeed, string(id))&r.mask]
 }
 
 // RegisterOption configures a single registration.
@@ -224,45 +273,47 @@ func (r *Registry) Register(e Entity, opts ...RegisterOption) error {
 	}
 
 	now := r.clock.Now()
-	r.mu.Lock()
-	if r.closed {
-		r.mu.Unlock()
+	sh := r.shard(e.ID)
+	sh.mu.Lock()
+	if r.closed.Load() {
+		sh.mu.Unlock()
 		return ErrClosed
 	}
-	r.sweepLocked(now)
-	if _, ok := r.entities[e.ID]; ok {
-		r.mu.Unlock()
+	r.sweepShardLocked(sh, now)
+	if _, ok := sh.entities[e.ID]; ok {
+		sh.mu.Unlock()
 		return fmt.Errorf("%w: %s", ErrDuplicate, e.ID)
 	}
 	rec := &record{entity: e}
 	if cfg.ttl > 0 {
 		rec.expires = now.Add(cfg.ttl)
 	}
-	r.entities[e.ID] = rec
-	r.indexLocked(&rec.entity)
-	r.notifyLocked(Change{Type: Added, Entity: rec.entity})
-	r.mu.Unlock()
+	sh.entities[e.ID] = rec
+	indexLocked(sh, &rec.entity)
+	r.notify(Change{Type: Added, Entity: rec.entity})
+	sh.mu.Unlock()
 	return nil
 }
 
 // Update replaces the attributes and endpoint of an existing entity. The
 // kind and lease are unchanged.
 func (r *Registry) Update(id ID, attrs Attributes, endpoint string) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.closed.Load() {
 		return ErrClosed
 	}
-	r.sweepLocked(r.clock.Now())
-	rec, ok := r.entities[id]
+	r.sweepShardLocked(sh, r.clock.Now())
+	rec, ok := sh.entities[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	r.unindexLocked(&rec.entity)
+	unindexLocked(sh, &rec.entity)
 	rec.entity.Attrs = attrs.Clone()
 	rec.entity.Endpoint = endpoint
-	r.indexLocked(&rec.entity)
-	r.notifyLocked(Change{Type: Updated, Entity: rec.entity})
+	indexLocked(sh, &rec.entity)
+	r.notify(Change{Type: Updated, Entity: rec.entity})
 	return nil
 }
 
@@ -273,13 +324,14 @@ func (r *Registry) Renew(id ID, ttl time.Duration) error {
 		return errors.New("registry: non-positive TTL")
 	}
 	now := r.clock.Now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.closed.Load() {
 		return ErrClosed
 	}
-	r.sweepLocked(now)
-	rec, ok := r.entities[id]
+	r.sweepShardLocked(sh, now)
+	rec, ok := sh.entities[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
@@ -289,53 +341,53 @@ func (r *Registry) Renew(id ID, ttl time.Duration) error {
 
 // Unregister removes id from the registry.
 func (r *Registry) Unregister(id ID) error {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if r.closed.Load() {
 		return ErrClosed
 	}
-	rec, ok := r.entities[id]
+	rec, ok := sh.entities[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
-	r.removeLocked(rec, Removed)
+	r.removeLocked(sh, rec, Removed)
 	return nil
 }
 
 // Get returns the entity registered under id.
 func (r *Registry) Get(id ID) (Entity, bool) {
 	now := r.clock.Now()
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.sweepLocked(now)
-	rec, ok := r.entities[id]
+	sh := r.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	r.sweepShardLocked(sh, now)
+	rec, ok := sh.entities[id]
 	if !ok {
 		return Entity{}, false
 	}
 	return cloneEntity(rec.entity), true
 }
 
-// Discover returns entities matching q, sorted by ID for determinism.
+// Discover returns entities matching q, sorted by ID for determinism. Each
+// shard is visited independently, so concurrent mutations of other shards
+// are never blocked by a discovery in flight.
 func (r *Registry) Discover(q Query) []Entity {
 	now := r.clock.Now()
-	r.mu.Lock()
-	r.sweepLocked(now)
-	ids := r.candidateIDsLocked(q)
-	out := make([]Entity, 0, len(ids))
-	for id := range ids {
-		rec := r.entities[id]
-		if rec == nil {
-			continue
+	var out []Entity
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		r.sweepShardLocked(sh, now)
+		for id := range candidateIDsLocked(sh, q) {
+			rec := sh.entities[id]
+			if rec == nil || !matchesQuery(&rec.entity, q) {
+				continue
+			}
+			out = append(out, cloneEntity(rec.entity))
 		}
-		if q.Kind != "" && !rec.entity.isKind(q.Kind) {
-			continue
-		}
-		if !matchesWhere(rec.entity.Attrs, q.Where) {
-			continue
-		}
-		out = append(out, cloneEntity(rec.entity))
+		sh.mu.Unlock()
 	}
-	r.mu.Unlock()
 
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	if q.Limit > 0 && len(out) > q.Limit {
@@ -344,21 +396,64 @@ func (r *Registry) Discover(q Query) []Entity {
 	return out
 }
 
+// Scan visits every entity matching q without copying it, one shard at a
+// time; return false from fn to stop early. It is the allocation-free
+// snapshot iteration behind large periodic gathers: scanning 50k devices
+// holds only one shard lock at a time and clones nothing.
+//
+// The Entity passed to fn shares the registry's internal maps and slices:
+// fn must not mutate or retain it (copy the fields it needs), and must not
+// call back into the Registry. Visit order is unspecified; q.Limit bounds
+// the number of visits.
+func (r *Registry) Scan(q Query, fn func(Entity) bool) {
+	now := r.clock.Now()
+	visited := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		r.sweepShardLocked(sh, now)
+		for id := range candidateIDsLocked(sh, q) {
+			rec := sh.entities[id]
+			if rec == nil || !matchesQuery(&rec.entity, q) {
+				continue
+			}
+			visited++
+			if !fn(rec.entity) || (q.Limit > 0 && visited >= q.Limit) {
+				sh.mu.Unlock()
+				return
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Count reports the number of live registrations.
 func (r *Registry) Count() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.sweepLocked(r.clock.Now())
-	return len(r.entities)
+	now := r.clock.Now()
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		r.sweepShardLocked(sh, now)
+		n += len(sh.entities)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Sweep removes expired registrations immediately and reports how many were
 // evicted. Expiry also happens lazily on every read/write, so calling Sweep
 // is only needed to force notifications promptly.
 func (r *Registry) Sweep() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.sweepLocked(r.clock.Now())
+	now := r.clock.Now()
+	n := 0
+	for i := range r.shards {
+		sh := &r.shards[i]
+		sh.mu.Lock()
+		n += r.sweepShardLocked(sh, now)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Watch registers a watcher whose channel receives changes matching q.
@@ -374,36 +469,44 @@ func (r *Registry) Watch(q Query, buf int) (*Watcher, error) {
 		q:   q,
 		ch:  make(chan Change, buf),
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	r.watchMu.Lock()
+	defer r.watchMu.Unlock()
+	if r.closed.Load() {
 		return nil, ErrClosed
 	}
 	r.watchers[w] = struct{}{}
+	r.watchCount.Add(1)
 	return w, nil
 }
 
 // Close shuts down the registry: all watcher channels are closed and
-// further mutations fail with ErrClosed.
+// further mutations fail with ErrClosed. Mutators re-check the closed flag
+// under their shard lock, so taking every shard lock once here is a barrier
+// guaranteeing no mutation (or watcher notification) commits after Close
+// returns.
 func (r *Registry) Close() {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.closed {
+	if r.closed.Swap(true) {
 		return
 	}
-	r.closed = true
+	for i := range r.shards {
+		r.shards[i].mu.Lock()
+		r.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	}
+	r.watchMu.Lock()
+	defer r.watchMu.Unlock()
 	for w := range r.watchers {
 		close(w.ch)
 	}
 	r.watchers = make(map[*Watcher]struct{})
+	r.watchCount.Store(0)
 }
 
-func (r *Registry) candidateIDsLocked(q Query) map[ID]struct{} {
+func candidateIDsLocked(sh *regShard, q Query) map[ID]struct{} {
 	// Pick the most selective index available: the smallest attribute
-	// posting list, else the kind index, else the full table.
+	// posting list, else the kind index, else the shard's full table.
 	var best map[ID]struct{}
 	for k, v := range q.Where {
-		set := r.byAttr[attrKey(k, v)]
+		set := sh.byAttr[attrKey(k, v)]
 		if best == nil || len(set) < len(best) {
 			best = set
 		}
@@ -412,11 +515,11 @@ func (r *Registry) candidateIDsLocked(q Query) map[ID]struct{} {
 		}
 	}
 	if best == nil && q.Kind != "" {
-		best = r.byKind[q.Kind]
+		best = sh.byKind[q.Kind]
 	}
 	if best == nil {
-		all := make(map[ID]struct{}, len(r.entities))
-		for id := range r.entities {
+		all := make(map[ID]struct{}, len(sh.entities))
+		for id := range sh.entities {
 			all[id] = struct{}{}
 		}
 		return all
@@ -424,64 +527,80 @@ func (r *Registry) candidateIDsLocked(q Query) map[ID]struct{} {
 	return best
 }
 
-func (r *Registry) indexLocked(e *Entity) {
+func matchesQuery(e *Entity, q Query) bool {
+	if q.Kind != "" && !e.isKind(q.Kind) {
+		return false
+	}
+	return matchesWhere(e.Attrs, q.Where)
+}
+
+func indexLocked(sh *regShard, e *Entity) {
 	for _, k := range e.Kinds {
-		set := r.byKind[k]
+		set := sh.byKind[k]
 		if set == nil {
 			set = make(map[ID]struct{})
-			r.byKind[k] = set
+			sh.byKind[k] = set
 		}
 		set[e.ID] = struct{}{}
 	}
 	for k, v := range e.Attrs {
 		key := attrKey(k, v)
-		set := r.byAttr[key]
+		set := sh.byAttr[key]
 		if set == nil {
 			set = make(map[ID]struct{})
-			r.byAttr[key] = set
+			sh.byAttr[key] = set
 		}
 		set[e.ID] = struct{}{}
 	}
 }
 
-func (r *Registry) unindexLocked(e *Entity) {
+func unindexLocked(sh *regShard, e *Entity) {
 	for _, k := range e.Kinds {
-		if set := r.byKind[k]; set != nil {
+		if set := sh.byKind[k]; set != nil {
 			delete(set, e.ID)
 			if len(set) == 0 {
-				delete(r.byKind, k)
+				delete(sh.byKind, k)
 			}
 		}
 	}
 	for k, v := range e.Attrs {
 		key := attrKey(k, v)
-		if set := r.byAttr[key]; set != nil {
+		if set := sh.byAttr[key]; set != nil {
 			delete(set, e.ID)
 			if len(set) == 0 {
-				delete(r.byAttr, key)
+				delete(sh.byAttr, key)
 			}
 		}
 	}
 }
 
-func (r *Registry) removeLocked(rec *record, why ChangeType) {
-	delete(r.entities, rec.entity.ID)
-	r.unindexLocked(&rec.entity)
-	r.notifyLocked(Change{Type: why, Entity: rec.entity})
+func (r *Registry) removeLocked(sh *regShard, rec *record, why ChangeType) {
+	delete(sh.entities, rec.entity.ID)
+	unindexLocked(sh, &rec.entity)
+	r.notify(Change{Type: why, Entity: rec.entity})
 }
 
-func (r *Registry) sweepLocked(now time.Time) int {
+func (r *Registry) sweepShardLocked(sh *regShard, now time.Time) int {
 	n := 0
-	for _, rec := range r.entities {
+	for _, rec := range sh.entities {
 		if !rec.expires.IsZero() && !rec.expires.After(now) {
-			r.removeLocked(rec, Expired)
+			r.removeLocked(sh, rec, Expired)
 			n++
 		}
 	}
 	return n
 }
 
-func (r *Registry) notifyLocked(c Change) {
+// notify fans a change out to matching watchers. Callers hold the mutated
+// entity's shard lock; the watcher lock nests inside shard locks. With no
+// watchers registered (the common swarm-bind case) it returns without
+// touching the global lock, keeping shard writes independent.
+func (r *Registry) notify(c Change) {
+	if r.watchCount.Load() == 0 {
+		return
+	}
+	r.watchMu.Lock()
+	defer r.watchMu.Unlock()
 	for w := range r.watchers {
 		if w.q.Kind != "" && !c.Entity.isKind(w.q.Kind) {
 			continue
@@ -522,17 +641,18 @@ func (w *Watcher) C() <-chan Change { return w.ch }
 // Missed reports how many notifications were dropped because the channel was
 // full.
 func (w *Watcher) Missed() uint64 {
-	w.reg.mu.RLock()
-	defer w.reg.mu.RUnlock()
+	w.reg.watchMu.Lock()
+	defer w.reg.watchMu.Unlock()
 	return w.missed
 }
 
 // Cancel detaches the watcher and closes its channel. Idempotent.
 func (w *Watcher) Cancel() {
-	w.reg.mu.Lock()
-	defer w.reg.mu.Unlock()
+	w.reg.watchMu.Lock()
+	defer w.reg.watchMu.Unlock()
 	if _, ok := w.reg.watchers[w]; ok {
 		delete(w.reg.watchers, w)
+		w.reg.watchCount.Add(-1)
 		close(w.ch)
 	}
 }

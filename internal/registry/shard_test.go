@@ -1,0 +1,158 @@
+package registry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func fill(t *testing.T, r *Registry, n int) {
+	t.Helper()
+	lots := []string{"A22", "B16", "D6", "E31", "F12"}
+	for i := 0; i < n; i++ {
+		e := Entity{
+			ID:    ID(fmt.Sprintf("s%05d", i)),
+			Kind:  "PresenceSensor",
+			Attrs: Attributes{"parkingLot": lots[i%len(lots)]},
+		}
+		if i%10 == 0 {
+			e.Kind = "DisplayPanel"
+			e.Attrs = nil
+		}
+		if err := r.Register(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestScanMatchesDiscover checks that the lock-free-of-clones scan visits
+// exactly the entities Discover returns, for kind, attribute and unfiltered
+// queries.
+func TestScanMatchesDiscover(t *testing.T) {
+	r := New()
+	defer r.Close()
+	fill(t, r, 500)
+
+	for _, q := range []Query{
+		{},
+		{Kind: "PresenceSensor"},
+		{Kind: "PresenceSensor", Where: Attributes{"parkingLot": "A22"}},
+		{Where: Attributes{"parkingLot": "B16"}},
+		{Kind: "NoSuchKind"},
+	} {
+		want := make(map[ID]bool)
+		for _, e := range r.Discover(q) {
+			want[e.ID] = true
+		}
+		got := make(map[ID]bool)
+		r.Scan(q, func(e Entity) bool {
+			if got[e.ID] {
+				t.Fatalf("query %+v visited %s twice", q, e.ID)
+			}
+			got[e.ID] = true
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("query %+v: scan visited %d, discover returned %d", q, len(got), len(want))
+		}
+		for id := range want {
+			if !got[id] {
+				t.Fatalf("query %+v: scan missed %s", q, id)
+			}
+		}
+	}
+}
+
+// TestScanEarlyStopAndLimit checks both ways of bounding a scan.
+func TestScanEarlyStopAndLimit(t *testing.T) {
+	r := New()
+	defer r.Close()
+	fill(t, r, 100)
+
+	visits := 0
+	r.Scan(Query{}, func(Entity) bool {
+		visits++
+		return visits < 7
+	})
+	if visits != 7 {
+		t.Fatalf("early-stop scan visited %d, want 7", visits)
+	}
+
+	visits = 0
+	r.Scan(Query{Kind: "PresenceSensor", Limit: 13}, func(Entity) bool {
+		visits++
+		return true
+	})
+	if visits != 13 {
+		t.Fatalf("limited scan visited %d, want 13", visits)
+	}
+}
+
+// TestScanDuringConcurrentMutation exercises scans racing registrations and
+// unregistrations on other shards; run under -race this is the "no global
+// lock" proof.
+func TestScanDuringConcurrentMutation(t *testing.T) {
+	r := New()
+	defer r.Close()
+	fill(t, r, 200)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			id := ID(fmt.Sprintf("churn-%04d", i%50))
+			if i%2 == 0 {
+				_ = r.Register(Entity{ID: id, Kind: "Churn"})
+			} else {
+				_ = r.Unregister(id)
+			}
+			i++
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		n := 0
+		r.Scan(Query{Kind: "PresenceSensor"}, func(e Entity) bool {
+			n++
+			return true
+		})
+		if n != 180 {
+			t.Fatalf("scan %d visited %d stable sensors, want 180", i, n)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestWithShardsSingle checks the one-shard configuration still serves the
+// full API (the ablation baseline).
+func TestWithShardsSingle(t *testing.T) {
+	r := New(WithShards(1))
+	defer r.Close()
+	if r.ShardCount() != 1 {
+		t.Fatalf("ShardCount = %d, want 1", r.ShardCount())
+	}
+	fill(t, r, 50)
+	if got := r.Count(); got != 50 {
+		t.Fatalf("Count = %d, want 50", got)
+	}
+	if got := len(r.Discover(Query{Kind: "PresenceSensor"})); got != 45 {
+		t.Fatalf("Discover = %d, want 45", got)
+	}
+}
+
+// TestShardCountDefault pins the default shard count.
+func TestShardCountDefault(t *testing.T) {
+	r := New()
+	defer r.Close()
+	if r.ShardCount() != DefaultShards {
+		t.Fatalf("ShardCount = %d, want %d", r.ShardCount(), DefaultShards)
+	}
+}

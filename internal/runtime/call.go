@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/device"
@@ -67,11 +68,24 @@ func (c *ContextCall) QueryDevice(deviceKind, source string) ([]SourceValue, err
 		return nil, fmt.Errorf("runtime: context %s: design declares no 'get %s from %s' in this interaction",
 			c.ContextName, source, deviceKind)
 	}
-	entities := c.rt.reg.Discover(registry.Query{Kind: deviceKind})
-	out := make([]SourceValue, 0, len(entities))
+	// Capture identities with a shard-by-shard scan, then query outside
+	// the registry locks: a gather over a 50k-device fleet must not stall
+	// concurrent binds.
+	type pullTarget struct {
+		id       string
+		endpoint string
+		attrs    registry.Attributes
+	}
+	var targets []pullTarget
+	c.rt.reg.Scan(registry.Query{Kind: deviceKind}, func(e registry.Entity) bool {
+		targets = append(targets, pullTarget{id: string(e.ID), endpoint: e.Endpoint, attrs: e.Attrs.Clone()})
+		return true
+	})
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+	out := make([]SourceValue, 0, len(targets))
 	var firstErr error
-	for _, e := range entities {
-		drv, err := c.rt.driverFor(e)
+	for _, t := range targets {
+		drv, err := c.rt.driverByID(t.id, t.endpoint)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = err
@@ -85,7 +99,7 @@ func (c *ContextCall) QueryDevice(deviceKind, source string) ([]SourceValue, err
 			}
 			continue
 		}
-		out = append(out, SourceValue{DeviceID: string(e.ID), Attrs: e.Attrs, Value: v})
+		out = append(out, SourceValue{DeviceID: t.id, Attrs: t.attrs, Value: v})
 	}
 	if len(out) == 0 && firstErr != nil {
 		return nil, firstErr

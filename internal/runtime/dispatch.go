@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/device"
@@ -140,13 +141,35 @@ func (t *sourceTracker) add(e registry.Entity) {
 	t.rt.wg.Add(1)
 	go func() {
 		defer t.rt.wg.Done()
+		batch := make([]any, 0, sourceForwardBatch)
 		for r := range sub.C() {
-			if err := t.rt.bus.Publish(t.topic, r, r.Time); err != nil {
+			batch = append(batch[:0], r)
+			// Opportunistically drain what the device already queued:
+			// under swarm-scale fan-in one PublishBatch then amortizes
+			// the bus overhead over the whole burst.
+		drain:
+			for len(batch) < cap(batch) {
+				select {
+				case more, ok := <-sub.C():
+					if !ok {
+						break drain
+					}
+					batch = append(batch, more)
+				default:
+					break drain
+				}
+			}
+			at := batch[len(batch)-1].(device.Reading).Time
+			if err := t.rt.bus.PublishBatch(t.topic, batch, at); err != nil {
 				return
 			}
 		}
 	}()
 }
+
+// sourceForwardBatch bounds the per-wakeup fan-in batch of one device
+// subscription's forwarding loop.
+const sourceForwardBatch = 64
 
 func (t *sourceTracker) remove(id registry.ID) {
 	t.mu.Lock()
@@ -191,6 +214,10 @@ type poller struct {
 	ticksInWin  int
 	flushEvery  int
 	queryParall int
+
+	// scratch is the reused poll-target buffer; the poller goroutine is
+	// the only reader and writer.
+	scratch []pollTarget
 }
 
 func (rt *Runtime) startPoller(ctx *check.Context, idx int, in *check.Interaction) {
@@ -240,11 +267,36 @@ func (p *poller) run(ticker *simclock.Ticker) {
 	}
 }
 
+// pollTarget is the identity a periodic round needs from one entity; it is
+// captured during a registry scan so polling 50k devices clones no entities.
+type pollTarget struct {
+	id       string
+	endpoint string
+	group    string
+}
+
 // poll queries every bound device of the trigger kind in parallel and either
 // delivers the batch immediately or accumulates it into the `every` window.
 func (p *poller) poll(at time.Time) {
-	entities := p.rt.reg.Discover(registry.Query{Kind: p.in.TriggerDevice.Name})
-	readings := p.queryAll(entities, at)
+	groupAttr := ""
+	if p.in.GroupBy != nil {
+		groupAttr = p.in.GroupBy.Name
+	}
+	targets := p.scratch[:0]
+	p.rt.reg.Scan(registry.Query{Kind: p.in.TriggerDevice.Name}, func(e registry.Entity) bool {
+		targets = append(targets, pollTarget{
+			id:       string(e.ID),
+			endpoint: e.Endpoint,
+			group:    e.Attrs[groupAttr],
+		})
+		return true
+	})
+	// Scan visits in shard order; restore the ID order Discover used to
+	// provide so reading positions — and therefore the value order
+	// MapReduce presents to reducers — stay deterministic across rounds.
+	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
+	p.scratch = targets
+	readings := p.queryAll(targets, at)
 	p.rt.mu.Lock()
 	p.rt.stats.PeriodicPolls++
 	p.rt.mu.Unlock()
@@ -265,43 +317,44 @@ func (p *poller) poll(at time.Time) {
 	}
 }
 
-func (p *poller) queryAll(entities []registry.Entity, at time.Time) []GroupedReading {
-	groupAttr := ""
-	if p.in.GroupBy != nil {
-		groupAttr = p.in.GroupBy.Name
-	}
-	out := make([]GroupedReading, len(entities))
-	ok := make([]bool, len(entities))
+func (p *poller) queryAll(targets []pollTarget, at time.Time) []GroupedReading {
+	out := make([]GroupedReading, len(targets))
+	ok := make([]bool, len(targets))
 
 	workers := p.queryParall
-	if workers > len(entities) {
-		workers = len(entities)
+	if workers > len(targets) {
+		workers = len(targets)
 	}
 	if workers == 0 {
 		return nil
 	}
 	var wg sync.WaitGroup
-	next := make(chan int)
+	var cursor atomic.Int64
+	cursor.Store(-1)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				e := entities[i]
-				drv, err := p.rt.driverFor(e)
+			for {
+				i := int(cursor.Add(1))
+				if i >= len(targets) {
+					return
+				}
+				t := targets[i]
+				drv, err := p.rt.driverByID(t.id, t.endpoint)
 				if err != nil {
-					p.rt.reportError("poll:"+string(e.ID), err)
+					p.rt.reportError("poll:"+t.id, err)
 					continue
 				}
 				v, err := drv.Query(p.in.TriggerSource.Name)
 				if err != nil {
-					p.rt.reportError("poll:"+string(e.ID), err)
+					p.rt.reportError("poll:"+t.id, err)
 					continue
 				}
 				out[i] = GroupedReading{
-					Group: e.Attrs[groupAttr],
+					Group: t.group,
 					Reading: device.Reading{
-						DeviceID: string(e.ID),
+						DeviceID: t.id,
 						Source:   p.in.TriggerSource.Name,
 						Value:    v,
 						Time:     at,
@@ -311,13 +364,9 @@ func (p *poller) queryAll(entities []registry.Entity, at time.Time) []GroupedRea
 			}
 		}()
 	}
-	for i := range entities {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
-	kept := make([]GroupedReading, 0, len(entities))
+	kept := make([]GroupedReading, 0, len(targets))
 	for i, good := range ok {
 		if good {
 			kept = append(kept, out[i])

@@ -166,6 +166,11 @@ func New(model *check.Model, opts ...Option) *Runtime {
 	if rt.reg == nil {
 		rt.reg = registry.New(registry.WithClock(rt.clock))
 	}
+	if rt.mrCfg.KeyHash == nil {
+		// Group keys are rendered attribute values, i.e. strings; skip
+		// the reflective default hash on the periodic hot path.
+		rt.mrCfg.KeyHash = mapreduce.StringKeyHash
+	}
 	rt.bus = eventbus.New()
 	return rt
 }
@@ -352,6 +357,12 @@ func (rt *Runtime) Stats() Stats {
 	return rt.stats
 }
 
+// BusStats returns a snapshot of the delivery substrate's counters
+// (publications, deliveries, overflow drops).
+func (rt *Runtime) BusStats() eventbus.Stats {
+	return rt.bus.Stats()
+}
+
 // LastPublished returns the most recent value published by a context, if
 // any. Useful for inspection and tests.
 func (rt *Runtime) LastPublished(contextName string) (any, bool) {
@@ -373,36 +384,65 @@ func (rt *Runtime) reportError(component string, err error) {
 }
 
 // driverFor resolves an entity to a callable driver: the locally bound
-// driver when present, else a remote proxy dialed (and cached) through the
-// entity's endpoint.
+// driver when present, else a remote proxy (carrying the entity's full
+// metadata) dialed through the cached endpoint client.
 func (rt *Runtime) driverFor(e registry.Entity) (device.Driver, error) {
 	rt.mu.Lock()
 	if drv, ok := rt.devices[string(e.ID)]; ok {
 		rt.mu.Unlock()
 		return drv, nil
 	}
-	cli, ok := rt.clients[e.Endpoint]
 	rt.mu.Unlock()
-	if e.Endpoint == "" {
-		return nil, fmt.Errorf("runtime: entity %s is neither locally bound nor remotely reachable", e.ID)
-	}
-	if !ok {
-		var err error
-		cli, err = transport.Dial(e.Endpoint)
-		if err != nil {
-			return nil, fmt.Errorf("runtime: dial %s for %s: %w", e.Endpoint, e.ID, err)
-		}
-		rt.mu.Lock()
-		if existing, raced := rt.clients[e.Endpoint]; raced {
-			rt.mu.Unlock()
-			cli.Close()
-			cli = existing
-		} else {
-			rt.clients[e.Endpoint] = cli
-			rt.mu.Unlock()
-		}
+	cli, err := rt.clientFor(string(e.ID), e.Endpoint)
+	if err != nil {
+		return nil, err
 	}
 	return transport.NewRemoteDriver(cli, e), nil
+}
+
+// driverByID is driverFor for hot paths that carry only the identity and
+// endpoint of an entity (e.g. poll targets captured by a registry scan),
+// avoiding the full entity clone. The returned remote proxies carry no
+// attribute metadata; callers use them for Query/Invoke only.
+func (rt *Runtime) driverByID(id, endpoint string) (device.Driver, error) {
+	rt.mu.Lock()
+	if drv, ok := rt.devices[id]; ok {
+		rt.mu.Unlock()
+		return drv, nil
+	}
+	rt.mu.Unlock()
+	cli, err := rt.clientFor(id, endpoint)
+	if err != nil {
+		return nil, err
+	}
+	return transport.NewRemoteDriver(cli, registry.Entity{ID: registry.ID(id), Endpoint: endpoint}), nil
+}
+
+// clientFor returns the cached transport client for endpoint, dialing it on
+// first use. id is only for error messages.
+func (rt *Runtime) clientFor(id, endpoint string) (*transport.Client, error) {
+	if endpoint == "" {
+		return nil, fmt.Errorf("runtime: entity %s is neither locally bound nor remotely reachable", id)
+	}
+	rt.mu.Lock()
+	cli, ok := rt.clients[endpoint]
+	rt.mu.Unlock()
+	if ok {
+		return cli, nil
+	}
+	cli, err := transport.Dial(endpoint)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: dial %s for %s: %w", endpoint, id, err)
+	}
+	rt.mu.Lock()
+	if existing, raced := rt.clients[endpoint]; raced {
+		rt.mu.Unlock()
+		cli.Close()
+		return existing, nil
+	}
+	rt.clients[endpoint] = cli
+	rt.mu.Unlock()
+	return cli, nil
 }
 
 func (rt *Runtime) publishContext(ctx *check.Context, value any) {
