@@ -638,6 +638,64 @@ func BenchmarkSwarm_PeriodicRound(b *testing.B) {
 	}
 }
 
+// BenchmarkSwarm_RemoteFleet: polling a fleet hosted behind one remote
+// endpoint, per-device Query round trips vs a single QueryBatch request —
+// the transport-layer half of the zero-churn polling pipeline. One iteration
+// reads every sensor once.
+func BenchmarkSwarm_RemoteFleet(b *testing.B) {
+	for _, n := range []int{1000, 5000} {
+		vc := simclock.NewVirtual(benchEpoch)
+		swarm := devsim.NewSwarm(devsim.SwarmConfig{
+			Sensors: n, Lots: []string{"A22", "B16", "D6", "E31", "F12"}, Seed: 7,
+		}, vc)
+		srv, err := transport.NewServer("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]string, n)
+		for i, s := range swarm.Sensors() {
+			srv.Host(s)
+			ids[i] = s.ID()
+		}
+		cli, err := transport.Dial(srv.Addr(), transport.WithCallTimeout(time.Minute))
+		if err != nil {
+			b.Fatal(err)
+		}
+		report := func(b *testing.B) {
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "readings/sec")
+		}
+		b.Run(fmt.Sprintf("per-device/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for _, id := range ids {
+					if _, err := cli.Query(id, "presence"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			report(b)
+		})
+		b.Run(fmt.Sprintf("batch/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				vals, errs, err := cli.QueryBatch(ids, "presence")
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(vals) != n {
+					b.Fatalf("short batch: %d", len(vals))
+				}
+				for j, e := range errs {
+					if e != "" {
+						b.Fatalf("device %s: %s", ids[j], e)
+					}
+				}
+			}
+			report(b)
+		})
+		cli.Close()
+		srv.Close()
+	}
+}
+
 // BenchmarkSwarm_RegistryScan: snapshot iteration vs full Discover clones
 // over a 50k-entity directory — the per-round binding cost of a periodic
 // gather.

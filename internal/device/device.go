@@ -68,6 +68,17 @@ type Driver interface {
 	Invoke(action string, args ...any) error
 }
 
+// SnapshotQuerier is optionally implemented by drivers that can pre-resolve
+// a source read into a standalone function. The runtime's periodic poller
+// resolves the querier once per fleet-snapshot rebuild and then calls the
+// returned function on every tick, skipping the per-call source lookup (and,
+// for drivers backed by a shared state table, the per-call locking). The
+// returned function must stay valid for the lifetime of the driver and be
+// safe for concurrent use.
+type SnapshotQuerier interface {
+	Querier(source string) (QueryFunc, error)
+}
+
 // Errors returned by drivers.
 var (
 	ErrUnknownSource = errors.New("device: unknown source")

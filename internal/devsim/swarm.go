@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/device"
@@ -72,9 +73,12 @@ type Swarm struct {
 	cfg   SwarmConfig
 	clock simclock.Clock
 
-	mu       sync.RWMutex
+	// mu guards the model state (rng, lastStep). Per-space occupancy is
+	// atomic so the periodic-gather hot path — 50k queries per round —
+	// never touches a shared lock.
+	mu       sync.Mutex
 	rng      *rand.Rand
-	occupied []bool
+	occupied []atomic.Bool
 	lastStep time.Time
 
 	subMu sync.Mutex
@@ -94,7 +98,7 @@ func NewSwarm(cfg SwarmConfig, clock simclock.Clock) *Swarm {
 		cfg:      cfg,
 		clock:    clock,
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		occupied: make([]bool, cfg.Sensors),
+		occupied: make([]atomic.Bool, cfg.Sensors),
 		lastStep: clock.Now(),
 		subs:     make(map[int]map[*swarmSub]struct{}),
 		sensors:  make([]*SwarmSensor, cfg.Sensors),
@@ -107,7 +111,7 @@ func NewSwarm(cfg SwarmConfig, clock simclock.Clock) *Swarm {
 			id:    fmt.Sprintf("sw-%s-%06d", lot, i),
 			lot:   lot,
 		}
-		s.occupied[i] = s.rng.Float64() < cfg.BaseOccupancy
+		s.occupied[i].Store(s.rng.Float64() < cfg.BaseOccupancy)
 	}
 	return s
 }
@@ -158,10 +162,10 @@ func (s *Swarm) Step() {
 			continue
 		}
 		next := s.rng.Float64() < target
-		if next != s.occupied[i] {
+		if next != s.occupied[i].Load() {
 			changes = append(changes, change{idx: i, now: next})
 		}
-		s.occupied[i] = next
+		s.occupied[i].Store(next)
 	}
 	s.mu.Unlock()
 	for _, c := range changes {
@@ -172,14 +176,12 @@ func (s *Swarm) Step() {
 // VacantPerLot reports the current number of free spaces per lot — the
 // ground truth a vacancy context over the swarm should reproduce.
 func (s *Swarm) VacantPerLot() map[string]int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make(map[string]int, len(s.cfg.Lots))
 	for _, lot := range s.cfg.Lots {
 		out[lot] = 0
 	}
-	for i, occ := range s.occupied {
-		if !occ {
+	for i := range s.occupied {
+		if !s.occupied[i].Load() {
 			out[s.cfg.Lots[i%len(s.cfg.Lots)]]++
 		}
 	}
@@ -189,9 +191,7 @@ func (s *Swarm) VacantPerLot() map[string]int {
 // SetOccupied overrides one sensor's state; for tests that need exact
 // scenarios.
 func (s *Swarm) SetOccupied(sensorIdx int, occupied bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.occupied[sensorIdx] = occupied
+	s.occupied[sensorIdx].Store(occupied)
 }
 
 func (s *Swarm) emit(idx int, value bool, at time.Time) {
@@ -266,10 +266,18 @@ func (d *SwarmSensor) Query(source string) (any, error) {
 	if source != d.swarm.cfg.Source {
 		return nil, fmt.Errorf("%w: %s.%s", device.ErrUnknownSource, d.id, source)
 	}
-	d.swarm.mu.RLock()
-	v := d.swarm.occupied[d.idx]
-	d.swarm.mu.RUnlock()
-	return v, nil
+	return d.swarm.occupied[d.idx].Load(), nil
+}
+
+// Querier implements device.SnapshotQuerier: the returned function reads the
+// sensor's occupancy slot directly, so a snapshot-cached poller skips the
+// per-call source check entirely.
+func (d *SwarmSensor) Querier(source string) (device.QueryFunc, error) {
+	if source != d.swarm.cfg.Source {
+		return nil, fmt.Errorf("%w: %s.%s", device.ErrUnknownSource, d.id, source)
+	}
+	slot := &d.swarm.occupied[d.idx]
+	return func() (any, error) { return slot.Load(), nil }, nil
 }
 
 // Subscribe implements device.Driver (event-driven delivery): the stream

@@ -1,0 +1,152 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+// Generation must move on every membership/attribute mutation — register,
+// update, unregister — and stay put on reads and renewals.
+func TestGenerationBumpsOnMutations(t *testing.T) {
+	r := New()
+	defer r.Close()
+
+	g0 := r.Generation("Sensor")
+	if err := r.Register(Entity{ID: "s1", Kind: "Sensor", Attrs: Attributes{"zone": "a"}}); err != nil {
+		t.Fatal(err)
+	}
+	g1 := r.Generation("Sensor")
+	if g1 == g0 {
+		t.Fatal("Register did not bump generation")
+	}
+
+	if _, ok := r.Get("s1"); !ok {
+		t.Fatal("entity missing")
+	}
+	if r.Discover(Query{Kind: "Sensor"}) == nil {
+		t.Fatal("discover failed")
+	}
+	if got := r.Generation("Sensor"); got != g1 {
+		t.Fatalf("reads bumped generation: %d -> %d", g1, got)
+	}
+
+	if err := r.Update("s1", Attributes{"zone": "b"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	g2 := r.Generation("Sensor")
+	if g2 == g1 {
+		t.Fatal("Update did not bump generation")
+	}
+
+	if err := r.Renew("s1", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Generation("Sensor"); got != g2 {
+		t.Fatalf("Renew bumped generation: %d -> %d", g2, got)
+	}
+
+	if err := r.Unregister("s1"); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Generation("Sensor"); got == g2 {
+		t.Fatal("Unregister did not bump generation")
+	}
+}
+
+// Generation must cover taxonomy ancestors: registering a subtype changes
+// the ancestor kind's generation too, since ancestor queries match it.
+func TestGenerationCoversTaxonomyAncestors(t *testing.T) {
+	r := New()
+	defer r.Close()
+
+	g0 := r.Generation("DisplayPanel")
+	err := r.Register(Entity{
+		ID:    "p1",
+		Kind:  "ParkingEntrancePanel",
+		Kinds: []string{"ParkingEntrancePanel", "DisplayPanel"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Generation("DisplayPanel"); got == g0 {
+		t.Fatal("subtype registration did not bump ancestor generation")
+	}
+	if got := r.Generation("Thermometer"); got != 0 {
+		t.Fatalf("unrelated kind generation = %d, want 0", got)
+	}
+}
+
+// A lease that runs out must bump the generation when Generation is next
+// read, without the caller scanning or sweeping anything.
+func TestGenerationObservesExpiry(t *testing.T) {
+	vc := simclock.NewVirtual(time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC))
+	r := New(WithClock(vc))
+	defer r.Close()
+
+	if err := r.Register(Entity{ID: "s1", Kind: "Sensor"}, WithTTL(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	g1 := r.Generation("Sensor")
+	vc.Advance(30 * time.Second)
+	if got := r.Generation("Sensor"); got != g1 {
+		t.Fatalf("generation moved before expiry: %d -> %d", g1, got)
+	}
+	vc.Advance(31 * time.Second)
+	if got := r.Generation("Sensor"); got == g1 {
+		t.Fatal("generation did not move after lease expiry")
+	}
+	if _, ok := r.Get("s1"); ok {
+		t.Fatal("expired entity still present")
+	}
+}
+
+// Every registration must change the kind generation regardless of which
+// shard the entity hashes to: a per-shard counter that misses a shard would
+// let a poller reuse a stale fleet snapshot.
+func TestGenerationNoFalseNegativeAcrossShards(t *testing.T) {
+	r := New(WithShards(16))
+	defer r.Close()
+
+	last := r.Generation("Sensor")
+	for i := 0; i < 256; i++ {
+		id := ID(fmt.Sprintf("s%03d", i))
+		if err := r.Register(Entity{ID: id, Kind: "Sensor"}); err != nil {
+			t.Fatal(err)
+		}
+		got := r.Generation("Sensor")
+		if got == last {
+			t.Fatalf("registration %d did not change generation", i)
+		}
+		last = got
+	}
+	for i := 0; i < 256; i++ {
+		id := ID(fmt.Sprintf("s%03d", i))
+		if err := r.Unregister(id); err != nil {
+			t.Fatal(err)
+		}
+		got := r.Generation("Sensor")
+		if got == last {
+			t.Fatalf("unregistration %d did not change generation", i)
+		}
+		last = got
+	}
+}
+
+// Generation("") covers all kinds.
+func TestGenerationAllKinds(t *testing.T) {
+	r := New()
+	defer r.Close()
+	g0 := r.Generation("")
+	if err := r.Register(Entity{ID: "x", Kind: "A"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(Entity{ID: "y", Kind: "B"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Generation(""); got != g0+2 {
+		t.Fatalf("Generation(\"\") = %d, want %d", got, g0+2)
+	}
+}

@@ -15,7 +15,9 @@
 // The directory is sharded by entity-ID hash: registrations, renewals and
 // lookups on distinct entities proceed without contention, and Scan visits
 // large populations one shard at a time so a 50k-device periodic gather
-// never holds a registry-wide lock.
+// never holds a registry-wide lock. Per-kind generation counters
+// (Generation) let periodic pollers detect membership change without
+// scanning, so an unchanged fleet is never rescanned at all.
 package registry
 
 import (
@@ -190,7 +192,53 @@ type regShard struct {
 	entities map[ID]*record
 	byKind   map[string]map[ID]struct{}
 	byAttr   map[string]map[ID]struct{} // "key\x00value" -> ids
-	_        [32]byte                   // keep neighbouring shard locks off one cache line
+	leased   int                        // registrations carrying a lease
+
+	// genAll and gens are the shard's membership-change counters, bumped
+	// (under mu) on every register/update/unregister/expire, per kind in
+	// the entity's taxonomy. Readers sum them across shards lock-free, so
+	// a poller can detect fleet change without scanning.
+	genAll atomic.Uint64
+	gens   sync.Map // kind -> *atomic.Uint64
+
+	// nextExpiry is the earliest lease deadline in the shard (UnixNano;
+	// 0 = none). It may run early after a renewal, never late: a sweep is
+	// needed only when the clock passes it, keeping the per-operation
+	// sweep check O(1) for lease-free populations.
+	nextExpiry atomic.Int64
+
+	_ [32]byte // keep neighbouring shard locks off one cache line
+}
+
+// bumpLocked records a membership/attribute change for e's kinds. Callers
+// hold sh.mu.
+func (sh *regShard) bumpLocked(e *Entity) {
+	sh.genAll.Add(1)
+	for _, k := range e.Kinds {
+		sh.kindGen(k).Add(1)
+	}
+}
+
+func (sh *regShard) kindGen(kind string) *atomic.Uint64 {
+	if v, ok := sh.gens.Load(kind); ok {
+		return v.(*atomic.Uint64)
+	}
+	v, _ := sh.gens.LoadOrStore(kind, new(atomic.Uint64))
+	return v.(*atomic.Uint64)
+}
+
+// noteLeaseLocked lowers the shard's next-expiry watermark to deadline.
+func (sh *regShard) noteLeaseLocked(deadline time.Time) {
+	ns := deadline.UnixNano()
+	for {
+		cur := sh.nextExpiry.Load()
+		if cur != 0 && cur <= ns {
+			return
+		}
+		if sh.nextExpiry.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
 }
 
 // Option configures a Registry.
@@ -287,9 +335,12 @@ func (r *Registry) Register(e Entity, opts ...RegisterOption) error {
 	rec := &record{entity: e}
 	if cfg.ttl > 0 {
 		rec.expires = now.Add(cfg.ttl)
+		sh.leased++
+		sh.noteLeaseLocked(rec.expires)
 	}
 	sh.entities[e.ID] = rec
 	indexLocked(sh, &rec.entity)
+	sh.bumpLocked(&rec.entity)
 	r.notify(Change{Type: Added, Entity: rec.entity})
 	sh.mu.Unlock()
 	return nil
@@ -313,6 +364,7 @@ func (r *Registry) Update(id ID, attrs Attributes, endpoint string) error {
 	rec.entity.Attrs = attrs.Clone()
 	rec.entity.Endpoint = endpoint
 	indexLocked(sh, &rec.entity)
+	sh.bumpLocked(&rec.entity)
 	r.notify(Change{Type: Updated, Entity: rec.entity})
 	return nil
 }
@@ -335,7 +387,11 @@ func (r *Registry) Renew(id ID, ttl time.Duration) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
 	}
+	if rec.expires.IsZero() {
+		sh.leased++
+	}
 	rec.expires = now.Add(ttl)
+	sh.noteLeaseLocked(rec.expires)
 	return nil
 }
 
@@ -439,6 +495,41 @@ func (r *Registry) Count() int {
 		sh.mu.Unlock()
 	}
 	return n
+}
+
+// Generation returns a counter that changes whenever the membership,
+// attributes or endpoint of entities of the given kind (or any taxonomy
+// descendant) change — register, update, unregister and lease expiry all
+// bump it; renewals do not. kind "" covers every entity. Two equal reads
+// with no mutation committed in between guarantee an unchanged population,
+// so periodic pollers can reuse a cached fleet snapshot instead of
+// rescanning 50k entities per tick.
+//
+// The read is lock-free except that shards whose earliest lease deadline has
+// passed are swept first, so expirations are observed without the caller
+// scanning anything.
+func (r *Registry) Generation(kind string) uint64 {
+	var now time.Time
+	var sum uint64
+	for i := range r.shards {
+		sh := &r.shards[i]
+		if next := sh.nextExpiry.Load(); next != 0 {
+			if now.IsZero() {
+				now = r.clock.Now()
+			}
+			if now.UnixNano() >= next {
+				sh.mu.Lock()
+				r.sweepShardLocked(sh, now)
+				sh.mu.Unlock()
+			}
+		}
+		if kind == "" {
+			sum += sh.genAll.Load()
+		} else if v, ok := sh.gens.Load(kind); ok {
+			sum += v.(*atomic.Uint64).Load()
+		}
+	}
+	return sum
 }
 
 // Sweep removes expired registrations immediately and reports how many were
@@ -577,16 +668,43 @@ func unindexLocked(sh *regShard, e *Entity) {
 func (r *Registry) removeLocked(sh *regShard, rec *record, why ChangeType) {
 	delete(sh.entities, rec.entity.ID)
 	unindexLocked(sh, &rec.entity)
+	if !rec.expires.IsZero() {
+		sh.leased--
+	}
+	sh.bumpLocked(&rec.entity)
 	r.notify(Change{Type: why, Entity: rec.entity})
 }
 
+// sweepShardLocked evicts expired leases. It is O(1) unless the shard holds
+// leases whose earliest deadline has passed; only then does it walk the
+// shard and recompute the next-expiry watermark.
 func (r *Registry) sweepShardLocked(sh *regShard, now time.Time) int {
+	if sh.leased == 0 {
+		sh.nextExpiry.Store(0)
+		return 0
+	}
+	if next := sh.nextExpiry.Load(); next != 0 && now.UnixNano() < next {
+		return 0
+	}
 	n := 0
+	var earliest time.Time
 	for _, rec := range sh.entities {
-		if !rec.expires.IsZero() && !rec.expires.After(now) {
+		if rec.expires.IsZero() {
+			continue
+		}
+		if !rec.expires.After(now) {
 			r.removeLocked(sh, rec, Expired)
 			n++
+			continue
 		}
+		if earliest.IsZero() || rec.expires.Before(earliest) {
+			earliest = rec.expires
+		}
+	}
+	if earliest.IsZero() {
+		sh.nextExpiry.Store(0)
+	} else {
+		sh.nextExpiry.Store(earliest.UnixNano())
 	}
 	return n
 }

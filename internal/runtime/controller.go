@@ -13,9 +13,9 @@ import (
 // to the context's publications.
 func (rt *Runtime) wireController(ctrl *check.Controller, w *check.ControllerWhen) error {
 	_, err := rt.bus.Subscribe(contextTopic(w.Context.Name), func(ev eventbus.Event) {
+		rt.stats.controllerTriggers.Add(1)
 		rt.mu.Lock()
 		h := rt.controllers[ctrl.Name]
-		rt.stats.ControllerTriggers++
 		rt.mu.Unlock()
 		if h == nil {
 			return
@@ -143,8 +143,6 @@ func (p *ActuatorProxy) Invoke(action string, args ...any) error {
 	if err := drv.Invoke(action, args...); err != nil {
 		return fmt.Errorf("runtime: actuate %s.%s: %w", p.entity.ID, action, err)
 	}
-	p.call.rt.mu.Lock()
-	p.call.rt.stats.Actuations++
-	p.call.rt.mu.Unlock()
+	p.call.rt.stats.actuations.Add(1)
 	return nil
 }

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -14,6 +15,7 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/registry"
 	"repro/internal/simclock"
+	"repro/internal/transport"
 )
 
 // GroupedReading is one periodic reading tagged with the value of the
@@ -113,27 +115,44 @@ type sourceTracker struct {
 }
 
 func (t *sourceTracker) add(e registry.Entity) {
+	// Check-and-reserve atomically: the placeholder claims the entity's
+	// slot under one lock acquisition, so a concurrent add for the same
+	// entity cannot also pass the dup check and leak a second device
+	// subscription. The (possibly slow) driver resolution and Subscribe
+	// happen outside the lock; attach reconciles with a concurrent remove.
+	ds := &deviceSubscription{}
 	t.mu.Lock()
 	if _, dup := t.subs[e.ID]; dup {
 		t.mu.Unlock()
 		return
 	}
+	t.subs[e.ID] = ds
 	t.mu.Unlock()
 
+	release := func() {
+		t.mu.Lock()
+		if t.subs[e.ID] == ds {
+			delete(t.subs, e.ID)
+		}
+		t.mu.Unlock()
+	}
 	drv, err := t.rt.driverFor(e)
 	if err != nil {
+		release()
 		t.rt.reportError("bind:"+string(e.ID), err)
 		return
 	}
 	sub, err := drv.Subscribe(t.source)
 	if err != nil {
+		release()
 		t.rt.reportError("subscribe:"+string(e.ID), fmt.Errorf("source %s: %w", t.source, err))
 		return
 	}
-	ds := &deviceSubscription{sub: sub}
-	t.mu.Lock()
-	t.subs[e.ID] = ds
-	t.mu.Unlock()
+	if !ds.attach(sub) {
+		// Removed (or tracker stopped) while we were subscribing; the
+		// reservation was already discarded and attach cancelled sub.
+		return
+	}
 	t.rt.mu.Lock()
 	t.rt.devSubs = append(t.rt.devSubs, ds)
 	t.rt.mu.Unlock()
@@ -191,16 +210,50 @@ func (t *sourceTracker) stopAll() {
 	}
 }
 
+// deviceSubscription tracks one device subscription from reservation to
+// cancellation. It is created as an empty reservation (see sourceTracker.add)
+// and attached once Subscribe succeeds; stop before attach marks it stopped
+// so attach cancels the late-arriving subscription instead of leaking it.
 type deviceSubscription struct {
-	sub  device.Subscription
-	once sync.Once
+	mu      sync.Mutex
+	sub     device.Subscription
+	stopped bool
+}
+
+// attach installs sub and reports whether the subscription is live. If stop
+// already ran, sub is cancelled and attach returns false.
+func (d *deviceSubscription) attach(sub device.Subscription) bool {
+	d.mu.Lock()
+	d.sub = sub
+	stopped := d.stopped
+	d.mu.Unlock()
+	if stopped {
+		sub.Cancel()
+		return false
+	}
+	return true
 }
 
 func (d *deviceSubscription) stop() {
-	d.once.Do(d.sub.Cancel)
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	sub := d.sub
+	d.mu.Unlock()
+	if sub != nil {
+		sub.Cancel()
+	}
 }
 
-// poller drives one `when periodic` interaction.
+// poller drives one `when periodic` interaction. Steady-state work is
+// proportional to fleet size only in queries issued, not in bookkeeping: the
+// fleet snapshot is cached across ticks (keyed on the registry's kind
+// generation), drivers are resolved at snapshot-rebuild time, queries run on
+// a persistent worker pool, and the out/ok/readings buffers are reused
+// across rounds.
 type poller struct {
 	rt       *Runtime
 	ctx      *check.Context
@@ -210,33 +263,52 @@ type poller struct {
 	stopOnce sync.Once
 
 	// Every-window accumulation.
-	window      []GroupedReading
-	ticksInWin  int
-	flushEvery  int
-	queryParall int
+	window     []GroupedReading
+	ticksInWin int
+	flushEvery int
 
-	// scratch is the reused poll-target buffer; the poller goroutine is
-	// the only reader and writer.
-	scratch []pollTarget
+	// snap is the cached fleet snapshot; only the poller goroutine reads
+	// or replaces it.
+	snap *pollSnapshot
+
+	// Persistent query pool: up to workers goroutines block on rounds and
+	// work-steal targets through the round's cursors. The pool grows
+	// lazily with the snapshot's work units (started counts live workers),
+	// so small fleets never park 32 idle goroutines.
+	workers int
+	started int
+	rounds  chan *pollRound
+
+	// Scratch reused across rebuilds/rounds; poller goroutine only,
+	// except out/ok which the pool workers fill during a round.
+	scanBuf []scanItem
+	outBuf  []GroupedReading
+	okBuf   []bool
+
+	// readingsPool recycles the per-round readings slice once dispatch
+	// has consumed the batch.
+	readingsPool sync.Pool
 }
 
 func (rt *Runtime) startPoller(ctx *check.Context, idx int, in *check.Interaction) {
 	p := &poller{
-		rt:          rt,
-		ctx:         ctx,
-		in:          in,
-		idx:         idx,
-		stopCh:      make(chan struct{}),
-		queryParall: 32,
+		rt:      rt,
+		ctx:     ctx,
+		in:      in,
+		idx:     idx,
+		stopCh:  make(chan struct{}),
+		workers: 32,
 	}
 	if in.Every > 0 {
 		p.flushEvery = int(in.Every / in.Period)
 	}
 	// Deliver batches through the bus so handler invocations for this
-	// interaction are serialized like every other delivery.
+	// interaction are serialized like every other delivery. dispatch fully
+	// copies the batch out, so the readings buffer is recycled afterwards.
 	if _, err := rt.bus.Subscribe(periodicTopic(ctx.Name, idx), func(ev eventbus.Event) {
 		batch := ev.Payload.(periodicBatch)
 		p.dispatch(batch)
+		p.putReadings(batch.readings)
 	}); err != nil {
 		rt.reportError(ctx.Name, err)
 		return
@@ -244,6 +316,8 @@ func (rt *Runtime) startPoller(ctx *check.Context, idx int, in *check.Interactio
 	rt.mu.Lock()
 	rt.pollers = append(rt.pollers, p)
 	rt.mu.Unlock()
+
+	p.rounds = make(chan *pollRound, p.workers)
 
 	// Arm the ticker before Start returns so that virtual-clock advances
 	// performed right after Start are observed.
@@ -267,42 +341,122 @@ func (p *poller) run(ticker *simclock.Ticker) {
 	}
 }
 
-// pollTarget is the identity a periodic round needs from one entity; it is
-// captured during a registry scan so polling 50k devices clones no entities.
-type pollTarget struct {
+// scanItem is what one registry-scan visit captures during a snapshot
+// rebuild.
+type scanItem struct {
 	id       string
 	endpoint string
 	group    string
 }
 
-// poll queries every bound device of the trigger kind in parallel and either
-// delivers the batch immediately or accumulates it into the `every` window.
+// pollTarget is one locally bound device of the snapshot, with its driver —
+// and, when the driver supports it, its pre-resolved query function —
+// already in hand so a steady-state tick touches no runtime lock.
+type pollTarget struct {
+	id    string
+	group string
+	drv   device.Driver
+	query device.QueryFunc // fast path via device.SnapshotQuerier; may be nil
+}
+
+// endpointBatch is every remote device of the snapshot reachable through one
+// endpoint; a round answers all of them with a single QueryBatch round trip.
+type endpointBatch struct {
+	client   *transport.Client
+	endpoint string
+	ids      []string
+	groups   []string
+	base     int // first slot of this batch in the round's out/ok buffers
+}
+
+// pollSnapshot is the cached fleet of one periodic interaction, valid while
+// the registry generation for the trigger kind stays at gen.
+type pollSnapshot struct {
+	gen     uint64
+	locals  []pollTarget
+	remotes []endpointBatch
+	total   int
+	// incomplete marks a snapshot missing targets whose endpoint could
+	// not be dialed; the next tick rebuilds (and so redials) even with an
+	// unchanged generation, matching the old per-round retry behavior.
+	incomplete bool
+}
+
+// poll queries every bound device of the trigger kind through the worker
+// pool and either delivers the batch immediately or accumulates it into the
+// `every` window. With an unchanged fleet this performs no registry scan, no
+// sort and no target allocation — the generation check is the only registry
+// interaction.
 func (p *poller) poll(at time.Time) {
-	groupAttr := ""
-	if p.in.GroupBy != nil {
-		groupAttr = p.in.GroupBy.Name
+	gen := p.rt.reg.Generation(p.in.TriggerDevice.Name)
+	if p.snap == nil || p.snap.gen != gen || p.snap.incomplete {
+		p.rebuild(gen)
 	}
-	targets := p.scratch[:0]
-	p.rt.reg.Scan(registry.Query{Kind: p.in.TriggerDevice.Name}, func(e registry.Entity) bool {
-		targets = append(targets, pollTarget{
-			id:       string(e.ID),
-			endpoint: e.Endpoint,
-			group:    e.Attrs[groupAttr],
-		})
-		return true
-	})
-	// Scan visits in shard order; restore the ID order Discover used to
-	// provide so reading positions — and therefore the value order
-	// MapReduce presents to reducers — stay deterministic across rounds.
-	sort.Slice(targets, func(i, j int) bool { return targets[i].id < targets[j].id })
-	p.scratch = targets
-	readings := p.queryAll(targets, at)
-	p.rt.mu.Lock()
-	p.rt.stats.PeriodicPolls++
-	p.rt.mu.Unlock()
+	snap := p.snap
+
+	var readings []GroupedReading
+	if snap.total > 0 {
+		if cap(p.outBuf) < snap.total {
+			p.outBuf = make([]GroupedReading, snap.total)
+			p.okBuf = make([]bool, snap.total)
+		}
+		out := p.outBuf[:snap.total]
+		ok := p.okBuf[:snap.total]
+		for i := range ok {
+			ok[i] = false
+		}
+		round := &pollRound{
+			p:      p,
+			snap:   snap,
+			at:     at,
+			source: p.in.TriggerSource.Name,
+			out:    out,
+			ok:     ok,
+			done:   make(chan struct{}),
+		}
+		// Hand the round to at most one worker per unit of work (remote
+		// batches + local targets) so small fleets don't wake the whole
+		// pool for one query's worth of polling; grow the pool to match.
+		// p.rt.wg stays >0 for the poller's own goroutine while poll
+		// runs, so Add here cannot race a Stop-side Wait reaching zero.
+		hands := len(snap.remotes) + len(snap.locals)
+		if hands > p.workers {
+			hands = p.workers
+		}
+		for p.started < hands {
+			p.rt.wg.Add(1)
+			go p.worker()
+			p.started++
+		}
+		round.pending.Store(int64(hands))
+		for i := 0; i < hands; i++ {
+			select {
+			case p.rounds <- round:
+			case <-p.stopCh:
+				return
+			}
+		}
+		select {
+		case <-round.done:
+		case <-p.stopCh:
+			return
+		}
+		kept := p.getReadings()
+		if cap(kept) < snap.total {
+			kept = make([]GroupedReading, 0, snap.total)
+		}
+		for i, good := range ok {
+			if good {
+				kept = append(kept, out[i])
+			}
+		}
+		readings = kept
+	}
+	p.rt.stats.periodicPolls.Add(1)
 
 	if p.flushEvery > 0 {
 		p.window = append(p.window, readings...)
+		p.putReadings(readings) // copied into the window; recycle now
 		p.ticksInWin++
 		if p.ticksInWin < p.flushEvery {
 			return
@@ -313,66 +467,218 @@ func (p *poller) poll(at time.Time) {
 	}
 	batch := periodicBatch{readings: readings, at: at}
 	if err := p.rt.bus.Publish(periodicTopic(p.ctx.Name, p.idx), batch, at); err != nil {
+		p.putReadings(readings)
 		return
 	}
 }
 
-func (p *poller) queryAll(targets []pollTarget, at time.Time) []GroupedReading {
-	out := make([]GroupedReading, len(targets))
-	ok := make([]bool, len(targets))
+// rebuild rescans the registry and rebuilds the fleet snapshot: locals carry
+// their resolved driver (and pre-resolved querier where supported), remotes
+// are grouped per endpoint around the cached transport client. gen is the
+// generation observed before the scan, so any mutation racing the scan moves
+// the generation past it and forces a rebuild on the next tick.
+func (p *poller) rebuild(gen uint64) {
+	groupAttr := ""
+	if p.in.GroupBy != nil {
+		groupAttr = p.in.GroupBy.Name
+	}
+	items := p.scanBuf[:0]
+	p.rt.reg.Scan(registry.Query{Kind: p.in.TriggerDevice.Name}, func(e registry.Entity) bool {
+		items = append(items, scanItem{
+			id:       string(e.ID),
+			endpoint: e.Endpoint,
+			group:    e.Attrs[groupAttr],
+		})
+		return true
+	})
+	// Scan visits in shard order; restore ID order so reading positions —
+	// and therefore the value order MapReduce presents to reducers — stay
+	// deterministic across rounds and rebuilds.
+	sort.Slice(items, func(i, j int) bool { return items[i].id < items[j].id })
+	p.scanBuf = items
 
-	workers := p.queryParall
-	if workers > len(targets) {
-		workers = len(targets)
+	snap := &pollSnapshot{gen: gen}
+	source := p.in.TriggerSource.Name
+	drvs := make([]device.Driver, len(items))
+	p.rt.mu.Lock()
+	for i := range items {
+		drvs[i] = p.rt.devices[items[i].id]
 	}
-	if workers == 0 {
-		return nil
-	}
-	var wg sync.WaitGroup
-	var cursor atomic.Int64
-	cursor.Store(-1)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(cursor.Add(1))
-				if i >= len(targets) {
-					return
+	p.rt.mu.Unlock()
+
+	var remoteIdx map[string]int // endpoint -> snap.remotes index
+	for i := range items {
+		it := &items[i]
+		if drv := drvs[i]; drv != nil {
+			t := pollTarget{id: it.id, group: it.group, drv: drv}
+			if sq, ok := drv.(device.SnapshotQuerier); ok {
+				if q, err := sq.Querier(source); err == nil {
+					t.query = q
 				}
-				t := targets[i]
-				drv, err := p.rt.driverByID(t.id, t.endpoint)
-				if err != nil {
-					p.rt.reportError("poll:"+t.id, err)
-					continue
-				}
-				v, err := drv.Query(p.in.TriggerSource.Name)
-				if err != nil {
-					p.rt.reportError("poll:"+t.id, err)
-					continue
-				}
-				out[i] = GroupedReading{
-					Group: t.group,
-					Reading: device.Reading{
-						DeviceID: t.id,
-						Source:   p.in.TriggerSource.Name,
-						Value:    v,
-						Time:     at,
-					},
-				}
-				ok[i] = true
 			}
-		}()
+			snap.locals = append(snap.locals, t)
+			continue
+		}
+		cli, err := p.rt.clientFor(it.id, it.endpoint)
+		if err != nil {
+			p.rt.reportError("poll:"+it.id, err)
+			snap.incomplete = true
+			continue
+		}
+		if remoteIdx == nil {
+			remoteIdx = make(map[string]int)
+		}
+		bi, ok := remoteIdx[it.endpoint]
+		if !ok {
+			bi = len(snap.remotes)
+			remoteIdx[it.endpoint] = bi
+			snap.remotes = append(snap.remotes, endpointBatch{client: cli, endpoint: it.endpoint})
+		}
+		eb := &snap.remotes[bi]
+		eb.ids = append(eb.ids, it.id)
+		eb.groups = append(eb.groups, it.group)
 	}
-	wg.Wait()
+	base := len(snap.locals)
+	for i := range snap.remotes {
+		snap.remotes[i].base = base
+		base += len(snap.remotes[i].ids)
+	}
+	snap.total = base
+	p.snap = snap
+	p.rt.stats.pollSnapshotRebuilds.Add(1)
+}
 
-	kept := make([]GroupedReading, 0, len(targets))
-	for i, good := range ok {
-		if good {
-			kept = append(kept, out[i])
+// pollRound is one tick's unit of pool work: workers drain the remote
+// batches, then the local targets, through shared cursors. pending counts
+// outstanding worker hand-offs; the last one closes done.
+type pollRound struct {
+	p      *poller
+	snap   *pollSnapshot
+	at     time.Time
+	source string
+	out    []GroupedReading
+	ok     []bool
+
+	localCur  atomic.Int64
+	remoteCur atomic.Int64
+	pending   atomic.Int64
+	done      chan struct{}
+}
+
+func (p *poller) worker() {
+	defer p.rt.wg.Done()
+	for {
+		select {
+		case <-p.stopCh:
+			return
+		case r := <-p.rounds:
+			r.work()
+			if r.pending.Add(-1) == 0 {
+				close(r.done)
+			}
 		}
 	}
-	return kept
+}
+
+func (r *pollRound) work() {
+	snap := r.snap
+	for {
+		i := int(r.remoteCur.Add(1)) - 1
+		if i >= len(snap.remotes) {
+			break
+		}
+		r.queryBatch(&snap.remotes[i])
+	}
+	for {
+		i := int(r.localCur.Add(1)) - 1
+		if i >= len(snap.locals) {
+			break
+		}
+		t := &snap.locals[i]
+		var v any
+		var err error
+		if t.query != nil {
+			v, err = t.query()
+		} else {
+			v, err = t.drv.Query(r.source)
+		}
+		if err != nil {
+			r.p.rt.reportError("poll:"+t.id, err)
+			continue
+		}
+		r.out[i] = GroupedReading{
+			Group: t.group,
+			Reading: device.Reading{
+				DeviceID: t.id,
+				Source:   r.source,
+				Value:    v,
+				Time:     r.at,
+			},
+		}
+		r.ok[i] = true
+	}
+}
+
+// remoteBatchChunk bounds one QueryBatch request. Chunking keeps each
+// request within the transport's per-call timeout regardless of fleet size,
+// and lets the server interleave other requests (actuations, subscribes) on
+// the shared connection between chunks instead of stalling behind one
+// endpoint-wide batch.
+const remoteBatchChunk = 256
+
+// queryBatch answers every device of one remote endpoint in
+// remoteBatchChunk-sized round trips.
+func (r *pollRound) queryBatch(b *endpointBatch) {
+	for lo := 0; lo < len(b.ids); lo += remoteBatchChunk {
+		hi := lo + remoteBatchChunk
+		if hi > len(b.ids) {
+			hi = len(b.ids)
+		}
+		vals, errs, err := b.client.QueryBatch(b.ids[lo:hi], r.source)
+		if err != nil {
+			// One failed chunk loses only its own devices this round;
+			// the remaining chunks are still attempted, preserving the
+			// old per-device failure isolation (at chunk granularity).
+			r.p.rt.reportError("poll:"+b.endpoint, err)
+			continue
+		}
+		for i := lo; i < hi; i++ {
+			if j := i - lo; j < len(errs) && errs[j] != "" {
+				r.p.rt.reportError("poll:"+b.ids[i], errors.New(errs[j]))
+				continue
+			}
+			var v any
+			if j := i - lo; j < len(vals) {
+				v = vals[j]
+			}
+			slot := b.base + i
+			r.out[slot] = GroupedReading{
+				Group: b.groups[i],
+				Reading: device.Reading{
+					DeviceID: b.ids[i],
+					Source:   r.source,
+					Value:    v,
+					Time:     r.at,
+				},
+			}
+			r.ok[slot] = true
+		}
+	}
+}
+
+func (p *poller) getReadings() []GroupedReading {
+	if v := p.readingsPool.Get(); v != nil {
+		return (*v.(*[]GroupedReading))[:0]
+	}
+	return nil
+}
+
+func (p *poller) putReadings(rs []GroupedReading) {
+	if rs == nil {
+		return
+	}
+	rs = rs[:0]
+	p.readingsPool.Put(&rs)
 }
 
 // dispatch runs the context handler for one periodic batch, applying
@@ -435,9 +741,9 @@ func (p *poller) runMapReduce(readings []GroupedReading) map[string]any {
 // dispatchContext invokes the context handler and routes its output
 // according to the declared publish mode.
 func (rt *Runtime) dispatchContext(ctx *check.Context, in *check.Interaction, call *ContextCall) {
+	rt.stats.contextTriggers.Add(1)
 	rt.mu.Lock()
 	h := rt.contexts[ctx.Name]
-	rt.stats.ContextTriggers++
 	rt.mu.Unlock()
 	if h == nil {
 		return

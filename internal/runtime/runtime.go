@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/device"
@@ -89,10 +90,38 @@ type Stats struct {
 	// PeriodicPolls counts completed periodic polling rounds (including
 	// rounds accumulated into an `every` window).
 	PeriodicPolls uint64
+	// PollSnapshotRebuilds counts periodic rounds that had to rescan the
+	// registry because the fleet changed since the previous round. A
+	// steady-state fleet holds this constant while PeriodicPolls grows.
+	PollSnapshotRebuilds uint64
 	// Actuations counts successful device action invocations.
 	Actuations uint64
 	// Errors counts component errors.
 	Errors uint64
+}
+
+// statCounters is the live, lock-free form of Stats: polling rounds and
+// dispatch bump these without touching the runtime mutex.
+type statCounters struct {
+	contextTriggers      atomic.Uint64
+	contextPublishes     atomic.Uint64
+	controllerTriggers   atomic.Uint64
+	periodicPolls        atomic.Uint64
+	pollSnapshotRebuilds atomic.Uint64
+	actuations           atomic.Uint64
+	errors               atomic.Uint64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		ContextTriggers:      c.contextTriggers.Load(),
+		ContextPublishes:     c.contextPublishes.Load(),
+		ControllerTriggers:   c.controllerTriggers.Load(),
+		PeriodicPolls:        c.periodicPolls.Load(),
+		PollSnapshotRebuilds: c.pollSnapshotRebuilds.Load(),
+		Actuations:           c.actuations.Load(),
+		Errors:               c.errors.Load(),
+	}
 }
 
 // Runtime hosts one application built from a checked design.
@@ -116,9 +145,10 @@ type Runtime struct {
 	pollers     []*poller
 	devSubs     []*deviceSubscription
 	watchers    []*registry.Watcher
-	stats       Stats
 	lastValues  map[string]any // last published value per context
 	wg          sync.WaitGroup
+
+	stats statCounters // lock-free; not guarded by mu
 }
 
 // Option configures a Runtime.
@@ -197,7 +227,13 @@ func (rt *Runtime) BindDevice(drv device.Driver) error {
 			return fmt.Errorf("runtime: device %s has undeclared attribute %s", drv.ID(), name)
 		}
 	}
+	// The driver is installed before Register so that watchers reacting to
+	// the Added notification resolve it locally — but rolled back if the
+	// registration fails, so a failed re-bind never leaves rt.devices
+	// disagreeing with the registry (poll snapshots cache resolved drivers
+	// and rebuild only on registry change).
 	rt.mu.Lock()
+	prev, had := rt.devices[drv.ID()]
 	rt.devices[drv.ID()] = drv
 	rt.mu.Unlock()
 	entity := registry.Entity{
@@ -208,17 +244,27 @@ func (rt *Runtime) BindDevice(drv device.Driver) error {
 		Bound: registry.BindRuntime,
 	}
 	if err := rt.reg.Register(entity); err != nil {
+		rt.mu.Lock()
+		if had {
+			rt.devices[drv.ID()] = prev
+		} else {
+			delete(rt.devices, drv.ID())
+		}
+		rt.mu.Unlock()
 		return fmt.Errorf("runtime: bind device %s: %w", drv.ID(), err)
 	}
 	return nil
 }
 
-// UnbindDevice removes a device from the registry and the runtime.
+// UnbindDevice removes a device from the registry and the runtime. The
+// registry entry goes first so no snapshot rebuild can observe a registered
+// entity whose local driver is already gone.
 func (rt *Runtime) UnbindDevice(id string) error {
+	err := rt.reg.Unregister(registry.ID(id))
 	rt.mu.Lock()
 	delete(rt.devices, id)
 	rt.mu.Unlock()
-	return rt.reg.Unregister(registry.ID(id))
+	return err
 }
 
 // ImplementContext installs the implementation of a declared context.
@@ -350,11 +396,10 @@ func (rt *Runtime) Stop() {
 	}
 }
 
-// Stats returns a snapshot of runtime counters.
+// Stats returns a snapshot of runtime counters. Counters are atomics, so
+// the snapshot never contends with polling rounds or dispatch.
 func (rt *Runtime) Stats() Stats {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	return rt.stats
+	return rt.stats.snapshot()
 }
 
 // BusStats returns a snapshot of the delivery substrate's counters
@@ -374,11 +419,8 @@ func (rt *Runtime) LastPublished(contextName string) (any, bool) {
 
 func (rt *Runtime) reportError(component string, err error) {
 	ce := ComponentError{Component: component, Err: err, Time: rt.clock.Now()}
-	rt.mu.Lock()
-	rt.stats.Errors++
-	handler := rt.onError
-	rt.mu.Unlock()
-	if handler != nil {
+	rt.stats.errors.Add(1)
+	if handler := rt.onError; handler != nil {
 		handler(ce)
 	}
 }
@@ -446,10 +488,13 @@ func (rt *Runtime) clientFor(id, endpoint string) (*transport.Client, error) {
 }
 
 func (rt *Runtime) publishContext(ctx *check.Context, value any) {
+	// lastValues is written before the counter moves, so an observer that
+	// waits on ContextPublishes and then reads LastPublished never sees
+	// the previous round's value.
 	rt.mu.Lock()
-	rt.stats.ContextPublishes++
 	rt.lastValues[ctx.Name] = value
 	rt.mu.Unlock()
+	rt.stats.contextPublishes.Add(1)
 	if err := rt.bus.Publish(contextTopic(ctx.Name), value, rt.clock.Now()); err != nil && !errors.Is(err, eventbus.ErrClosed) {
 		rt.reportError(ctx.Name, err)
 	}

@@ -1,0 +1,102 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestQueryBatch(t *testing.T) {
+	srv, cli := newServerAndClient(t)
+	const n = 100
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("b%03d", i)
+		d := device.NewBase(ids[i], "S", nil, nil, nil)
+		v := i
+		d.OnQuery("v", func() (any, error) { return v, nil })
+		srv.Host(d)
+	}
+	vals, errs, err := cli.QueryBatch(ids, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != n || len(errs) != n {
+		t.Fatalf("lens = %d, %d; want %d", len(vals), len(errs), n)
+	}
+	for i := range ids {
+		if errs[i] != "" {
+			t.Fatalf("device %s: %s", ids[i], errs[i])
+		}
+		if vals[i] != i {
+			t.Fatalf("vals[%d] = %v", i, vals[i])
+		}
+	}
+}
+
+// Per-device failures must come back positionally without failing the whole
+// batch: unknown devices and erroring sources each mark only their slot.
+func TestQueryBatchPartialFailure(t *testing.T) {
+	srv, cli := newServerAndClient(t)
+	good := device.NewBase("ok", "S", nil, nil, nil)
+	good.OnQuery("v", func() (any, error) { return 7, nil })
+	srv.Host(good)
+	bad := device.NewBase("bad", "S", nil, nil, nil)
+	srv.Host(bad) // no "v" source
+
+	vals, errs, err := cli.QueryBatch([]string{"ok", "missing", "bad"}, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != "" || vals[0] != 7 {
+		t.Fatalf("ok slot = %v / %q", vals[0], errs[0])
+	}
+	if errs[1] == "" {
+		t.Fatal("missing device did not error")
+	}
+	if errs[2] == "" {
+		t.Fatal("unknown source did not error")
+	}
+}
+
+func TestQueryBatchEmpty(t *testing.T) {
+	_, cli := newServerAndClient(t)
+	vals, errs, err := cli.QueryBatch(nil, "v")
+	if err != nil || vals != nil || errs != nil {
+		t.Fatalf("empty batch = %v, %v, %v", vals, errs, err)
+	}
+}
+
+// Batched and per-device queries must agree under concurrent use of one
+// connection (exercised under -race).
+func TestQueryBatchConcurrentWithCalls(t *testing.T) {
+	srv, cli := newServerAndClient(t)
+	const n = 50
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = fmt.Sprintf("c%03d", i)
+		d := device.NewBase(ids[i], "S", nil, nil, nil)
+		d.OnQuery("v", func() (any, error) { return true, nil })
+		srv.Host(d)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if _, _, err := cli.QueryBatch(ids, "v"); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := cli.Query(ids[i%n], "v"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -40,18 +40,21 @@ func ensureBasicTypes() {
 // Wire messages. A single frame type flows in each direction.
 
 type request struct {
-	ID     uint64
-	Op     string // "query", "invoke", "subscribe", "cancel"
-	Device string
-	Facet  string
-	Args   []any
-	SubID  uint64
+	ID      uint64
+	Op      string // "query", "query_batch", "invoke", "subscribe", "cancel"
+	Device  string
+	Devices []string // for "query_batch": the devices to answer for
+	Facet   string
+	Args    []any
+	SubID   uint64
 }
 
 type response struct {
 	ID      uint64 // matches request.ID for call replies; 0 for pushes
 	SubID   uint64
 	Value   any
+	Values  []any    // per-device answers of a "query_batch"
+	Errs    []string // per-device errors of a "query_batch" ("" = ok)
 	Err     string
 	Push    bool
 	Reading device.Reading
@@ -236,6 +239,24 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			v, err := drv.Query(req.Facet)
 			send(response{ID: req.ID, Value: v, Err: errString(err)})
+		case "query_batch":
+			// One round trip answers every listed device: the batched form
+			// of periodic gathering, turning N polls of one endpoint into a
+			// single request. Drivers are resolved under one lock
+			// acquisition; queries run outside it.
+			drvs := s.lookupMany(req.Devices)
+			vals := make([]any, len(req.Devices))
+			errs := make([]string, len(req.Devices))
+			for i, drv := range drvs {
+				if drv == nil {
+					errs[i] = "unknown device " + req.Devices[i]
+					continue
+				}
+				v, err := drv.Query(req.Facet)
+				vals[i] = v
+				errs[i] = errString(err)
+			}
+			send(response{ID: req.ID, Values: vals, Errs: errs})
 		case "invoke":
 			drv := s.lookup(req.Device)
 			if drv == nil {
@@ -297,6 +318,16 @@ func (s *Server) lookup(id string) device.Driver {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.drivers[id]
+}
+
+func (s *Server) lookupMany(ids []string) []device.Driver {
+	out := make([]device.Driver, len(ids))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, id := range ids {
+		out[i] = s.drivers[id]
+	}
+	return out
 }
 
 func errString(err error) string {
@@ -468,6 +499,22 @@ func (c *Client) Query(deviceID, source string) (any, error) {
 		return nil, err
 	}
 	return resp.Value, nil
+}
+
+// QueryBatch reads the same source from many devices hosted on this
+// endpoint in a single request/response round trip. It returns one value
+// and one error string per device, positionally matching deviceIDs (an
+// empty string means the query succeeded). The returned error covers
+// transport-level failures only.
+func (c *Client) QueryBatch(deviceIDs []string, source string) ([]any, []string, error) {
+	if len(deviceIDs) == 0 {
+		return nil, nil, nil
+	}
+	resp, err := c.call(request{Op: "query_batch", Devices: deviceIDs, Facet: source})
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp.Values, resp.Errs, nil
 }
 
 // Invoke performs a remote actuation.
