@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -693,6 +694,187 @@ func BenchmarkSwarm_RemoteFleet(b *testing.B) {
 		})
 		cli.Close()
 		srv.Close()
+	}
+}
+
+// stormDesign is the event-driven (push) counterpart of the swarm's
+// periodic gathering: every presence change is delivered `when provided`.
+const stormDesign = `
+device PresenceSensor {
+	attribute lot as String;
+	source presence as Boolean;
+}
+
+context OccupancyChange as Boolean {
+	when provided presence from PresenceSensor
+	no publish;
+}
+`
+
+// stormCounter counts context deliveries.
+type stormCounter struct{ n atomic.Uint64 }
+
+func (c *stormCounter) OnTrigger(*runtime.ContextCall) (any, bool, error) {
+	c.n.Add(1)
+	return nil, false, nil
+}
+
+// chanOnlySensor hides SwarmSensor's PushSubscriber (and SnapshotQuerier)
+// faces, forcing the runtime onto the per-device-subscription baseline: one
+// channel and one forwarding goroutine per device.
+type chanOnlySensor struct{ s *devsim.SwarmSensor }
+
+func (c chanOnlySensor) ID() string                      { return c.s.ID() }
+func (c chanOnlySensor) Kind() string                    { return c.s.Kind() }
+func (c chanOnlySensor) Kinds() []string                 { return c.s.Kinds() }
+func (c chanOnlySensor) Attributes() registry.Attributes { return c.s.Attributes() }
+func (c chanOnlySensor) Query(source string) (any, error) {
+	return c.s.Query(source)
+}
+func (c chanOnlySensor) Subscribe(source string) (device.Subscription, error) {
+	return c.s.Subscribe(source)
+}
+func (c chanOnlySensor) Invoke(action string, args ...any) error {
+	return c.s.Invoke(action, args...)
+}
+
+// stormBenchWorld builds the event-storm application over a swarm, binding
+// either the push-capable sensors or the channel-only wrappers.
+func stormBenchWorld(b *testing.B, sensors int, push bool) (*runtime.Runtime, *devsim.Swarm, *stormCounter) {
+	b.Helper()
+	vc := simclock.NewVirtual(benchEpoch)
+	model, err := dsl.Load(stormDesign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rt := runtime.New(model, runtime.WithClock(vc))
+	swarm := devsim.NewSwarm(devsim.SwarmConfig{
+		Sensors: sensors, Lots: []string{"L00"}, GroupAttr: "lot", Seed: 7,
+	}, vc)
+	for _, s := range swarm.Sensors() {
+		var drv device.Driver = s
+		if !push {
+			drv = chanOnlySensor{s: s}
+		}
+		if err := rt.BindDevice(drv); err != nil {
+			b.Fatal(err)
+		}
+	}
+	delivered := &stormCounter{}
+	if err := rt.ImplementContext("OccupancyChange", delivered); err != nil {
+		b.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Stop)
+	waitAttached(b, swarm, sensors)
+	return rt, swarm, delivered
+}
+
+func waitAttached(b *testing.B, swarm *devsim.Swarm, want int) {
+	b.Helper()
+	for deadline := time.Now().Add(30 * time.Second); swarm.AttachedCount() != want; {
+		if time.Now().After(deadline) {
+			b.Fatalf("only %d/%d sensors attached", swarm.AttachedCount(), want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+// waitAccounted waits until delivered plus the pipeline's drop counters
+// reach the accepted-event ground truth.
+func waitAccounted(b *testing.B, rt *runtime.Runtime, delivered *stormCounter, want uint64) {
+	b.Helper()
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		st := rt.Stats()
+		got := delivered.n.Load() + st.IngestBudgetDrops + st.IngestDeadlineDrops
+		if got >= want {
+			if got > want {
+				b.Fatalf("accounted %d events, ground truth %d", got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("stalled at %d/%d accounted events", got, want)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// BenchmarkSwarm_EventStorm: 50k devices pushing readings through the
+// `when provided` path. One iteration emits one reading per device and
+// drains the pipeline. The per-device-subscription baseline (one channel +
+// one forwarding goroutine per device, the pre-ingestion architecture) is
+// the ablation; the acceptance target is ≥3x events/sec for ingest-push
+// over it at 50k devices.
+func BenchmarkSwarm_EventStorm(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		push bool
+	}{
+		{"per-device-subscription", false},
+		{"ingest-push", true},
+	} {
+		for _, sensors := range []int{10000, 50000} {
+			b.Run(fmt.Sprintf("%s/sensors=%d", cfg.name, sensors), func(b *testing.B) {
+				rt, swarm, delivered := stormBenchWorld(b, sensors, cfg.push)
+				var accepted uint64
+				// Warm the pipeline (shard buffers, subscription rings,
+				// handler caches) so the measured iterations are steady
+				// state.
+				accepted += uint64(swarm.FlipBurst(sensors))
+				waitAccounted(b, rt, delivered, accepted)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					accepted += uint64(swarm.FlipBurst(sensors))
+					waitAccounted(b, rt, delivered, accepted)
+				}
+				b.ReportMetric(float64(accepted)/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
+	}
+}
+
+// BenchmarkSwarm_Churn: the event storm under fleet churn. One iteration
+// churns the configured fraction of the 50k fleet out and back in
+// (registration, unregistration, attach/detach, possible watcher-overflow
+// reconciliation) and then delivers one reading per live device. The
+// acceptance criterion is steady-state per-event allocations staying flat
+// as churn rises (compare allocs/op across the churn fractions).
+func BenchmarkSwarm_Churn(b *testing.B) {
+	const sensors = 50000
+	for _, churnPct := range []int{0, 1, 10} {
+		b.Run(fmt.Sprintf("churn=%d%%", churnPct), func(b *testing.B) {
+			rt, swarm, delivered := stormBenchWorld(b, sensors, true)
+			cs, err := devsim.NewChurnSwarm(swarm, devsim.ChurnHooks{
+				Bind:   func(s *devsim.SwarmSensor) error { return rt.BindDevice(s) },
+				Unbind: rt.UnbindDevice,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			// stormBenchWorld already bound the whole population; adopt it
+			// as the live set.
+			cs.AdoptAll()
+			churn := sensors * churnPct / 100
+			// Steady-state warmup, as in BenchmarkSwarm_EventStorm.
+			cs.StormLive(cs.LiveCount())
+			waitAccounted(b, rt, delivered, cs.Expected())
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if churn > 0 {
+					if err := cs.Churn(churn, false); err != nil {
+						b.Fatal(err)
+					}
+				}
+				cs.StormLive(cs.LiveCount())
+				waitAccounted(b, rt, delivered, cs.Expected())
+			}
+			b.ReportMetric(float64(cs.Expected())/b.Elapsed().Seconds(), "events/sec")
+		})
 	}
 }
 

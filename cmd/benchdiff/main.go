@@ -1,0 +1,145 @@
+// Command benchdiff compares two benchjson reports and fails on
+// regressions: for every benchmark present in the baseline, the chosen
+// metric (ns/op by default) may not exceed the baseline by more than the
+// threshold percentage. It is the CI bench-regression gate:
+//
+//	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_abc1234.json
+//
+// Exit status 1 means at least one regression (or a baseline benchmark
+// missing from the current run, which would otherwise let a benchmark be
+// silently dropped). Improvements beyond the threshold are reported as a
+// hint to refresh the committed baseline but never fail.
+//
+// Smoke runs are noisy, so repeated samples of one benchmark (run the suite
+// with -count=3) are reduced to their per-metric minimum before comparison:
+// the best-of-N lower bound is far more stable under scheduler noise than a
+// single sample. The committed baseline should come from the same class of
+// machine as the gate (refresh it via the documented procedure in
+// README.md), and PRs that intentionally trade benchmark time for something
+// else can bypass the gate with the `bench-regression-ok` label (see
+// .github/workflows/ci.yml).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark mirrors cmd/benchjson's result entry.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// Report mirrors cmd/benchjson's document.
+type Report struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+func main() {
+	baseline := flag.String("baseline", "BENCH_baseline.json", "baseline benchjson report")
+	current := flag.String("current", "", "current benchjson report (required)")
+	metric := flag.String("metric", "ns/op", "metric to compare (lower is better)")
+	threshold := flag.Float64("threshold", 25, "allowed regression in percent")
+	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the current report")
+	flag.Parse()
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
+		os.Exit(2)
+	}
+	ok, err := run(os.Stdout, *baseline, *current, *metric, *threshold, *allowMissing)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+func load(path string) (map[string]Benchmark, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Benchmark, len(rep.Benchmarks))
+	for _, bm := range rep.Benchmarks {
+		prev, ok := out[bm.Name]
+		if !ok {
+			out[bm.Name] = bm
+			continue
+		}
+		// Repeated samples (-count=N): keep the per-metric minimum.
+		for k, v := range bm.Metrics {
+			if pv, has := prev.Metrics[k]; !has || v < pv {
+				prev.Metrics[k] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+func run(w *os.File, basePath, curPath, metric string, threshold float64, allowMissing bool) (bool, error) {
+	base, err := load(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return false, err
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	ok := true
+	fmt.Fprintf(w, "benchdiff: %s vs %s on %s (threshold %+.0f%%)\n", curPath, basePath, metric, threshold)
+	for _, name := range names {
+		bm := base[name]
+		bv, has := bm.Metrics[metric]
+		if !has || bv == 0 {
+			continue
+		}
+		cm, present := cur[name]
+		if !present {
+			if allowMissing {
+				fmt.Fprintf(w, "  SKIP  %-60s missing from current report\n", name)
+				continue
+			}
+			fmt.Fprintf(w, "  FAIL  %-60s missing from current report (refresh the baseline if it was renamed)\n", name)
+			ok = false
+			continue
+		}
+		cv, has := cm.Metrics[metric]
+		if !has {
+			fmt.Fprintf(w, "  FAIL  %-60s current report has no %s\n", name, metric)
+			ok = false
+			continue
+		}
+		delta := (cv - bv) / bv * 100
+		switch {
+		case delta > threshold:
+			fmt.Fprintf(w, "  FAIL  %-60s %12.0f -> %12.0f  %+.1f%%\n", name, bv, cv, delta)
+			ok = false
+		case delta < -threshold:
+			fmt.Fprintf(w, "  FAST  %-60s %12.0f -> %12.0f  %+.1f%% (consider refreshing the baseline)\n", name, bv, cv, delta)
+		default:
+			fmt.Fprintf(w, "  ok    %-60s %12.0f -> %12.0f  %+.1f%%\n", name, bv, cv, delta)
+		}
+	}
+	if !ok {
+		fmt.Fprintf(w, "benchdiff: regression beyond %.0f%% — apply the bench-regression-ok label to override, or refresh BENCH_baseline.json if the change is intended\n", threshold)
+	}
+	return ok, nil
+}

@@ -1,16 +1,25 @@
 // Command benchjson converts `go test -bench` output on stdin into a JSON
-// document on stdout, so CI can record benchmark runs as machine-readable
-// artifacts (e.g. BENCH_pr2.json) and the performance trajectory can be
-// tracked across PRs.
+// document, so CI can record benchmark runs as machine-readable artifacts
+// and the performance trajectory can be tracked across PRs (see
+// cmd/benchdiff for the regression gate).
 //
-//	go test -run xxx -bench . -benchtime=1x . | go run ./cmd/benchjson > BENCH.json
+// By default the report is written to BENCH_<short-sha>.json, where the
+// short SHA comes from `git rev-parse --short HEAD` (falling back to "dev"
+// outside a git checkout); -o overrides the path, and `-o -` writes to
+// stdout:
+//
+//	go test -run xxx -bench . -benchtime=1x . | go run ./cmd/benchjson
+//	go test -run xxx -bench . -benchtime=1x . | go run ./cmd/benchjson -o BENCH_baseline.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"strconv"
 	"strings"
 )
@@ -29,8 +38,55 @@ type Report struct {
 }
 
 func main() {
-	rep := Report{Env: map[string]string{}, Benchmarks: []Benchmark{}}
-	sc := bufio.NewScanner(os.Stdin)
+	out := flag.String("o", "", "output path; '-' for stdout (default BENCH_<short-sha>.json)")
+	flag.Parse()
+	if err := run(os.Stdin, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in io.Reader, out string) error {
+	rep, err := Parse(in)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out == "" {
+		out = fmt.Sprintf("BENCH_%s.json", shortSHA())
+	}
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+		fmt.Fprintln(os.Stderr, "benchjson: writing", out)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// shortSHA names the report after the current git commit so successive runs
+// never overwrite each other's artifacts.
+func shortSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "dev"
+	}
+	sha := strings.TrimSpace(string(out))
+	if sha == "" {
+		return "dev"
+	}
+	return sha
+}
+
+// Parse reads `go test -bench` output into a Report.
+func Parse(in io.Reader) (*Report, error) {
+	rep := &Report{Env: map[string]string{}, Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -61,13 +117,7 @@ func main() {
 		rep.Benchmarks = append(rep.Benchmarks, b)
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
-	enc := json.NewEncoder(os.Stdout)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(rep); err != nil {
-		fmt.Fprintln(os.Stderr, "benchjson:", err)
-		os.Exit(1)
-	}
+	return rep, nil
 }

@@ -79,6 +79,28 @@ type SnapshotQuerier interface {
 	Querier(source string) (QueryFunc, error)
 }
 
+// Sink accepts readings pushed by a device. Implementations are safe for
+// concurrent use and never block for long: admission control (bounded
+// in-flight budgets, drop policies) happens behind Push, so a device can
+// call it from its emission path directly.
+type Sink interface {
+	Push(r Reading)
+}
+
+// PushSubscriber is optionally implemented by drivers that can deliver
+// event-driven readings straight into a runtime-owned Sink instead of a
+// per-device channel. The runtime's ingestion pipeline prefers this path:
+// it needs no per-device goroutine or queue, so fleets of tens of thousands
+// of emitting devices cost per-event work proportional to traffic, not to
+// population size. The returned cancel function detaches the sink; it is
+// idempotent, and once it returns no new push begins — an emission already
+// in flight on another goroutine may still complete, so sinks must stay
+// safe to call (the runtime's ingestion shards are; they simply deliver
+// the straggler).
+type PushSubscriber interface {
+	SubscribePush(source string, sink Sink) (cancel func(), err error)
+}
+
 // Errors returned by drivers.
 var (
 	ErrUnknownSource = errors.New("device: unknown source")

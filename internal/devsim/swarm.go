@@ -73,16 +73,26 @@ type Swarm struct {
 	cfg   SwarmConfig
 	clock simclock.Clock
 
-	// mu guards the model state (rng, lastStep). Per-space occupancy is
-	// atomic so the periodic-gather hot path — 50k queries per round —
-	// never touches a shared lock.
-	mu       sync.Mutex
-	rng      *rand.Rand
-	occupied []atomic.Bool
-	lastStep time.Time
+	// mu guards the model state (rng, lastStep, flipCursor). Per-space
+	// occupancy is atomic so the periodic-gather hot path — 50k queries
+	// per round — never touches a shared lock.
+	mu         sync.Mutex
+	rng        *rand.Rand
+	occupied   []atomic.Bool
+	lastStep   time.Time
+	flipCursor int
 
-	subMu sync.Mutex
-	subs  map[int]map[*swarmSub]struct{}
+	// subMu guards the channel-subscription table, the push-sink COW
+	// updates and the attachment counters. The emission hot path reads
+	// push sinks through an atomic pointer and skips subMu entirely while
+	// no channel subscriptions exist, so a push-mode event storm takes no
+	// swarm-wide lock per event.
+	subMu        sync.Mutex
+	subs         map[int]map[*swarmSub]struct{}
+	chanSubCount atomic.Int64
+	pushSinks    []atomic.Pointer[[]*swarmPushEntry]
+	attachCounts []atomic.Int32
+	attached     atomic.Int64 // sensors with >=1 consumer attached
 
 	sensors []*SwarmSensor
 }
@@ -95,13 +105,15 @@ func NewSwarm(cfg SwarmConfig, clock simclock.Clock) *Swarm {
 		cfg.Lots = []string{"L00"}
 	}
 	s := &Swarm{
-		cfg:      cfg,
-		clock:    clock,
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		occupied: make([]atomic.Bool, cfg.Sensors),
-		lastStep: clock.Now(),
-		subs:     make(map[int]map[*swarmSub]struct{}),
-		sensors:  make([]*SwarmSensor, cfg.Sensors),
+		cfg:          cfg,
+		clock:        clock,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		occupied:     make([]atomic.Bool, cfg.Sensors),
+		lastStep:     clock.Now(),
+		subs:         make(map[int]map[*swarmSub]struct{}),
+		pushSinks:    make([]atomic.Pointer[[]*swarmPushEntry], cfg.Sensors),
+		attachCounts: make([]atomic.Int32, cfg.Sensors),
+		sensors:      make([]*SwarmSensor, cfg.Sensors),
 	}
 	for i := 0; i < cfg.Sensors; i++ {
 		lot := cfg.Lots[i%len(cfg.Lots)]
@@ -194,18 +206,41 @@ func (s *Swarm) SetOccupied(sensorIdx int, occupied bool) {
 	s.occupied[sensorIdx].Store(occupied)
 }
 
-func (s *Swarm) emit(idx int, value bool, at time.Time) {
+// emit delivers one state-change reading to the sensor's attached consumers
+// and reports whether at least one accepted it. Push sinks are read through
+// an atomic pointer (no lock); the channel-subscription table is consulted
+// only while channel subscribers exist anywhere in the swarm.
+func (s *Swarm) emit(idx int, value bool, at time.Time) bool {
+	accepted := false
+	var r device.Reading
+	if entries := s.pushSinks[idx].Load(); entries != nil && len(*entries) > 0 {
+		r = device.Reading{
+			DeviceID: s.sensors[idx].id,
+			Source:   s.cfg.Source,
+			Value:    value,
+			Time:     at,
+		}
+		for _, e := range *entries {
+			e.sink.Push(r)
+		}
+		accepted = true
+	}
+	if s.chanSubCount.Load() == 0 {
+		return accepted
+	}
 	s.subMu.Lock()
 	set := s.subs[idx]
 	if len(set) == 0 {
 		s.subMu.Unlock()
-		return
+		return accepted
 	}
-	r := device.Reading{
-		DeviceID: s.sensors[idx].id,
-		Source:   s.cfg.Source,
-		Value:    value,
-		Time:     at,
+	if r.DeviceID == "" {
+		r = device.Reading{
+			DeviceID: s.sensors[idx].id,
+			Source:   s.cfg.Source,
+			Value:    value,
+			Time:     at,
+		}
 	}
 	for sub := range set {
 		for {
@@ -222,6 +257,60 @@ func (s *Swarm) emit(idx int, value bool, at time.Time) {
 		}
 	}
 	s.subMu.Unlock()
+	return true
+}
+
+// Flip toggles one sensor's occupancy and emits the change, reporting
+// whether an attached consumer accepted the reading — the unit step of
+// event-storm and churn workloads, whose ground truth is the sum of
+// accepted readings.
+func (s *Swarm) Flip(idx int) bool {
+	return s.flipAt(idx, s.clock.Now())
+}
+
+func (s *Swarm) flipAt(idx int, at time.Time) bool {
+	next := !s.occupied[idx].Load()
+	s.occupied[idx].Store(next)
+	return s.emit(idx, next, at)
+}
+
+// FlipBurst toggles n sensors round-robin across the whole population and
+// returns how many of the emitted readings were accepted by an attached
+// consumer.
+func (s *Swarm) FlipBurst(n int) int {
+	if len(s.sensors) == 0 {
+		return 0
+	}
+	s.mu.Lock()
+	start := s.flipCursor
+	s.flipCursor = (s.flipCursor + n) % len(s.sensors)
+	s.mu.Unlock()
+	now := s.clock.Now()
+	accepted := 0
+	for i := 0; i < n; i++ {
+		if s.flipAt((start+i)%len(s.sensors), now) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+// Attached reports whether the sensor currently has at least one attached
+// consumer (push sink or channel subscription).
+func (s *Swarm) Attached(idx int) bool { return s.attachCounts[idx].Load() > 0 }
+
+// AttachedCount reports how many sensors currently have at least one
+// attached consumer — the settling signal for churn scenarios (a churned-in
+// sensor is live once attached, a churned-out one quiesced once detached).
+func (s *Swarm) AttachedCount() int { return int(s.attached.Load()) }
+
+// noteAttachLocked adjusts the attachment counters; callers hold subMu.
+func (s *Swarm) noteAttachLocked(idx int, delta int32) {
+	if n := s.attachCounts[idx].Add(delta); n == 0 && delta < 0 {
+		s.attached.Add(-1)
+	} else if n == delta && delta > 0 {
+		s.attached.Add(1)
+	}
 }
 
 func (s *Swarm) dropSub(sub *swarmSub) {
@@ -231,11 +320,19 @@ func (s *Swarm) dropSub(sub *swarmSub) {
 		if _, live := set[sub]; live {
 			delete(set, sub)
 			close(sub.ch)
+			s.chanSubCount.Add(-1)
+			s.noteAttachLocked(sub.idx, -1)
 			if len(set) == 0 {
 				delete(s.subs, sub.idx)
 			}
 		}
 	}
+}
+
+// swarmPushEntry is one push-sink attachment of one sensor; entries are
+// stored in copy-on-write slices so emission reads them lock-free.
+type swarmPushEntry struct {
+	sink device.Sink
 }
 
 // SwarmSensor is one simulated occupancy sensor. It implements
@@ -294,8 +391,58 @@ func (d *SwarmSensor) Subscribe(source string) (device.Subscription, error) {
 		d.swarm.subs[d.idx] = set
 	}
 	set[sub] = struct{}{}
+	d.swarm.chanSubCount.Add(1)
+	d.swarm.noteAttachLocked(d.idx, 1)
 	d.swarm.subMu.Unlock()
 	return sub, nil
+}
+
+// SubscribePush implements device.PushSubscriber: state changes are pushed
+// straight into the runtime's ingestion sink, with no per-sensor channel or
+// goroutine. The returned cancel is idempotent; an emission concurrently in
+// flight on another goroutine may still complete after cancel returns (the
+// emitter observed the sink attached and its reading counts as accepted),
+// but no new push begins.
+func (d *SwarmSensor) SubscribePush(source string, sink device.Sink) (func(), error) {
+	if source != d.swarm.cfg.Source {
+		return nil, fmt.Errorf("%w: %s.%s", device.ErrUnknownSource, d.id, source)
+	}
+	s := d.swarm
+	entry := &swarmPushEntry{sink: sink}
+	s.subMu.Lock()
+	var next []*swarmPushEntry
+	if cur := s.pushSinks[d.idx].Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, entry)
+	s.pushSinks[d.idx].Store(&next)
+	s.noteAttachLocked(d.idx, 1)
+	s.subMu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			s.subMu.Lock()
+			defer s.subMu.Unlock()
+			cur := s.pushSinks[d.idx].Load()
+			if cur == nil {
+				return
+			}
+			kept := make([]*swarmPushEntry, 0, len(*cur)-1)
+			for _, e := range *cur {
+				if e != entry {
+					kept = append(kept, e)
+				}
+			}
+			if len(kept) == 0 {
+				s.pushSinks[d.idx].Store(nil)
+			} else {
+				s.pushSinks[d.idx].Store(&kept)
+			}
+			s.noteAttachLocked(d.idx, -1)
+		})
+	}
+	return cancel, nil
 }
 
 // Invoke implements device.Driver; sensors have no actions.

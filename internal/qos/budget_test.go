@@ -1,0 +1,85 @@
+package qos
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestBudgetAllOrNothing(t *testing.T) {
+	b := NewBudget(4)
+	if !b.TryAcquire(4) {
+		t.Fatal("acquire within capacity failed")
+	}
+	if b.TryAcquire(1) {
+		t.Fatal("acquire beyond capacity succeeded")
+	}
+	if got := b.InFlight(); got != 4 {
+		t.Fatalf("in flight = %d, want 4", got)
+	}
+	b.Release(2)
+	if !b.TryAcquire(2) {
+		t.Fatal("acquire after release failed")
+	}
+	if got, want := b.Admitted(), uint64(6); got != want {
+		t.Fatalf("admitted = %d, want %d", got, want)
+	}
+	if got, want := b.Rejected(), uint64(1); got != want {
+		t.Fatalf("rejected = %d, want %d", got, want)
+	}
+}
+
+func TestBudgetAcquireUpTo(t *testing.T) {
+	b := NewBudget(10)
+	if got := b.AcquireUpTo(7); got != 7 {
+		t.Fatalf("first acquire = %d, want 7", got)
+	}
+	if got := b.AcquireUpTo(7); got != 3 {
+		t.Fatalf("partial acquire = %d, want 3", got)
+	}
+	if got := b.AcquireUpTo(1); got != 0 {
+		t.Fatalf("exhausted acquire = %d, want 0", got)
+	}
+	if got, want := b.Rejected(), uint64(5); got != want {
+		t.Fatalf("rejected = %d, want %d", got, want)
+	}
+	b.Release(10)
+	if got := b.InFlight(); got != 0 {
+		t.Fatalf("in flight after full release = %d, want 0", got)
+	}
+}
+
+func TestBudgetUnbounded(t *testing.T) {
+	b := NewBudget(0)
+	if got := b.AcquireUpTo(1 << 20); got != 1<<20 {
+		t.Fatalf("unbounded acquire = %d", got)
+	}
+	if b.Rejected() != 0 {
+		t.Fatal("unbounded budget rejected units")
+	}
+}
+
+// TestBudgetConcurrent hammers the budget from many goroutines and checks
+// the admission invariant afterwards — run with -race.
+func TestBudgetConcurrent(t *testing.T) {
+	const capacity, workers, perWorker = 64, 8, 1000
+	b := NewBudget(capacity)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if n := b.AcquireUpTo(3); n > 0 {
+					b.Release(n)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := b.InFlight(); got != 0 {
+		t.Fatalf("in flight after drain = %d, want 0", got)
+	}
+	if got, want := b.Admitted()+b.Rejected(), uint64(workers*perWorker*3); got != want {
+		t.Fatalf("admitted+rejected = %d, want %d", got, want)
+	}
+}

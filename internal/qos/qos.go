@@ -9,7 +9,9 @@
 //     transient errors (e.g. simulated LPWAN loss);
 //   - FaultInjector: wraps a driver to inject failures for robustness tests,
 //     complementing transport.Link's loss model with device-level errors;
-//   - Monitor: collects violation records for inspection.
+//   - Monitor: collects violation records for inspection;
+//   - Budget: a bounded in-flight admission counter, the backpressure
+//     primitive behind the runtime's event-ingestion pipeline.
 //
 // All wrappers preserve the device.Driver interface, so they compose with
 // each other, with transport proxies and with the runtime transparently.
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/device"
@@ -138,6 +141,79 @@ func (d *Deadline) Invoke(action string, args ...any) error {
 	defer d.observe("invoke", action, start)
 	return d.inner.Invoke(action, args...)
 }
+
+// Budget is a bounded in-flight admission counter: the backpressure
+// primitive of the runtime's event-ingestion pipeline. Producers acquire one
+// unit per reading admitted into the pipeline and the pipeline releases the
+// units once the batch has been handed to the delivery substrate, so the
+// number of readings buffered between a device and its context handler never
+// exceeds the capacity — beyond it, admission fails and the caller applies
+// its drop policy instead of growing queues without bound.
+//
+// All methods are safe for concurrent use and lock-free.
+type Budget struct {
+	capacity int64
+	inflight atomic.Int64
+	admitted atomic.Uint64
+	rejected atomic.Uint64
+}
+
+// NewBudget returns a Budget admitting at most capacity units in flight.
+// capacity <= 0 means unbounded (admission never fails).
+func NewBudget(capacity int) *Budget {
+	return &Budget{capacity: int64(capacity)}
+}
+
+// Capacity reports the configured bound; 0 or below means unbounded.
+func (b *Budget) Capacity() int { return int(b.capacity) }
+
+// TryAcquire admits n units if the whole request fits within the capacity.
+// It is all-or-nothing; use AcquireUpTo for partial admission.
+func (b *Budget) TryAcquire(n int) bool {
+	return b.AcquireUpTo(n) == n
+}
+
+// AcquireUpTo admits as many of n units as fit within the capacity and
+// returns how many were admitted; the remainder is counted as rejected.
+func (b *Budget) AcquireUpTo(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if b.capacity <= 0 {
+		b.admitted.Add(uint64(n))
+		return n
+	}
+	got := int64(n)
+	now := b.inflight.Add(got)
+	if over := now - b.capacity; over > 0 {
+		if over > got {
+			over = got
+		}
+		b.inflight.Add(-over)
+		got -= over
+		b.rejected.Add(uint64(over))
+	}
+	if got > 0 {
+		b.admitted.Add(uint64(got))
+	}
+	return int(got)
+}
+
+// Release returns n admitted units to the budget.
+func (b *Budget) Release(n int) {
+	if n > 0 {
+		b.inflight.Add(-int64(n))
+	}
+}
+
+// InFlight reports the units currently admitted and not yet released.
+func (b *Budget) InFlight() int { return int(b.inflight.Load()) }
+
+// Admitted reports the total units ever admitted.
+func (b *Budget) Admitted() uint64 { return b.admitted.Load() }
+
+// Rejected reports the total units refused at admission.
+func (b *Budget) Rejected() uint64 { return b.rejected.Load() }
 
 // RetryPolicy bounds retries of transient operations.
 type RetryPolicy struct {

@@ -135,9 +135,7 @@ func (c *ContextCall) QueryContext(name string) (any, error) {
 		return nil, fmt.Errorf("runtime: context %s: design declares no 'get %s' in this interaction",
 			c.ContextName, name)
 	}
-	c.rt.mu.Lock()
-	h := c.rt.contexts[name]
-	c.rt.mu.Unlock()
+	h := c.rt.contextHandler(name)
 	rh, ok := h.(RequiredHandler)
 	if !ok {
 		return nil, fmt.Errorf("runtime: context %s does not serve pulls", name)

@@ -14,9 +14,7 @@ import (
 func (rt *Runtime) wireController(ctrl *check.Controller, w *check.ControllerWhen) error {
 	_, err := rt.bus.Subscribe(contextTopic(w.Context.Name), func(ev eventbus.Event) {
 		rt.stats.controllerTriggers.Add(1)
-		rt.mu.Lock()
-		h := rt.controllers[ctrl.Name]
-		rt.mu.Unlock()
+		h := rt.controllerHandler(ctrl.Name)
 		if h == nil {
 			return
 		}

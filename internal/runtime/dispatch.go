@@ -40,8 +40,8 @@ func periodicTopic(ctxName string, idx int) string {
 }
 
 // wireProvided wires one `when provided` interaction: a bus subscription for
-// context-to-context arrows, or device subscriptions (tracked dynamically
-// through registry watches) funneled through the bus for device sources.
+// context-to-context arrows, or — for device sources — the sharded ingestion
+// pipeline (see ingest.go) funneled through the bus topic.
 func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interaction) error {
 	if in.TriggerKind == check.FromContext {
 		_, err := rt.bus.Subscribe(contextTopic(in.TriggerCtx.Name), func(ev eventbus.Event) {
@@ -58,6 +58,9 @@ func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interacti
 	}
 
 	topic := sourceTopic(ctx.Name, idx)
+	// The ingestion workers publish whole bursts; a deeper queue lets them
+	// run ahead of the handler within the interaction's qos budget instead
+	// of blocking after the default 64 events.
 	if _, err := rt.bus.Subscribe(topic, func(ev eventbus.Event) {
 		r := ev.Payload.(device.Reading)
 		rt.dispatchContext(ctx, in, &ContextCall{
@@ -68,185 +71,14 @@ func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interacti
 			Time:             r.Time,
 			rt:               rt,
 		})
-	}); err != nil {
+	}, eventbus.WithQueue(sourceTopicQueue)); err != nil {
 		return err
 	}
-	return rt.trackDeviceSource(in.TriggerDevice.Name, in.TriggerSource.Name, topic)
+	return rt.trackDeviceSource(in.TriggerDevice.Name, in.TriggerSource.Name, rt.newIngestor(topic))
 }
 
-// trackDeviceSource subscribes to the named source of every present and
-// future device of the given kind, forwarding readings onto the bus topic.
-func (rt *Runtime) trackDeviceSource(kind, source, topic string) error {
-	w, err := rt.reg.Watch(registry.Query{Kind: kind}, 64)
-	if err != nil {
-		return err
-	}
-	rt.mu.Lock()
-	rt.watchers = append(rt.watchers, w)
-	rt.mu.Unlock()
-
-	tracker := &sourceTracker{rt: rt, source: source, topic: topic, subs: make(map[registry.ID]*deviceSubscription)}
-	for _, e := range rt.reg.Discover(registry.Query{Kind: kind}) {
-		tracker.add(e)
-	}
-	rt.wg.Add(1)
-	go func() {
-		defer rt.wg.Done()
-		for c := range w.C() {
-			switch c.Type {
-			case registry.Added, registry.Updated:
-				tracker.add(c.Entity)
-			case registry.Removed, registry.Expired:
-				tracker.remove(c.Entity.ID)
-			}
-		}
-		tracker.stopAll()
-	}()
-	return nil
-}
-
-type sourceTracker struct {
-	rt     *Runtime
-	source string
-	topic  string
-
-	mu   sync.Mutex
-	subs map[registry.ID]*deviceSubscription
-}
-
-func (t *sourceTracker) add(e registry.Entity) {
-	// Check-and-reserve atomically: the placeholder claims the entity's
-	// slot under one lock acquisition, so a concurrent add for the same
-	// entity cannot also pass the dup check and leak a second device
-	// subscription. The (possibly slow) driver resolution and Subscribe
-	// happen outside the lock; attach reconciles with a concurrent remove.
-	ds := &deviceSubscription{}
-	t.mu.Lock()
-	if _, dup := t.subs[e.ID]; dup {
-		t.mu.Unlock()
-		return
-	}
-	t.subs[e.ID] = ds
-	t.mu.Unlock()
-
-	release := func() {
-		t.mu.Lock()
-		if t.subs[e.ID] == ds {
-			delete(t.subs, e.ID)
-		}
-		t.mu.Unlock()
-	}
-	drv, err := t.rt.driverFor(e)
-	if err != nil {
-		release()
-		t.rt.reportError("bind:"+string(e.ID), err)
-		return
-	}
-	sub, err := drv.Subscribe(t.source)
-	if err != nil {
-		release()
-		t.rt.reportError("subscribe:"+string(e.ID), fmt.Errorf("source %s: %w", t.source, err))
-		return
-	}
-	if !ds.attach(sub) {
-		// Removed (or tracker stopped) while we were subscribing; the
-		// reservation was already discarded and attach cancelled sub.
-		return
-	}
-	t.rt.mu.Lock()
-	t.rt.devSubs = append(t.rt.devSubs, ds)
-	t.rt.mu.Unlock()
-
-	t.rt.wg.Add(1)
-	go func() {
-		defer t.rt.wg.Done()
-		batch := make([]any, 0, sourceForwardBatch)
-		for r := range sub.C() {
-			batch = append(batch[:0], r)
-			// Opportunistically drain what the device already queued:
-			// under swarm-scale fan-in one PublishBatch then amortizes
-			// the bus overhead over the whole burst.
-		drain:
-			for len(batch) < cap(batch) {
-				select {
-				case more, ok := <-sub.C():
-					if !ok {
-						break drain
-					}
-					batch = append(batch, more)
-				default:
-					break drain
-				}
-			}
-			at := batch[len(batch)-1].(device.Reading).Time
-			if err := t.rt.bus.PublishBatch(t.topic, batch, at); err != nil {
-				return
-			}
-		}
-	}()
-}
-
-// sourceForwardBatch bounds the per-wakeup fan-in batch of one device
-// subscription's forwarding loop.
-const sourceForwardBatch = 64
-
-func (t *sourceTracker) remove(id registry.ID) {
-	t.mu.Lock()
-	ds, ok := t.subs[id]
-	delete(t.subs, id)
-	t.mu.Unlock()
-	if ok {
-		ds.stop()
-	}
-}
-
-func (t *sourceTracker) stopAll() {
-	t.mu.Lock()
-	subs := t.subs
-	t.subs = make(map[registry.ID]*deviceSubscription)
-	t.mu.Unlock()
-	for _, ds := range subs {
-		ds.stop()
-	}
-}
-
-// deviceSubscription tracks one device subscription from reservation to
-// cancellation. It is created as an empty reservation (see sourceTracker.add)
-// and attached once Subscribe succeeds; stop before attach marks it stopped
-// so attach cancels the late-arriving subscription instead of leaking it.
-type deviceSubscription struct {
-	mu      sync.Mutex
-	sub     device.Subscription
-	stopped bool
-}
-
-// attach installs sub and reports whether the subscription is live. If stop
-// already ran, sub is cancelled and attach returns false.
-func (d *deviceSubscription) attach(sub device.Subscription) bool {
-	d.mu.Lock()
-	d.sub = sub
-	stopped := d.stopped
-	d.mu.Unlock()
-	if stopped {
-		sub.Cancel()
-		return false
-	}
-	return true
-}
-
-func (d *deviceSubscription) stop() {
-	d.mu.Lock()
-	if d.stopped {
-		d.mu.Unlock()
-		return
-	}
-	d.stopped = true
-	sub := d.sub
-	d.mu.Unlock()
-	if sub != nil {
-		sub.Cancel()
-	}
-}
+// sourceTopicQueue is the bus queue depth of one device-source topic.
+const sourceTopicQueue = 1024
 
 // poller drives one `when periodic` interaction. Steady-state work is
 // proportional to fleet size only in queries issued, not in bookkeeping: the
@@ -714,9 +546,7 @@ func (p *poller) dispatch(batch periodicBatch) {
 // several values for one key, the last emission wins, matching the paper's
 // one-value-per-group framework contract.
 func (p *poller) runMapReduce(readings []GroupedReading) map[string]any {
-	p.rt.mu.Lock()
-	h := p.rt.contexts[p.ctx.Name]
-	p.rt.mu.Unlock()
+	h := p.rt.contextHandler(p.ctx.Name)
 	mr, ok := h.(MapReducer)
 	if !ok {
 		p.rt.reportError(p.ctx.Name, fmt.Errorf("handler does not implement MapReducer"))
@@ -742,9 +572,7 @@ func (p *poller) runMapReduce(readings []GroupedReading) map[string]any {
 // according to the declared publish mode.
 func (rt *Runtime) dispatchContext(ctx *check.Context, in *check.Interaction, call *ContextCall) {
 	rt.stats.contextTriggers.Add(1)
-	rt.mu.Lock()
-	h := rt.contexts[ctx.Name]
-	rt.mu.Unlock()
+	h := rt.contextHandler(ctx.Name)
 	if h == nil {
 		return
 	}

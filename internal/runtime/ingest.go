@@ -1,0 +1,493 @@
+package runtime
+
+import (
+	"fmt"
+	"hash/maphash"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/qos"
+	"repro/internal/registry"
+)
+
+// This file implements the event-driven ingestion pipeline behind
+// `when provided <source> from <Device>` interactions. Instead of one
+// forwarding goroutine and queue per device (which makes a 50k-device swarm
+// cost 50k goroutines and a scheduler wakeup per event), each interaction
+// owns a small set of ingestion shards: devices push readings into their
+// shard — directly via device.PushSubscriber when the driver supports it,
+// through a per-device channel otherwise — and one worker per shard
+// coalesces whatever has accumulated into PublishBatch calls. Admission is
+// bounded by a qos.Budget per interaction, so a storm that outruns the
+// context handler drops at the intake (counted in Stats) instead of growing
+// queues without bound.
+
+// IngestConfig shapes the ingestion pipeline of one `when provided`
+// device-source interaction.
+type IngestConfig struct {
+	// Shards is the number of intake buffers/workers per interaction;
+	// devices hash to a shard by ID. Default 8.
+	Shards int
+	// MaxBatch bounds one PublishBatch flush. Default 256.
+	MaxBatch int
+	// Budget bounds readings in flight (admitted at a shard but not yet
+	// handed to the delivery substrate) per interaction; beyond it new
+	// readings are dropped and counted in Stats.IngestBudgetDrops.
+	// Default 65536. Negative means unbounded.
+	Budget int
+	// MaxAge, when positive, is the deadline policy: readings older than
+	// MaxAge at flush time (by the runtime clock) are dropped and counted
+	// in Stats.IngestDeadlineDrops. Zero disables the deadline.
+	MaxAge time.Duration
+}
+
+func (c IngestConfig) withDefaults() IngestConfig {
+	if c.Shards <= 0 {
+		c.Shards = 8
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.Budget == 0 {
+		c.Budget = 65536
+	}
+	return c
+}
+
+// ingestSeed makes the device→shard hash vary between processes but stay
+// consistent within one runtime lifetime.
+var ingestSeed = maphash.MakeSeed()
+
+// ingestor is the ingestion pipeline of one device-source interaction: the
+// intake shards, their flush workers, and the interaction's admission
+// budget. Readings leave through PublishBatch on topic.
+type ingestor struct {
+	rt       *Runtime
+	topic    string
+	budget   *qos.Budget
+	maxBatch int
+	maxAge   time.Duration
+	shards   []*ingestShard
+	mask     uint64
+}
+
+func (rt *Runtime) newIngestor(topic string) *ingestor {
+	cfg := rt.ingestCfg.withDefaults()
+	n := 1
+	for n < cfg.Shards {
+		n <<= 1
+	}
+	ing := &ingestor{
+		rt:       rt,
+		topic:    topic,
+		budget:   qos.NewBudget(cfg.Budget),
+		maxBatch: cfg.MaxBatch,
+		maxAge:   cfg.MaxAge,
+		shards:   make([]*ingestShard, n),
+		mask:     uint64(n - 1),
+	}
+	for i := range ing.shards {
+		s := &ingestShard{ing: ing}
+		s.notEmpty.L = &s.mu
+		ing.shards[i] = s
+		rt.wg.Add(1)
+		go s.run()
+	}
+	rt.mu.Lock()
+	rt.ingestors = append(rt.ingestors, ing)
+	rt.mu.Unlock()
+	return ing
+}
+
+// shardFor returns the stable intake shard of one device, so per-device
+// reading order is preserved through the pipeline.
+func (ing *ingestor) shardFor(id string) *ingestShard {
+	return ing.shards[maphash.String(ingestSeed, id)&ing.mask]
+}
+
+// stop wakes every shard worker for shutdown. Buffered readings are still
+// flushed before the workers exit (the bus closes only after rt.wg drains).
+func (ing *ingestor) stop() {
+	for _, s := range ing.shards {
+		s.mu.Lock()
+		s.stopped = true
+		s.notEmpty.Signal()
+		s.mu.Unlock()
+	}
+}
+
+// ingestShard is one intake buffer plus its flush worker. Push appends under
+// the shard mutex; the worker swaps the buffer out wholesale and publishes
+// it in MaxBatch chunks, so per-event synchronization is amortized over the
+// burst on both sides (mirroring the bus's ring-buffer subscriptions).
+type ingestShard struct {
+	ing      *ingestor
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	buf      []any // pending readings, boxed as bus payloads
+	stopped  bool
+}
+
+// Push implements device.Sink.
+func (s *ingestShard) Push(r device.Reading) {
+	ing := s.ing
+	if ing.budget.AcquireUpTo(1) == 0 {
+		ing.rt.stats.ingestBudgetDrops.Add(1)
+		return
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		ing.budget.Release(1)
+		return
+	}
+	s.buf = append(s.buf, r)
+	if len(s.buf) == 1 {
+		s.notEmpty.Signal()
+	}
+	s.mu.Unlock()
+}
+
+// pushBatch admits a whole burst under one budget check and one lock
+// acquisition — the channel-fallback forwarding path drains its device queue
+// and hands the burst over in one call. Readings beyond the budget are
+// dropped from the tail and counted.
+func (s *ingestShard) pushBatch(batch []any) {
+	ing := s.ing
+	admitted := ing.budget.AcquireUpTo(len(batch))
+	if dropped := len(batch) - admitted; dropped > 0 {
+		ing.rt.stats.ingestBudgetDrops.Add(uint64(dropped))
+	}
+	if admitted == 0 {
+		return
+	}
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		ing.budget.Release(admitted)
+		return
+	}
+	wasEmpty := len(s.buf) == 0
+	s.buf = append(s.buf, batch[:admitted]...)
+	if wasEmpty {
+		s.notEmpty.Signal()
+	}
+	s.mu.Unlock()
+}
+
+func (s *ingestShard) run() {
+	defer s.ing.rt.wg.Done()
+	var pending []any
+	for {
+		s.mu.Lock()
+		for len(s.buf) == 0 && !s.stopped {
+			s.notEmpty.Wait()
+		}
+		if len(s.buf) == 0 {
+			// Stopped and fully drained.
+			s.mu.Unlock()
+			return
+		}
+		pending, s.buf = s.buf, pending[:0]
+		s.mu.Unlock()
+		s.flush(pending)
+	}
+}
+
+// flush applies the deadline policy and publishes the burst in MaxBatch
+// chunks, then returns the admitted units to the budget. The bus copies
+// events out during PublishBatch, so the slice is recycled as the shard's
+// next intake buffer.
+func (s *ingestShard) flush(batch []any) {
+	ing := s.ing
+	admitted := len(batch)
+	if ing.maxAge > 0 {
+		cutoff := ing.rt.clock.Now().Add(-ing.maxAge)
+		kept := batch[:0]
+		for _, p := range batch {
+			if p.(device.Reading).Time.Before(cutoff) {
+				continue
+			}
+			kept = append(kept, p)
+		}
+		if stale := len(batch) - len(kept); stale > 0 {
+			ing.rt.stats.ingestDeadlineDrops.Add(uint64(stale))
+		}
+		batch = kept
+	}
+	for lo := 0; lo < len(batch); lo += ing.maxBatch {
+		hi := lo + ing.maxBatch
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		chunk := batch[lo:hi]
+		at := chunk[len(chunk)-1].(device.Reading).Time
+		if err := ing.rt.bus.PublishBatch(ing.topic, chunk, at); err != nil {
+			break
+		}
+		ing.rt.stats.ingestBatches.Add(1)
+		ing.rt.stats.ingestEvents.Add(uint64(len(chunk)))
+	}
+	ing.budget.Release(admitted)
+	// Drop payload references so recycled capacity does not retain
+	// reading values across quiet periods.
+	clear(batch[:cap(batch)])
+}
+
+// trackDeviceSource attaches the named source of every present and future
+// device of the given kind to the interaction's ingestion pipeline,
+// reconciling with the registry when watcher notifications are missed.
+func (rt *Runtime) trackDeviceSource(kind, source string, ing *ingestor) error {
+	w, err := rt.reg.Watch(registry.Query{Kind: kind}, trackerWatchBuf)
+	if err != nil {
+		return err
+	}
+	t := &sourceTracker{
+		rt:     rt,
+		kind:   kind,
+		source: source,
+		ing:    ing,
+		subs:   make(map[registry.ID]*trackedDevice),
+	}
+	rt.mu.Lock()
+	rt.watchers = append(rt.watchers, w)
+	rt.trackers = append(rt.trackers, t)
+	rt.mu.Unlock()
+
+	for _, e := range rt.reg.Discover(registry.Query{Kind: kind}) {
+		t.add(e)
+	}
+	rt.wg.Add(1)
+	go t.loop(w)
+	return nil
+}
+
+// trackerWatchBuf is the watcher channel capacity of one source tracker.
+// Overflow under churn storms is tolerated: the tracker detects the missed
+// notifications and reconciles against a registry scan.
+const trackerWatchBuf = 64
+
+// sourceTracker keeps one interaction's device attachments in step with the
+// registry: every device of the kind gets exactly one attachment (a push
+// sink or a channel subscription) while registered, released as soon as it
+// unregisters or its lease expires — not at runtime shutdown. When the
+// watcher channel overflowed (Missed moved), the tracker reconciles its
+// attachment table against a registry scan, so a churn storm that outruns
+// the notification buffer neither leaks tracker state nor keeps delivering
+// for departed devices.
+type sourceTracker struct {
+	rt     *Runtime
+	kind   string
+	source string
+	ing    *ingestor
+
+	mu   sync.Mutex
+	subs map[registry.ID]*trackedDevice
+
+	lastMissed uint64 // tracker goroutine only
+}
+
+func (t *sourceTracker) loop(w *registry.Watcher) {
+	defer t.rt.wg.Done()
+	for c := range w.C() {
+		switch c.Type {
+		case registry.Added, registry.Updated:
+			t.add(c.Entity)
+		case registry.Removed, registry.Expired:
+			t.remove(c.Entity.ID)
+		}
+		if m := w.Missed(); m != t.lastMissed {
+			t.lastMissed = m
+			t.reconcile()
+		}
+	}
+	t.stopAll()
+}
+
+// trackedCount reports the number of devices currently attached (tests and
+// diagnostics).
+func (t *sourceTracker) trackedCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.subs)
+}
+
+func (t *sourceTracker) add(e registry.Entity) {
+	// Check-and-reserve atomically: the placeholder claims the entity's
+	// slot under one lock acquisition, so a concurrent add for the same
+	// entity cannot also pass the dup check and leak a second attachment.
+	// The (possibly slow) driver resolution and subscription happen
+	// outside the lock; attach reconciles with a concurrent remove.
+	td := &trackedDevice{}
+	t.mu.Lock()
+	if _, dup := t.subs[e.ID]; dup {
+		t.mu.Unlock()
+		return
+	}
+	t.subs[e.ID] = td
+	t.mu.Unlock()
+
+	release := func() {
+		t.mu.Lock()
+		if t.subs[e.ID] == td {
+			delete(t.subs, e.ID)
+		}
+		t.mu.Unlock()
+	}
+	drv, err := t.rt.driverFor(e)
+	if err != nil {
+		release()
+		t.rt.reportError("bind:"+string(e.ID), err)
+		return
+	}
+	shard := t.ing.shardFor(string(e.ID))
+	if ps, ok := drv.(device.PushSubscriber); ok {
+		cancel, err := ps.SubscribePush(t.source, shard)
+		if err != nil {
+			release()
+			t.rt.reportError("subscribe:"+string(e.ID), fmt.Errorf("source %s: %w", t.source, err))
+			return
+		}
+		td.attach(cancel)
+		return
+	}
+	sub, err := drv.Subscribe(t.source)
+	if err != nil {
+		release()
+		t.rt.reportError("subscribe:"+string(e.ID), fmt.Errorf("source %s: %w", t.source, err))
+		return
+	}
+	if !td.attach(sub.Cancel) {
+		// Removed (or tracker stopped) while we were subscribing; the
+		// reservation was already discarded and attach cancelled sub.
+		return
+	}
+	t.rt.wg.Add(1)
+	go t.forward(sub, shard)
+}
+
+// forward drains one channel-subscribed device into its ingestion shard —
+// the fallback (and ablation baseline) for drivers without PushSubscriber.
+// Each wakeup hands whatever the device already queued to the shard in one
+// call, so even the per-device-channel path batches its bus handoff.
+func (t *sourceTracker) forward(sub device.Subscription, shard *ingestShard) {
+	defer t.rt.wg.Done()
+	batch := make([]any, 0, sourceForwardBatch)
+	for r := range sub.C() {
+		batch = append(batch[:0], r)
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case more, ok := <-sub.C():
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		shard.pushBatch(batch)
+	}
+}
+
+// sourceForwardBatch bounds the per-wakeup fan-in batch of one device
+// subscription's forwarding loop.
+const sourceForwardBatch = 64
+
+func (t *sourceTracker) remove(id registry.ID) {
+	t.mu.Lock()
+	td, ok := t.subs[id]
+	delete(t.subs, id)
+	t.mu.Unlock()
+	if ok {
+		td.stop()
+	}
+}
+
+func (t *sourceTracker) stopAll() {
+	t.mu.Lock()
+	subs := t.subs
+	t.subs = make(map[registry.ID]*trackedDevice)
+	t.mu.Unlock()
+	for _, td := range subs {
+		td.stop()
+	}
+}
+
+// reconcile repairs the attachment table against a registry scan after
+// watcher notifications were dropped: devices present in the registry but
+// not attached are added, attachments whose device is gone are released.
+// The scan observes every change committed before it takes each shard lock,
+// and any change racing the scan still has its notification in flight, so
+// the table converges once the channel drains.
+func (t *sourceTracker) reconcile() {
+	t.rt.stats.trackerReconciles.Add(1)
+	live := make(map[registry.ID]registry.Entity)
+	t.rt.reg.Scan(registry.Query{Kind: t.kind}, func(e registry.Entity) bool {
+		// Copy the scalar identity fields only; Scan forbids retaining
+		// the entity, and add resolves local drivers by ID.
+		live[e.ID] = registry.Entity{ID: e.ID, Kind: e.Kind, Endpoint: e.Endpoint}
+		return true
+	})
+	t.mu.Lock()
+	var gone []*trackedDevice
+	var missing []registry.Entity
+	for id, td := range t.subs {
+		if _, ok := live[id]; !ok {
+			delete(t.subs, id)
+			gone = append(gone, td)
+		}
+	}
+	for id, e := range live {
+		if _, ok := t.subs[id]; !ok {
+			missing = append(missing, e)
+		}
+	}
+	t.mu.Unlock()
+	for _, td := range gone {
+		td.stop()
+	}
+	for _, e := range missing {
+		t.add(e)
+	}
+}
+
+// trackedDevice tracks one device attachment from reservation to release.
+// It is created as an empty reservation (see sourceTracker.add) and attached
+// once the subscription succeeds; stop before attach marks it stopped so
+// attach cancels the late-arriving subscription instead of leaking it.
+type trackedDevice struct {
+	mu      sync.Mutex
+	cancel  func()
+	stopped bool
+}
+
+// attach installs the cancel function and reports whether the attachment is
+// live. If stop already ran, cancel is invoked and attach returns false.
+func (d *trackedDevice) attach(cancel func()) bool {
+	d.mu.Lock()
+	d.cancel = cancel
+	stopped := d.stopped
+	d.mu.Unlock()
+	if stopped {
+		cancel()
+		return false
+	}
+	return true
+}
+
+func (d *trackedDevice) stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	cancel := d.cancel
+	d.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}

@@ -1,0 +1,430 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/devsim"
+	"repro/internal/dsl"
+	"repro/internal/dsl/check"
+	"repro/internal/eventbus"
+	"repro/internal/registry"
+	"repro/internal/simclock"
+)
+
+// White-box tests of the event-ingestion pipeline: shard coalescing, qos
+// backpressure accounting, the deadline policy, watcher-miss reconciliation
+// and tracker slot release under churn. All are run under -race in CI.
+
+const ingestTestDesign = `
+device PresenceSensor {
+	attribute lot as String;
+	source presence as Boolean;
+}
+
+context OccupancyChange as Boolean {
+	when provided presence from PresenceSensor
+	no publish;
+}
+`
+
+var ingestEpoch = time.Date(2017, 6, 5, 8, 0, 0, 0, time.UTC)
+
+func loadIngestModel(t *testing.T) *check.Model {
+	t.Helper()
+	m, err := dsl.Load(ingestTestDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func mkReading(id string, at time.Time) device.Reading {
+	return device.Reading{DeviceID: id, Source: "presence", Value: true, Time: at}
+}
+
+// TestIngestShardCoalescing checks that a burst handed to one shard in one
+// call is flushed in exactly ceil(n/MaxBatch) PublishBatch calls and that
+// every reading is delivered.
+func TestIngestShardCoalescing(t *testing.T) {
+	rt := New(loadIngestModel(t))
+	var delivered atomic.Int64
+	if _, err := rt.bus.Subscribe("src", func(eventbus.Event) { delivered.Add(1) },
+		eventbus.WithQueue(2048)); err != nil {
+		t.Fatal(err)
+	}
+	ing := rt.newIngestor("src")
+	defer ing.stop()
+
+	const n = 1000
+	batch := make([]any, n)
+	for i := range batch {
+		batch[i] = mkReading(fmt.Sprintf("d%04d", i), ingestEpoch)
+	}
+	// One pushBatch holds the shard lock for the whole append, so the
+	// worker swaps the full burst out at once: the flush count is exact.
+	sh := ing.shardFor("d0000")
+	sh.pushBatch(batch)
+
+	waitUntil(t, "burst delivery", func() bool { return delivered.Load() == n })
+	st := rt.stats.snapshot()
+	if st.IngestEvents != n {
+		t.Fatalf("IngestEvents = %d, want %d", st.IngestEvents, n)
+	}
+	want := uint64((n + ing.maxBatch - 1) / ing.maxBatch)
+	if st.IngestBatches != want {
+		t.Fatalf("IngestBatches = %d, want %d", st.IngestBatches, want)
+	}
+	waitUntil(t, "budget drain", func() bool { return ing.budget.InFlight() == 0 })
+}
+
+// TestIngestBudgetBackpressure blocks the consumer and checks that the
+// in-flight budget caps admissions, surplus readings are counted as budget
+// drops, and everything admitted is delivered once the consumer resumes.
+func TestIngestBudgetBackpressure(t *testing.T) {
+	rt := New(loadIngestModel(t), WithIngestConfig(IngestConfig{
+		Shards: 1, Budget: 8, MaxBatch: 8,
+	}))
+	gate := make(chan struct{})
+	var delivered atomic.Int64
+	if _, err := rt.bus.Subscribe("src", func(eventbus.Event) {
+		<-gate
+		delivered.Add(1)
+	}, eventbus.WithQueue(1)); err != nil {
+		t.Fatal(err)
+	}
+	ing := rt.newIngestor("src")
+	defer ing.stop()
+	sh := ing.shards[0]
+
+	full := make([]any, 8)
+	for i := range full {
+		full[i] = mkReading(fmt.Sprintf("d%d", i), ingestEpoch)
+	}
+	sh.pushBatch(full) // fills the whole budget; the consumer is gated
+	if got := ing.budget.InFlight(); got != 8 {
+		t.Fatalf("in flight = %d, want 8", got)
+	}
+	for i := 0; i < 5; i++ {
+		sh.Push(mkReading("late", ingestEpoch)) // beyond the budget: dropped
+	}
+	st := rt.stats.snapshot()
+	if st.IngestBudgetDrops != 5 {
+		t.Fatalf("IngestBudgetDrops = %d, want 5", st.IngestBudgetDrops)
+	}
+	close(gate)
+	waitUntil(t, "gated delivery", func() bool { return delivered.Load() == 8 })
+	waitUntil(t, "budget release", func() bool { return ing.budget.InFlight() == 0 })
+	if st := rt.stats.snapshot(); st.IngestEvents != 8 {
+		t.Fatalf("IngestEvents = %d, want 8", st.IngestEvents)
+	}
+}
+
+// TestIngestDeadlineDrops checks the MaxAge policy: readings older than the
+// deadline at flush time are dropped and counted, fresh ones delivered.
+func TestIngestDeadlineDrops(t *testing.T) {
+	vc := simclock.NewVirtual(ingestEpoch)
+	rt := New(loadIngestModel(t), WithClock(vc), WithIngestConfig(IngestConfig{
+		Shards: 1, MaxAge: time.Minute,
+	}))
+	var delivered atomic.Int64
+	if _, err := rt.bus.Subscribe("src", func(eventbus.Event) { delivered.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	ing := rt.newIngestor("src")
+	defer ing.stop()
+	sh := ing.shards[0]
+
+	sh.Push(mkReading("stale", ingestEpoch.Add(-2*time.Minute)))
+	waitUntil(t, "stale drop", func() bool {
+		return rt.stats.snapshot().IngestDeadlineDrops == 1
+	})
+	if delivered.Load() != 0 {
+		t.Fatal("stale reading was delivered")
+	}
+	sh.Push(mkReading("fresh", vc.Now()))
+	waitUntil(t, "fresh delivery", func() bool { return delivered.Load() == 1 })
+	waitUntil(t, "budget release", func() bool { return ing.budget.InFlight() == 0 })
+}
+
+// TestTrackerReconcileRepairsDivergence drives reconcile directly (as the
+// tracker does after a watcher overflow) and checks both repair directions:
+// registered-but-untracked devices are attached, tracked-but-unregistered
+// ones are released.
+func TestTrackerReconcileRepairsDivergence(t *testing.T) {
+	rt := New(loadIngestModel(t))
+	ing := rt.newIngestor("src")
+	defer ing.stop()
+	tr := &sourceTracker{
+		rt: rt, kind: "PresenceSensor", source: "presence", ing: ing,
+		subs: make(map[registry.ID]*trackedDevice),
+	}
+	defer tr.stopAll()
+
+	ids := make([]string, 5)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("ps-%d", i)
+		b := device.NewBase(ids[i], "PresenceSensor", nil, nil, nil)
+		if err := rt.BindDevice(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.reconcile()
+	if got := tr.trackedCount(); got != 5 {
+		t.Fatalf("tracked after add-reconcile = %d, want 5", got)
+	}
+	for _, id := range ids[:2] {
+		if err := rt.UnbindDevice(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr.reconcile()
+	if got := tr.trackedCount(); got != 3 {
+		t.Fatalf("tracked after remove-reconcile = %d, want 3", got)
+	}
+	if got := rt.Stats().TrackerReconciles; got != 2 {
+		t.Fatalf("TrackerReconciles = %d, want 2", got)
+	}
+}
+
+type countingHandler struct{ n atomic.Uint64 }
+
+func (c *countingHandler) OnTrigger(*ContextCall) (any, bool, error) {
+	c.n.Add(1)
+	return nil, false, nil
+}
+
+// TestTrackerWatcherOverflowConverges forces real watcher overflow — the
+// tracker loop is slowed by drivers whose Subscribe sleeps — and checks the
+// attachment table still converges to the registered population via
+// reconciliation.
+func TestTrackerWatcherOverflowConverges(t *testing.T) {
+	rt := New(loadIngestModel(t))
+	if err := rt.ImplementContext("OccupancyChange", &countingHandler{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	const n = 3 * trackerWatchBuf
+	for i := 0; i < n; i++ {
+		if err := rt.BindDevice(slowSubDriver{
+			Base: device.NewBase(fmt.Sprintf("slow-%03d", i), "PresenceSensor", nil, nil, nil),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := rt.trackers[0]
+	waitUntil(t, "overflowed adds to converge", func() bool { return tr.trackedCount() == n })
+	for i := 0; i < n; i += 2 {
+		if err := rt.UnbindDevice(fmt.Sprintf("slow-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "overflowed removes to converge", func() bool { return tr.trackedCount() == n/2 })
+}
+
+// slowSubDriver makes the tracker loop fall behind its watcher channel.
+type slowSubDriver struct{ *device.Base }
+
+func (d slowSubDriver) Subscribe(source string) (device.Subscription, error) {
+	time.Sleep(time.Millisecond)
+	return d.Base.Subscribe(source)
+}
+
+// TestSourceTrackerReleasesOnChurn is the churn regression test for the
+// tracker-slot leak: unregistration and lease expiry must both release the
+// device's attachment (and its push sink) while the runtime keeps running —
+// not only at shutdown — and the lease janitor must release the local
+// driver slot of an expired binding.
+func TestSourceTrackerReleasesOnChurn(t *testing.T) {
+	vc := simclock.NewVirtual(ingestEpoch)
+	rt := New(loadIngestModel(t), WithClock(vc))
+	delivered := &countingHandler{}
+	if err := rt.ImplementContext("OccupancyChange", delivered); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	const n = 40
+	swarm := devsim.NewSwarm(devsim.SwarmConfig{
+		Sensors: n, Lots: []string{"L00"}, GroupAttr: "lot", Seed: 7,
+	}, vc)
+	for _, s := range swarm.Sensors() {
+		if err := rt.BindDevice(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := rt.trackers[0]
+	waitUntil(t, "initial attach", func() bool { return tr.trackedCount() == n })
+	waitUntil(t, "swarm attach", func() bool { return swarm.AttachedCount() == n })
+
+	// Explicit unregistration releases the slot and detaches the sink.
+	for _, s := range swarm.Sensors()[:n/2] {
+		if err := rt.UnbindDevice(s.ID()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "tracker release on unregister", func() bool { return tr.trackedCount() == n/2 })
+	waitUntil(t, "sink detach on unregister", func() bool { return swarm.AttachedCount() == n/2 })
+
+	// A churned-out sensor's events are not accepted anywhere.
+	before := delivered.n.Load()
+	if swarm.Flip(0) {
+		t.Fatal("reading from an unregistered sensor was accepted")
+	}
+	if got := delivered.n.Load(); got != before {
+		t.Fatalf("stale delivery after unregister: %d -> %d", before, got)
+	}
+
+	// Lease expiry releases the slot too, plus the local driver entry.
+	leased := device.NewBase("leased-1", "PresenceSensor", nil, nil, vc.Now)
+	if err := rt.BindDevice(leased, WithLease(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "leased attach", func() bool { return tr.trackedCount() == n/2+1 })
+	vc.Advance(2 * time.Minute)
+	rt.reg.Sweep()
+	waitUntil(t, "tracker release on expiry", func() bool { return tr.trackedCount() == n/2 })
+	waitUntil(t, "driver slot release on expiry", func() bool {
+		rt.mu.Lock()
+		_, ok := rt.devices["leased-1"]
+		rt.mu.Unlock()
+		return !ok
+	})
+	// The identity is immediately rebindable.
+	if err := rt.BindDevice(leased, WithLease(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, "rebind after expiry", func() bool { return tr.trackedCount() == n/2+1 })
+}
+
+// TestChurnSwarmLeaseExpiry drives lease-mode churn through the real
+// registry: live sensors are renewed every step, churned-out ones are never
+// unregistered explicitly — their leases lapse — and both the tracker
+// attachment and the janitor-managed driver slot must be released before
+// the fleet settles.
+func TestChurnSwarmLeaseExpiry(t *testing.T) {
+	vc := simclock.NewVirtual(ingestEpoch)
+	rt := New(loadIngestModel(t), WithClock(vc))
+	delivered := &countingHandler{}
+	if err := rt.ImplementContext("OccupancyChange", delivered); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	const n, churned = 20, 5
+	const ttl = time.Minute
+	swarm := devsim.NewSwarm(devsim.SwarmConfig{
+		Sensors: n, Lots: []string{"L00"}, GroupAttr: "lot", Seed: 7,
+	}, vc)
+	cs, err := devsim.NewChurnSwarm(swarm, devsim.ChurnHooks{
+		Bind:   func(s *devsim.SwarmSensor) error { return rt.BindDevice(s, WithLease(ttl)) },
+		Unbind: rt.UnbindDevice,
+		Renew:  func(id string) error { return rt.reg.Renew(registry.ID(id), ttl) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.BindAll(); err != nil {
+		t.Fatal(err)
+	}
+	tr := rt.trackers[0]
+	waitUntil(t, "leased fleet attach", func() bool { return tr.trackedCount() == n })
+
+	if err := cs.ChurnOut(churned, true); err != nil {
+		t.Fatal(err)
+	}
+	// Half a TTL later the live sensors renew (new deadline: 1.5 TTL from
+	// bind); the churned-out ones do not. Another 0.75 TTL later only the
+	// un-renewed leases have lapsed.
+	vc.Advance(ttl / 2)
+	if err := cs.RenewLive(); err != nil { // churned-out sensors are skipped
+		t.Fatal(err)
+	}
+	vc.Advance(3 * ttl / 4)
+	rt.reg.Sweep()
+	waitUntil(t, "tracker release on lease lapse", func() bool {
+		return tr.trackedCount() == n-churned
+	})
+	waitUntil(t, "fleet settle after expiry", cs.Settled)
+	waitUntil(t, "driver reap on lease lapse", func() bool {
+		rt.mu.Lock()
+		defer rt.mu.Unlock()
+		return len(rt.devices) == n-churned
+	})
+	if got := cs.StormDead(churned); got != 0 {
+		t.Fatalf("expired sensors accepted %d readings", got)
+	}
+	// Renewed sensors survived the sweep and still deliver.
+	accepted := cs.StormLive(n - churned)
+	waitUntil(t, "post-expiry delivery", func() bool {
+		return delivered.n.Load() == uint64(accepted)
+	})
+}
+
+// TestIngestEndToEndDelivery pushes a storm through the full started
+// runtime and cross-checks the exact delivered count and batch accounting.
+func TestIngestEndToEndDelivery(t *testing.T) {
+	vc := simclock.NewVirtual(ingestEpoch)
+	rt := New(loadIngestModel(t), WithClock(vc))
+	delivered := &countingHandler{}
+	if err := rt.ImplementContext("OccupancyChange", delivered); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Stop()
+
+	const n = 500
+	swarm := devsim.NewSwarm(devsim.SwarmConfig{
+		Sensors: n, Lots: []string{"L00"}, GroupAttr: "lot", Seed: 7,
+	}, vc)
+	for _, s := range swarm.Sensors() {
+		if err := rt.BindDevice(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitUntil(t, "attach", func() bool { return swarm.AttachedCount() == n })
+	accepted := 0
+	for round := 0; round < 4; round++ {
+		accepted += swarm.FlipBurst(n)
+	}
+	waitUntil(t, "storm delivery", func() bool {
+		return delivered.n.Load() == uint64(accepted)
+	})
+	st := rt.Stats()
+	if st.IngestEvents != uint64(accepted) {
+		t.Fatalf("IngestEvents = %d, want %d", st.IngestEvents, accepted)
+	}
+	if st.IngestBudgetDrops != 0 || st.IngestDeadlineDrops != 0 {
+		t.Fatalf("unexpected drops: %+v", st)
+	}
+	if st.IngestBatches == 0 || st.IngestBatches > st.IngestEvents {
+		t.Fatalf("implausible IngestBatches = %d for %d events", st.IngestBatches, st.IngestEvents)
+	}
+}

@@ -94,6 +94,22 @@ type Stats struct {
 	// registry because the fleet changed since the previous round. A
 	// steady-state fleet holds this constant while PeriodicPolls grows.
 	PollSnapshotRebuilds uint64
+	// IngestEvents counts readings the event-ingestion pipeline published
+	// into device-source topics.
+	IngestEvents uint64
+	// IngestBatches counts PublishBatch flushes of the ingestion pipeline;
+	// IngestEvents/IngestBatches is the achieved coalescing factor.
+	IngestBatches uint64
+	// IngestBudgetDrops counts readings refused because the interaction's
+	// in-flight qos budget was exhausted (the drop policy).
+	IngestBudgetDrops uint64
+	// IngestDeadlineDrops counts readings dropped at flush because they
+	// were older than the configured IngestConfig.MaxAge (the deadline
+	// policy).
+	IngestDeadlineDrops uint64
+	// TrackerReconciles counts registry rescans forced by overflowed
+	// source-tracker watcher channels during churn storms.
+	TrackerReconciles uint64
 	// Actuations counts successful device action invocations.
 	Actuations uint64
 	// Errors counts component errors.
@@ -108,6 +124,11 @@ type statCounters struct {
 	controllerTriggers   atomic.Uint64
 	periodicPolls        atomic.Uint64
 	pollSnapshotRebuilds atomic.Uint64
+	ingestEvents         atomic.Uint64
+	ingestBatches        atomic.Uint64
+	ingestBudgetDrops    atomic.Uint64
+	ingestDeadlineDrops  atomic.Uint64
+	trackerReconciles    atomic.Uint64
 	actuations           atomic.Uint64
 	errors               atomic.Uint64
 }
@@ -119,6 +140,11 @@ func (c *statCounters) snapshot() Stats {
 		ControllerTriggers:   c.controllerTriggers.Load(),
 		PeriodicPolls:        c.periodicPolls.Load(),
 		PollSnapshotRebuilds: c.pollSnapshotRebuilds.Load(),
+		IngestEvents:         c.ingestEvents.Load(),
+		IngestBatches:        c.ingestBatches.Load(),
+		IngestBudgetDrops:    c.ingestBudgetDrops.Load(),
+		IngestDeadlineDrops:  c.ingestDeadlineDrops.Load(),
+		TrackerReconciles:    c.trackerReconciles.Load(),
 		Actuations:           c.actuations.Load(),
 		Errors:               c.errors.Load(),
 	}
@@ -126,11 +152,12 @@ func (c *statCounters) snapshot() Stats {
 
 // Runtime hosts one application built from a checked design.
 type Runtime struct {
-	model *check.Model
-	reg   *registry.Registry
-	bus   *eventbus.Bus
-	clock simclock.Clock
-	mrCfg mapreduce.Config
+	model     *check.Model
+	reg       *registry.Registry
+	bus       *eventbus.Bus
+	clock     simclock.Clock
+	mrCfg     mapreduce.Config
+	ingestCfg IngestConfig
 
 	onError     func(ComponentError)
 	ownRegistry bool
@@ -143,12 +170,51 @@ type Runtime struct {
 	controllers map[string]ControllerHandler
 	clients     map[string]*transport.Client
 	pollers     []*poller
-	devSubs     []*deviceSubscription
+	trackers    []*sourceTracker
+	ingestors   []*ingestor
+	janitorOn   bool
 	watchers    []*registry.Watcher
 	lastValues  map[string]any // last published value per context
 	wg          sync.WaitGroup
 
+	// handlers is the read-mostly snapshot of contexts/controllers,
+	// rebuilt copy-on-write by Implement* so per-event dispatch loads it
+	// atomically instead of taking mu.
+	handlers atomic.Pointer[handlerTables]
+
 	stats statCounters // lock-free; not guarded by mu
+}
+
+// handlerTables is an immutable snapshot of the installed component
+// implementations.
+type handlerTables struct {
+	contexts    map[string]ContextHandler
+	controllers map[string]ControllerHandler
+}
+
+// refreshHandlersLocked rebuilds the dispatch snapshot; callers hold rt.mu.
+func (rt *Runtime) refreshHandlersLocked() {
+	t := &handlerTables{
+		contexts:    make(map[string]ContextHandler, len(rt.contexts)),
+		controllers: make(map[string]ControllerHandler, len(rt.controllers)),
+	}
+	for k, v := range rt.contexts {
+		t.contexts[k] = v
+	}
+	for k, v := range rt.controllers {
+		t.controllers[k] = v
+	}
+	rt.handlers.Store(t)
+}
+
+// contextHandler resolves a context implementation without locking.
+func (rt *Runtime) contextHandler(name string) ContextHandler {
+	return rt.handlers.Load().contexts[name]
+}
+
+// controllerHandler resolves a controller implementation without locking.
+func (rt *Runtime) controllerHandler(name string) ControllerHandler {
+	return rt.handlers.Load().controllers[name]
 }
 
 // Option configures a Runtime.
@@ -178,6 +244,13 @@ func WithErrorHandler(f func(ComponentError)) Option {
 	return func(rt *Runtime) { rt.onError = f }
 }
 
+// WithIngestConfig tunes the event-driven ingestion pipeline behind
+// `when provided` device sources (shard count, batch size, in-flight budget
+// and deadline). The zero value of every field selects its default.
+func WithIngestConfig(cfg IngestConfig) Option {
+	return func(rt *Runtime) { rt.ingestCfg = cfg }
+}
+
 // New creates a Runtime for the given checked design model.
 func New(model *check.Model, opts ...Option) *Runtime {
 	rt := &Runtime{
@@ -201,6 +274,10 @@ func New(model *check.Model, opts ...Option) *Runtime {
 		// the reflective default hash on the periodic hot path.
 		rt.mrCfg.KeyHash = mapreduce.StringKeyHash
 	}
+	rt.handlers.Store(&handlerTables{
+		contexts:    map[string]ContextHandler{},
+		controllers: map[string]ControllerHandler{},
+	})
 	rt.bus = eventbus.New()
 	return rt
 }
@@ -214,10 +291,26 @@ func (rt *Runtime) Registry() *registry.Registry { return rt.reg }
 // Clock returns the runtime's time source.
 func (rt *Runtime) Clock() simclock.Clock { return rt.clock }
 
+// BindOption configures one device binding.
+type BindOption func(*bindConfig)
+
+type bindConfig struct {
+	ttl time.Duration
+}
+
+// WithLease registers the device with a lease: unless renewed through
+// Registry().Renew within ttl, the registration expires and the device
+// drops out of discovery, polling snapshots and source tracking — the
+// churn-resilient form of the paper's runtime binding for devices that may
+// silently disappear.
+func WithLease(ttl time.Duration) BindOption {
+	return func(c *bindConfig) { c.ttl = ttl }
+}
+
 // BindDevice binds a local driver: validates it against the design's device
 // taxonomy and registers it for discovery. Binding may happen before or
 // after Start (the paper's runtime binding).
-func (rt *Runtime) BindDevice(drv device.Driver) error {
+func (rt *Runtime) BindDevice(drv device.Driver, opts ...BindOption) error {
 	decl, ok := rt.model.Devices[drv.Kind()]
 	if !ok {
 		return fmt.Errorf("runtime: device kind %s not declared in the design", drv.Kind())
@@ -225,6 +318,15 @@ func (rt *Runtime) BindDevice(drv device.Driver) error {
 	for name := range drv.Attributes() {
 		if _, ok := decl.Attributes[name]; !ok {
 			return fmt.Errorf("runtime: device %s has undeclared attribute %s", drv.ID(), name)
+		}
+	}
+	var cfg bindConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.ttl > 0 {
+		if err := rt.ensureLeaseJanitor(); err != nil {
+			return fmt.Errorf("runtime: bind device %s: %w", drv.ID(), err)
 		}
 	}
 	// The driver is installed before Register so that watchers reacting to
@@ -243,7 +345,11 @@ func (rt *Runtime) BindDevice(drv device.Driver) error {
 		Attrs: drv.Attributes(),
 		Bound: registry.BindRuntime,
 	}
-	if err := rt.reg.Register(entity); err != nil {
+	var ropts []registry.RegisterOption
+	if cfg.ttl > 0 {
+		ropts = append(ropts, registry.WithTTL(cfg.ttl))
+	}
+	if err := rt.reg.Register(entity, ropts...); err != nil {
 		rt.mu.Lock()
 		if had {
 			rt.devices[drv.ID()] = prev
@@ -253,7 +359,90 @@ func (rt *Runtime) BindDevice(drv device.Driver) error {
 		rt.mu.Unlock()
 		return fmt.Errorf("runtime: bind device %s: %w", drv.ID(), err)
 	}
+	// Re-assert the driver entry now that the entity is registered: the
+	// lease janitor reaps entries whose ID is absent from the registry, so
+	// a reap that raced the window between the optimistic install above
+	// and Register must not win (reapExpired checks the registry under the
+	// same mu hold, making this store the tiebreaker).
+	rt.mu.Lock()
+	rt.devices[drv.ID()] = drv
+	rt.mu.Unlock()
 	return nil
+}
+
+// ensureLeaseJanitor lazily starts the watcher that reaps rt.devices entries
+// of expired leased bindings, so a device that stops renewing releases its
+// driver slot like an explicit UnbindDevice would. Started on the first
+// leased bind only: lease-free populations keep their watcher-free register
+// fast path.
+func (rt *Runtime) ensureLeaseJanitor() error {
+	rt.mu.Lock()
+	if rt.janitorOn || rt.stopped {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.janitorOn = true
+	rt.mu.Unlock()
+	w, err := rt.reg.Watch(registry.Query{}, trackerWatchBuf)
+	if err != nil {
+		rt.mu.Lock()
+		rt.janitorOn = false
+		rt.mu.Unlock()
+		return err
+	}
+	rt.mu.Lock()
+	rt.watchers = append(rt.watchers, w)
+	rt.mu.Unlock()
+	rt.wg.Add(1)
+	go func() {
+		defer rt.wg.Done()
+		var lastMissed uint64
+		for c := range w.C() {
+			if c.Type == registry.Expired {
+				rt.reapExpired(string(c.Entity.ID))
+			}
+			// The janitor watches every registry change, so a churn or
+			// bind storm can overflow its channel; like the source
+			// trackers, repair by re-checking every driver entry
+			// against the registry.
+			if m := w.Missed(); m != lastMissed {
+				lastMissed = m
+				rt.reapUnregistered()
+			}
+		}
+	}()
+	return nil
+}
+
+// reapExpired releases the local driver slot of an expired binding. The
+// registry-absence check and the delete share one mu hold, and BindDevice
+// re-asserts its driver entry after a successful registration, so a stale
+// expiry notification can never strip a concurrently re-bound device of
+// its driver.
+func (rt *Runtime) reapExpired(id string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.devices[id]; !ok {
+		return
+	}
+	if _, ok := rt.reg.Get(registry.ID(id)); ok {
+		return // re-registered since the notification was queued
+	}
+	delete(rt.devices, id)
+}
+
+// reapUnregistered is the janitor's overflow fallback: with notifications
+// dropped, every driver entry is re-checked against the registry.
+func (rt *Runtime) reapUnregistered() {
+	rt.mu.Lock()
+	ids := make([]string, 0, len(rt.devices))
+	for id := range rt.devices {
+		ids = append(ids, id)
+	}
+	rt.mu.Unlock()
+	for _, id := range ids {
+		rt.reapExpired(id)
+	}
 }
 
 // UnbindDevice removes a device from the registry and the runtime. The
@@ -286,6 +475,7 @@ func (rt *Runtime) ImplementContext(name string, h ContextHandler) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.contexts[name] = h
+	rt.refreshHandlersLocked()
 	return nil
 }
 
@@ -297,6 +487,7 @@ func (rt *Runtime) ImplementController(name string, h ControllerHandler) error {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	rt.controllers[name] = h
+	rt.refreshHandlersLocked()
 	return nil
 }
 
@@ -370,21 +561,28 @@ func (rt *Runtime) Stop() {
 	}
 	rt.stopped = true
 	pollers := rt.pollers
-	devSubs := rt.devSubs
+	trackers := rt.trackers
+	ingestors := rt.ingestors
 	watchers := rt.watchers
 	clients := rt.clients
-	rt.pollers, rt.devSubs, rt.watchers = nil, nil, nil
+	rt.pollers, rt.trackers, rt.ingestors, rt.watchers = nil, nil, nil, nil
 	rt.clients = make(map[string]*transport.Client)
 	rt.mu.Unlock()
 
+	// Watcher cancellation closes each tracker's loop, which releases its
+	// device attachments (stopAll); trackers that somehow never entered
+	// their loop are stopped directly — stopAll is idempotent.
 	for _, w := range watchers {
 		w.Cancel()
 	}
 	for _, p := range pollers {
 		p.stop()
 	}
-	for _, ds := range devSubs {
-		ds.stop()
+	for _, t := range trackers {
+		t.stopAll()
+	}
+	for _, ing := range ingestors {
+		ing.stop()
 	}
 	rt.wg.Wait()
 	rt.bus.Close()
