@@ -1,0 +1,286 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/devsim"
+	"repro/internal/dsl"
+	"repro/internal/federation"
+	"repro/internal/runtime"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// fedHubDesign consumes the federated presence stream on the hub.
+const fedHubDesign = `
+device PresenceSensor {
+	attribute zone as String;
+	source presence as Boolean;
+}
+
+context Occupancy as Boolean {
+	when provided presence from PresenceSensor
+	no publish;
+}
+`
+
+// fedEdgeDesign is the device-owner node's taxonomy-only design.
+const fedEdgeDesign = `
+device PresenceSensor {
+	attribute zone as String;
+	source presence as Boolean;
+}
+`
+
+type fedBenchCtx struct{ n atomic.Uint64 }
+
+func (c *fedBenchCtx) OnTrigger(*runtime.ContextCall) (any, bool, error) {
+	c.n.Add(1)
+	return nil, false, nil
+}
+
+// fedBenchWorld is one hub + one edge owning `sensors` devices, connected
+// and synced, with the edge forwarding presence events at the given batch
+// size.
+type fedBenchWorld struct {
+	hubRT *runtime.Runtime
+	hub   *federation.Node
+	edge  *federation.Node
+	swarm *devsim.Swarm
+	ctx   *fedBenchCtx
+}
+
+func newFedBenchWorld(b *testing.B, sensors, maxBatch int) *fedBenchWorld {
+	b.Helper()
+	vc := simclock.NewVirtual(benchEpoch)
+
+	hubModel, err := dsl.Load(fedHubDesign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hubRT := runtime.New(hubModel, runtime.WithClock(vc))
+	ctx := &fedBenchCtx{}
+	if err := hubRT.ImplementContext("Occupancy", ctx); err != nil {
+		b.Fatal(err)
+	}
+	if err := hubRT.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(hubRT.Stop)
+	hub, err := federation.New(federation.Config{Name: "hub", Runtime: hubRT})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(hub.Close)
+
+	edgeModel, err := dsl.Load(fedEdgeDesign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edgeRT := runtime.New(edgeModel, runtime.WithClock(vc))
+	if err := edgeRT.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(edgeRT.Stop)
+	edge, err := federation.New(federation.Config{
+		Name:    "edge",
+		Runtime: edgeRT,
+		Exports: []federation.Export{{Kind: "PresenceSensor", Source: "presence"}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(edge.Close)
+
+	if err := edge.AddPeer(federation.PeerConfig{
+		Name: "hub", Addr: hub.Addr(), ForwardEvents: true,
+		MaxBatch: maxBatch, CallTimeout: time.Minute,
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := hub.AddPeer(federation.PeerConfig{
+		Name: "edge", Addr: edge.Addr(), Import: []string{"PresenceSensor"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	w := &fedBenchWorld{hubRT: hubRT, hub: hub, edge: edge, ctx: ctx}
+	w.swarm = devsim.NewSwarm(devsim.SwarmConfig{
+		Sensors: sensors, Lots: []string{"edge"}, GroupAttr: "zone", Seed: 7,
+	}, vc)
+	for _, s := range w.swarm.Sensors() {
+		if err := edgeRT.BindDevice(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	waitAttached(b, w.swarm, sensors)
+	if err := hub.SyncPeers(); err != nil {
+		b.Fatal(err)
+	}
+	if got := hub.MirrorCount("edge", "PresenceSensor"); got != sensors {
+		b.Fatalf("mirrored %d sensors, want %d", got, sensors)
+	}
+	w.quiesce(b)
+	return w
+}
+
+// quiesce waits until the bind-storm fallout — watcher-overflow reconciles
+// on the hub's source tracker and the edge's exporter — has stopped, so
+// measured iterations see steady state rather than setup residue.
+func (w *fedBenchWorld) quiesce(b *testing.B) {
+	b.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		before := w.hubRT.Stats().TrackerReconciles + w.edge.Stats().ExporterReconciles
+		time.Sleep(50 * time.Millisecond)
+		after := w.hubRT.Stats().TrackerReconciles + w.edge.Stats().ExporterReconciles
+		if before == after {
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("reconciles never quiesced")
+		}
+	}
+}
+
+// waitFedAccounted waits until delivered plus every cross-node drop counter
+// reaches the accepted ground truth.
+func waitFedAccounted(b *testing.B, w *fedBenchWorld, want uint64) {
+	b.Helper()
+	for deadline := time.Now().Add(60 * time.Second); ; {
+		hst := w.hubRT.Stats()
+		est := w.edge.Stats()
+		got := w.ctx.n.Load() + hst.IngestBudgetDrops + hst.IngestDeadlineDrops +
+			hst.FederationEventDrops + est.ForwardBudgetDrops + est.ForwardSendDrops
+		if got >= want {
+			if got > want {
+				b.Fatalf("accounted %d events, ground truth %d", got, want)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("stalled at %d/%d accounted events", got, want)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// BenchmarkFederation_EventForward: cross-node event delivery at 12.5k
+// devices/node. One iteration emits one reading per device on the edge node
+// and drains it through the hub's context. The per-event-RPC baseline
+// (MaxBatch=1, every reading its own event_batch round trip) is the
+// ablation; the acceptance target is ≥5x events/sec for coalesced batching
+// over it.
+func BenchmarkFederation_EventForward(b *testing.B) {
+	const sensors = 12500
+	for _, cfg := range []struct {
+		name     string
+		maxBatch int
+	}{
+		{"per-event-rpc", 1},
+		{"batched", 256},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			w := newFedBenchWorld(b, sensors, cfg.maxBatch)
+			var accepted uint64
+			// Warm the path end to end so measured iterations are steady
+			// state.
+			accepted += uint64(w.swarm.FlipBurst(sensors))
+			waitFedAccounted(b, w, accepted)
+			measuredFrom := accepted
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				accepted += uint64(w.swarm.FlipBurst(sensors))
+				waitFedAccounted(b, w, accepted)
+			}
+			b.ReportMetric(float64(accepted-measuredFrom)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
+// BenchmarkFederation_CommandFanout: actuating a 1000-panel fleet hosted on
+// one remote endpoint, per-device invoke round trips vs chunked
+// command_batch — the actuation twin of BenchmarkSwarm_RemoteFleet.
+func BenchmarkFederation_CommandFanout(b *testing.B) {
+	const panels = 1000
+	srv, err := transport.NewServer("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	ids := make([]string, panels)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("panel-%04d", i)
+		p := device.NewBase(ids[i], "ZonePanel", nil, nil, nil)
+		p.OnAction("update", func(...any) error { return nil })
+		srv.Host(p)
+	}
+	cli, err := transport.Dial(srv.Addr(), transport.WithCallTimeout(time.Minute))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer cli.Close()
+	report := func(b *testing.B) {
+		b.ReportMetric(float64(panels)*float64(b.N)/b.Elapsed().Seconds(), "actuations/sec")
+	}
+	b.Run("per-device", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, id := range ids {
+				if err := cli.Invoke(id, "update", "busy"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		report(b)
+	})
+	b.Run("command-batch", func(b *testing.B) {
+		const chunk = 256
+		for i := 0; i < b.N; i++ {
+			for lo := 0; lo < len(ids); lo += chunk {
+				hi := lo + chunk
+				if hi > len(ids) {
+					hi = len(ids)
+				}
+				errs, err := cli.CommandBatch(ids[lo:hi], "update", "busy")
+				if err != nil {
+					b.Fatal(err)
+				}
+				for j, es := range errs {
+					if es != "" {
+						b.Fatalf("panel %s: %s", ids[lo+j], es)
+					}
+				}
+			}
+		}
+		report(b)
+	})
+}
+
+// BenchmarkFederation_RegistrySync: one steady-state sync tick (no fleet
+// change since the last one) across fleet sizes. The generation-keyed delta
+// protocol makes this a single tiny RPC regardless of population, so ns/op
+// must stay flat from 1k to 50k devices.
+func BenchmarkFederation_RegistrySync(b *testing.B) {
+	for _, sensors := range []int{1000, 12500, 50000} {
+		b.Run(fmt.Sprintf("n=%d", sensors), func(b *testing.B) {
+			w := newFedBenchWorld(b, sensors, 256)
+			scans := w.hub.Stats().KindsScanned
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.hub.SyncPeers(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if got := w.hub.Stats().KindsScanned; got != scans {
+				b.Fatalf("steady-state sync rescanned: %d -> %d", scans, got)
+			}
+		})
+	}
+}

@@ -1,7 +1,7 @@
 // Command benchdiff compares two benchjson reports and fails on
-// regressions: for every benchmark present in the baseline, the chosen
-// metric (ns/op by default) may not exceed the baseline by more than the
-// threshold percentage. It is the CI bench-regression gate:
+// regressions: for every benchmark present in the baseline, the gated
+// metrics (ns/op and allocs/op by default) may not exceed the baseline by
+// more than their threshold percentage. It is the CI bench-regression gate:
 //
 //	go run ./cmd/benchdiff -baseline BENCH_baseline.json -current BENCH_abc1234.json
 //
@@ -10,12 +10,25 @@
 // silently dropped). Improvements beyond the threshold are reported as a
 // hint to refresh the committed baseline but never fail.
 //
+// ns/op is gated at -threshold percent and allocs/op at -allocs-threshold
+// percent (0 disables the allocs gate); benchmarks whose baseline entry
+// lacks a metric are skipped for that metric, so reports produced without
+// -benchmem still gate time. Allocation counts are far more stable than
+// wall time across machines, which makes the allocs gate the sharper of the
+// two: invariants like "delivery allocations stay flat under churn" fail
+// loudly instead of drowning in timing noise. When a baseline metric is 0
+// (zero-alloc hot paths; min-reduced noisy benches can land there), the
+// threshold applies as an absolute bound instead of a percentage.
+// Benchmarks present in the current report but absent from the baseline
+// fail too, so a newly added benchmark forces a baseline refresh in the
+// same PR instead of running ungated.
+//
 // Smoke runs are noisy, so repeated samples of one benchmark (run the suite
 // with -count=3) are reduced to their per-metric minimum before comparison:
 // the best-of-N lower bound is far more stable under scheduler noise than a
 // single sample. The committed baseline should come from the same class of
 // machine as the gate (refresh it via the documented procedure in
-// README.md), and PRs that intentionally trade benchmark time for something
+// README.md), and PRs that intentionally trade benchmark cost for something
 // else can bypass the gate with the `bench-regression-ok` label (see
 // .github/workflows/ci.yml).
 package main
@@ -24,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 )
@@ -41,18 +55,30 @@ type Report struct {
 	Benchmarks []Benchmark       `json:"benchmarks"`
 }
 
+// gate is one metric bound: current may not exceed baseline by more than
+// threshold percent.
+type gate struct {
+	metric    string
+	threshold float64
+}
+
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "baseline benchjson report")
 	current := flag.String("current", "", "current benchjson report (required)")
-	metric := flag.String("metric", "ns/op", "metric to compare (lower is better)")
-	threshold := flag.Float64("threshold", 25, "allowed regression in percent")
+	metric := flag.String("metric", "ns/op", "primary metric to compare (lower is better)")
+	threshold := flag.Float64("threshold", 25, "allowed regression of the primary metric in percent")
+	allocsThreshold := flag.Float64("allocs-threshold", 25, "allowed allocs/op regression in percent (0 disables the allocs gate)")
 	allowMissing := flag.Bool("allow-missing", false, "do not fail when a baseline benchmark is absent from the current report")
 	flag.Parse()
 	if *current == "" {
 		fmt.Fprintln(os.Stderr, "benchdiff: -current is required")
 		os.Exit(2)
 	}
-	ok, err := run(os.Stdout, *baseline, *current, *metric, *threshold, *allowMissing)
+	gates := []gate{{metric: *metric, threshold: *threshold}}
+	if *allocsThreshold > 0 && *metric != "allocs/op" {
+		gates = append(gates, gate{metric: "allocs/op", threshold: *allocsThreshold})
+	}
+	ok, err := run(os.Stdout, *baseline, *current, gates, *allowMissing)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(2)
@@ -71,24 +97,34 @@ func load(path string) (map[string]Benchmark, error) {
 	if err := json.Unmarshal(b, &rep); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
-	out := make(map[string]Benchmark, len(rep.Benchmarks))
-	for _, bm := range rep.Benchmarks {
+	return reduce(rep.Benchmarks), nil
+}
+
+// reduce folds repeated samples of one benchmark (-count=N runs) into their
+// per-metric minimum — the most stable lower bound under scheduler noise.
+func reduce(benchmarks []Benchmark) map[string]Benchmark {
+	out := make(map[string]Benchmark, len(benchmarks))
+	for _, bm := range benchmarks {
 		prev, ok := out[bm.Name]
 		if !ok {
-			out[bm.Name] = bm
+			cp := bm
+			cp.Metrics = make(map[string]float64, len(bm.Metrics))
+			for k, v := range bm.Metrics {
+				cp.Metrics[k] = v
+			}
+			out[bm.Name] = cp
 			continue
 		}
-		// Repeated samples (-count=N): keep the per-metric minimum.
 		for k, v := range bm.Metrics {
 			if pv, has := prev.Metrics[k]; !has || v < pv {
 				prev.Metrics[k] = v
 			}
 		}
 	}
-	return out, nil
+	return out
 }
 
-func run(w *os.File, basePath, curPath, metric string, threshold float64, allowMissing bool) (bool, error) {
+func run(w io.Writer, basePath, curPath string, gates []gate, allowMissing bool) (bool, error) {
 	base, err := load(basePath)
 	if err != nil {
 		return false, err
@@ -104,42 +140,81 @@ func run(w *os.File, basePath, curPath, metric string, threshold float64, allowM
 	sort.Strings(names)
 
 	ok := true
-	fmt.Fprintf(w, "benchdiff: %s vs %s on %s (threshold %+.0f%%)\n", curPath, basePath, metric, threshold)
-	for _, name := range names {
-		bm := base[name]
-		bv, has := bm.Metrics[metric]
-		if !has || bv == 0 {
-			continue
-		}
-		cm, present := cur[name]
-		if !present {
-			if allowMissing {
-				fmt.Fprintf(w, "  SKIP  %-60s missing from current report\n", name)
+	for gi, g := range gates {
+		fmt.Fprintf(w, "benchdiff: %s vs %s on %s (threshold %+.0f%%)\n", curPath, basePath, g.metric, g.threshold)
+		for _, name := range names {
+			bm := base[name]
+			bv, has := bm.Metrics[g.metric]
+			if !has {
 				continue
 			}
-			fmt.Fprintf(w, "  FAIL  %-60s missing from current report (refresh the baseline if it was renamed)\n", name)
-			ok = false
-			continue
-		}
-		cv, has := cm.Metrics[metric]
-		if !has {
-			fmt.Fprintf(w, "  FAIL  %-60s current report has no %s\n", name, metric)
-			ok = false
-			continue
-		}
-		delta := (cv - bv) / bv * 100
-		switch {
-		case delta > threshold:
-			fmt.Fprintf(w, "  FAIL  %-60s %12.0f -> %12.0f  %+.1f%%\n", name, bv, cv, delta)
-			ok = false
-		case delta < -threshold:
-			fmt.Fprintf(w, "  FAST  %-60s %12.0f -> %12.0f  %+.1f%% (consider refreshing the baseline)\n", name, bv, cv, delta)
-		default:
-			fmt.Fprintf(w, "  ok    %-60s %12.0f -> %12.0f  %+.1f%%\n", name, bv, cv, delta)
+			cm, present := cur[name]
+			if !present {
+				if gi > 0 {
+					continue // already reported under the primary gate
+				}
+				if allowMissing {
+					fmt.Fprintf(w, "  SKIP  %-60s missing from current report\n", name)
+					continue
+				}
+				fmt.Fprintf(w, "  FAIL  %-60s missing from current report (refresh the baseline if it was renamed)\n", name)
+				ok = false
+				continue
+			}
+			cv, has := cm.Metrics[g.metric]
+			if !has {
+				fmt.Fprintf(w, "  FAIL  %-60s current report has no %s\n", name, g.metric)
+				ok = false
+				continue
+			}
+			if bv == 0 {
+				// A zero baseline admits no percentage, so the threshold
+				// applies as an absolute bound: a zero-alloc hot path
+				// that starts allocating in earnest must fail, while
+				// run-to-run noise of a near-zero bench (min-reduced
+				// baselines can land on 0) stays green.
+				if cv > g.threshold {
+					fmt.Fprintf(w, "  FAIL  %-60s %12.0f -> %12.0f  (zero baseline regressed beyond %.0f %s)\n", name, bv, cv, g.threshold, g.metric)
+					ok = false
+				} else {
+					fmt.Fprintf(w, "  ok    %-60s %12.0f -> %12.0f\n", name, bv, cv)
+				}
+				continue
+			}
+			delta := (cv - bv) / bv * 100
+			switch {
+			case delta > g.threshold:
+				fmt.Fprintf(w, "  FAIL  %-60s %12.0f -> %12.0f  %+.1f%%\n", name, bv, cv, delta)
+				ok = false
+			case delta < -g.threshold:
+				fmt.Fprintf(w, "  FAST  %-60s %12.0f -> %12.0f  %+.1f%% (consider refreshing the baseline)\n", name, bv, cv, delta)
+			default:
+				fmt.Fprintf(w, "  ok    %-60s %12.0f -> %12.0f  %+.1f%%\n", name, bv, cv, delta)
+			}
 		}
 	}
+	// Benchmarks present in the current run but absent from the baseline
+	// are new and therefore ungated; fail so the author refreshes the
+	// baseline in the same PR, keeping "every matched bench is gated"
+	// true. -allow-missing downgrades this direction to SKIP too, for
+	// local comparisons of reports broader than the gated families.
+	curNames := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, known := base[name]; !known {
+			curNames = append(curNames, name)
+		}
+	}
+	sort.Strings(curNames)
+	for _, name := range curNames {
+		if allowMissing {
+			fmt.Fprintf(w, "  SKIP  %-60s not in baseline\n", name)
+			continue
+		}
+		fmt.Fprintf(w, "  FAIL  %-60s not in baseline — refresh BENCH_baseline.json so the new benchmark is gated\n", name)
+		ok = false
+	}
 	if !ok {
-		fmt.Fprintf(w, "benchdiff: regression beyond %.0f%% — apply the bench-regression-ok label to override, or refresh BENCH_baseline.json if the change is intended\n", threshold)
+		fmt.Fprintf(w, "benchdiff: regression beyond threshold — apply the bench-regression-ok label to override, or refresh BENCH_baseline.json if the change is intended\n")
 	}
 	return ok, nil
 }

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, benchmarks []Benchmark) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	b, err := json.Marshal(Report{Env: map[string]string{}, Benchmarks: benchmarks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func bm(name string, ns, allocs float64) Benchmark {
+	m := map[string]float64{"ns/op": ns}
+	if allocs >= 0 {
+		m["allocs/op"] = allocs
+	}
+	return Benchmark{Name: name, Iterations: 1, Metrics: m}
+}
+
+var defaultGates = []gate{{metric: "ns/op", threshold: 25}, {metric: "allocs/op", threshold: 25}}
+
+func runDiff(t *testing.T, base, cur []Benchmark, gates []gate, allowMissing bool) (bool, string) {
+	t.Helper()
+	dir := t.TempDir()
+	bp := writeReport(t, dir, "base.json", base)
+	cp := writeReport(t, dir, "cur.json", cur)
+	var out bytes.Buffer
+	ok, err := run(&out, bp, cp, gates, allowMissing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ok, out.String()
+}
+
+// A regression exactly at the threshold must pass: the gate is "more than
+// N%", not "N% or more".
+func TestThresholdEdgeExactly25(t *testing.T) {
+	base := []Benchmark{bm("BenchmarkX", 1000, 8)}
+	cur := []Benchmark{bm("BenchmarkX", 1250, 10)} // both exactly +25%
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if !ok {
+		t.Fatalf("exactly-at-threshold run failed:\n%s", out)
+	}
+	// One epsilon past the threshold must fail.
+	cur = []Benchmark{bm("BenchmarkX", 1251, 8)}
+	ok, out = runDiff(t, base, cur, defaultGates, false)
+	if ok {
+		t.Fatalf("past-threshold run passed:\n%s", out)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Fatalf("no FAIL line:\n%s", out)
+	}
+}
+
+// An allocs/op regression must fail even with ns/op flat — the allocs gate
+// is independent.
+func TestAllocsGate(t *testing.T) {
+	base := []Benchmark{bm("BenchmarkX", 1000, 8)}
+	cur := []Benchmark{bm("BenchmarkX", 1000, 11)} // +37.5% allocs
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if ok {
+		t.Fatalf("allocs regression passed:\n%s", out)
+	}
+	// Without the allocs gate the same run passes.
+	ok, _ = runDiff(t, base, cur, defaultGates[:1], false)
+	if !ok {
+		t.Fatal("ns/op-only gate failed a flat ns/op run")
+	}
+	// Baselines without allocs/op skip the allocs gate rather than fail.
+	base = []Benchmark{bm("BenchmarkX", 1000, -1)}
+	ok, _ = runDiff(t, base, cur, defaultGates, false)
+	if !ok {
+		t.Fatal("allocs gate fired without a baseline allocs metric")
+	}
+}
+
+// Repeated -count=N samples must reduce to their per-metric minimum before
+// comparison.
+func TestMultiCountMinReduction(t *testing.T) {
+	base := []Benchmark{bm("BenchmarkX", 1000, 8)}
+	// Three noisy samples; the minimum (1010, 8) is within threshold even
+	// though the worst sample (2000, 30) is far outside.
+	cur := []Benchmark{
+		bm("BenchmarkX", 2000, 30),
+		bm("BenchmarkX", 1010, 8),
+		bm("BenchmarkX", 1500, 12),
+	}
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if !ok {
+		t.Fatalf("min reduction not applied:\n%s", out)
+	}
+	// The minimum is taken per metric, not per sample.
+	cur = []Benchmark{
+		bm("BenchmarkX", 2000, 8),
+		bm("BenchmarkX", 1010, 30),
+	}
+	ok, _ = runDiff(t, base, cur, defaultGates, false)
+	if !ok {
+		t.Fatal("per-metric minimum not applied")
+	}
+}
+
+// A baseline benchmark absent from the current report fails (silent
+// benchmark drops are regressions) unless -allow-missing.
+func TestMissingBenchmark(t *testing.T) {
+	base := []Benchmark{bm("BenchmarkX", 1000, 8), bm("BenchmarkGone", 500, 4)}
+	cur := []Benchmark{bm("BenchmarkX", 1000, 8)}
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if ok {
+		t.Fatalf("missing benchmark passed:\n%s", out)
+	}
+	if strings.Count(out, "missing from current report") != 1 {
+		t.Fatalf("missing benchmark should be reported exactly once:\n%s", out)
+	}
+	ok, out = runDiff(t, base, cur, defaultGates, true)
+	if !ok {
+		t.Fatalf("-allow-missing still failed:\n%s", out)
+	}
+	if !strings.Contains(out, "SKIP") {
+		t.Fatalf("no SKIP line:\n%s", out)
+	}
+}
+
+// A zero-valued baseline metric admits no percentage, so the threshold
+// applies as an absolute bound: a zero-alloc hot path that starts
+// allocating in earnest fails, while near-zero sample noise (min-reduced
+// baselines can land on 0) stays green.
+func TestZeroBaselineRegresses(t *testing.T) {
+	base := []Benchmark{bm("BenchmarkZeroAlloc", 1000, 0)}
+	cur := []Benchmark{bm("BenchmarkZeroAlloc", 1000, 100)}
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if ok {
+		t.Fatalf("0 -> 100 allocs/op passed:\n%s", out)
+	}
+	if !strings.Contains(out, "zero baseline regressed") {
+		t.Fatalf("no zero-baseline FAIL line:\n%s", out)
+	}
+	// Within the absolute slack (the threshold, 25 units) is noise.
+	cur = []Benchmark{bm("BenchmarkZeroAlloc", 1000, 5)}
+	if ok, out := runDiff(t, base, cur, defaultGates, false); !ok {
+		t.Fatalf("0 -> 5 allocs/op failed as a regression:\n%s", out)
+	}
+	cur = []Benchmark{bm("BenchmarkZeroAlloc", 1000, 0)}
+	if ok, out := runDiff(t, base, cur, defaultGates, false); !ok {
+		t.Fatalf("0 -> 0 allocs/op failed:\n%s", out)
+	}
+}
+
+// A benchmark present in the current run but absent from the baseline must
+// fail: new benches force a baseline refresh instead of running ungated.
+func TestNewBenchmarkRequiresBaseline(t *testing.T) {
+	base := []Benchmark{bm("BenchmarkX", 1000, 8)}
+	cur := []Benchmark{bm("BenchmarkX", 1000, 8), bm("BenchmarkNew", 10, 1)}
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if ok {
+		t.Fatalf("unbaselined benchmark passed:\n%s", out)
+	}
+	if !strings.Contains(out, "not in baseline") {
+		t.Fatalf("no not-in-baseline FAIL line:\n%s", out)
+	}
+	// -allow-missing covers this direction too (broad local reports).
+	if ok, out := runDiff(t, base, cur, defaultGates, true); !ok {
+		t.Fatalf("-allow-missing still failed the unbaselined bench:\n%s", out)
+	}
+}
+
+// Improvements beyond the threshold are hints, never failures.
+func TestImprovementNeverFails(t *testing.T) {
+	base := []Benchmark{bm("BenchmarkX", 1000, 100)}
+	cur := []Benchmark{bm("BenchmarkX", 100, 3)}
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if !ok {
+		t.Fatalf("improvement failed the gate:\n%s", out)
+	}
+	if !strings.Contains(out, "FAST") {
+		t.Fatalf("no FAST hint:\n%s", out)
+	}
+}

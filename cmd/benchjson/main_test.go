@@ -1,0 +1,91 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSwarm_EventStorm/ingest-push/sensors=50000-4         	      18	  61618378 ns/op	    811490 events/sec	  152344 B/op	      3187 allocs/op
+BenchmarkSwarm_EventStorm/ingest-push/sensors=50000-4         	      19	  60011223 ns/op	    822001 events/sec	  150000 B/op	      3100 allocs/op
+BenchmarkFederation_RegistrySync/n=50000-4                    	    8436	     14494 ns/op	    2056 B/op	      31 allocs/op
+PASS
+ok  	repro	13.551s
+`
+
+// Parse must keep repeated -count samples as separate entries (benchdiff
+// reduces them), capture every metric pair, and record the environment.
+func TestParseMultiCountSamples(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	first := rep.Benchmarks[0]
+	if first.Name != "BenchmarkSwarm_EventStorm/ingest-push/sensors=50000-4" {
+		t.Fatalf("bad name %q", first.Name)
+	}
+	if first.Iterations != 18 {
+		t.Fatalf("iterations = %d, want 18", first.Iterations)
+	}
+	for metric, want := range map[string]float64{
+		"ns/op":      61618378,
+		"events/sec": 811490,
+		"B/op":       152344,
+		"allocs/op":  3187,
+	} {
+		if got := first.Metrics[metric]; got != want {
+			t.Fatalf("%s = %v, want %v", metric, got, want)
+		}
+	}
+	second := rep.Benchmarks[1]
+	if second.Name != first.Name || second.Metrics["ns/op"] != 60011223 {
+		t.Fatalf("second sample mangled: %+v", second)
+	}
+	if rep.Env["goos"] != "linux" || rep.Env["cpu"] == "" {
+		t.Fatalf("env not captured: %+v", rep.Env)
+	}
+}
+
+// Malformed or irrelevant lines must be skipped, not fail the parse.
+func TestParseMalformedLines(t *testing.T) {
+	in := `BenchmarkBroken 	notanumber	100 ns/op
+BenchmarkOddFieldCount	12	100 ns/op	extra
+Benchmark
+some stray output
+BenchmarkOK-4	100	250 ns/op
+BenchmarkNonNumericMetric-4	100	xyz ns/op
+`
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2 (BenchmarkOK + metricless): %+v", len(rep.Benchmarks), rep.Benchmarks)
+	}
+	ok := rep.Benchmarks[0]
+	if ok.Name != "BenchmarkOK-4" || ok.Metrics["ns/op"] != 250 {
+		t.Fatalf("BenchmarkOK mangled: %+v", ok)
+	}
+	// A line whose metric value fails to parse keeps the benchmark but
+	// drops the metric.
+	if got := rep.Benchmarks[1]; len(got.Metrics) != 0 {
+		t.Fatalf("non-numeric metric kept: %+v", got)
+	}
+}
+
+// Empty input yields an empty (not nil) report.
+func TestParseEmpty(t *testing.T) {
+	rep, err := Parse(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 || rep.Benchmarks == nil {
+		t.Fatalf("want empty non-nil benchmarks, got %#v", rep.Benchmarks)
+	}
+}

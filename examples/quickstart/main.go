@@ -10,6 +10,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"time"
@@ -83,13 +84,15 @@ func (ventControl) OnContext(call *runtime.ControllerCall) error {
 }
 
 func main() {
-	if err := run(); err != nil {
+	rounds := flag.Int("rounds", 1, "temperature sweeps to run")
+	flag.Parse()
+	if err := run(*rounds); err != nil {
 		fmt.Fprintln(os.Stderr, "quickstart:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(rounds int) error {
 	vc := simclock.NewVirtual(time.Date(2017, 6, 5, 14, 0, 0, 0, time.UTC))
 	app, err := core.NewApp(design, runtime.WithClock(vc))
 	if err != nil {
@@ -116,9 +119,11 @@ func run() error {
 	}
 
 	fmt.Println("quickstart: thermometer -> Comfort -> VentControl -> vent")
-	for _, temp := range []float64{22.0, 24.5, 27.3, 28.1, 25.0, 21.9} {
-		thermo.Emit("temperature", temp)
-		time.Sleep(5 * time.Millisecond) // let the async delivery run
+	for r := 0; r < rounds; r++ {
+		for _, temp := range []float64{22.0, 24.5, 27.3, 28.1, 25.0, 21.9} {
+			thermo.Emit("temperature", temp)
+			time.Sleep(5 * time.Millisecond) // let the async delivery run
+		}
 	}
 	st := app.Stats()
 	fmt.Printf("done: %d readings processed, %d publications, %d actuations\n",

@@ -1,0 +1,702 @@
+// Package federation connects orchestration runtimes into one multi-node
+// deployment: a single DiaSpec application can span a device fleet
+// partitioned across N nodes, which is the paper's design-driven continuum
+// ("from home automation to city-scale deployments") taken past the single
+// process. Each node:
+//
+//   - exports selected device kinds: their drivers are hosted on the node's
+//     transport server and their registry entries are answered to peers
+//     through generation-keyed delta sync (registry.ScanIfChanged), so an
+//     unchanged fleet costs one tiny RPC per sync tick, not a scan;
+//   - mirrors peers' registries: remote entities appear in the local
+//     registry as mirror entries (Entity.Origin names the owner), making
+//     discovery, periodic polling (via query_batch) and actuation (via
+//     command_batch) work across nodes with no application changes;
+//   - forwards device events: readings from exported sources are coalesced
+//     into event_batch RPCs — bounded by a per-peer qos.Budget — that land
+//     directly in the consuming node's ingestion shards (runtime.RemoteIngest),
+//     so cross-node event delivery costs per-batch work, not per-event RPCs.
+//
+// Delivery accounting stays exact across node boundaries: every reading
+// accepted from an attached device is either delivered to the consuming
+// context or counted in exactly one drop counter (sender forward budget,
+// sender send failure, receiver admission, receiver deadline).
+package federation
+
+import (
+	"errors"
+	"fmt"
+	"maps"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/qos"
+	"repro/internal/registry"
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// Export declares one device kind a node offers to its peers. The kind's
+// local drivers are hosted on the node's transport server and its registry
+// entries are served through delta sync. When Source is nonempty, readings
+// from that source are additionally forwarded to every event-forwarding
+// peer.
+type Export struct {
+	Kind   string
+	Source string
+}
+
+// Config configures a Node.
+type Config struct {
+	// Name identifies the node; mirrors of its entities carry it as
+	// Entity.Origin. Required.
+	Name string
+	// Runtime is the node's orchestration runtime. Required. The node
+	// does not own it: stop the runtime separately.
+	Runtime *runtime.Runtime
+	// ListenAddr is the transport listen address. Default "127.0.0.1:0".
+	ListenAddr string
+	// Exports lists the device kinds (and event sources) this node offers.
+	Exports []Export
+}
+
+// PeerConfig configures one peer connection.
+type PeerConfig struct {
+	// Name identifies the peer (diagnostics and MirrorCount lookups).
+	Name string
+	// Addr is the peer's transport address.
+	Addr string
+	// Import lists the device kinds to mirror from the peer.
+	Import []string
+	// ForwardEvents makes this node forward readings of its exported
+	// sources to the peer in coalesced event_batch RPCs.
+	ForwardEvents bool
+	// ForwardBudget bounds readings in flight to this peer (admitted at a
+	// forward buffer but not yet answered by the peer). Beyond it new
+	// readings are dropped and counted. Default 65536; negative means
+	// unbounded.
+	ForwardBudget int
+	// MaxBatch bounds one event_batch RPC. Default 256.
+	MaxBatch int
+	// CallTimeout bounds each RPC round trip. Default 10s.
+	CallTimeout time.Duration
+}
+
+func (c PeerConfig) withDefaults() PeerConfig {
+	if c.ForwardBudget == 0 {
+		c.ForwardBudget = 65536
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 256
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	return c
+}
+
+// Stats aggregates a node's federation counters. All values are cumulative
+// except MirrorsLive.
+type Stats struct {
+	// SyncRounds counts completed SyncPeers rounds.
+	SyncRounds uint64
+	// SyncErrors counts failed per-peer sync attempts.
+	SyncErrors uint64
+	// KindsScanned counts sync answers that carried a changed kind (the
+	// peer had to scan); steady state holds this constant while
+	// SyncRounds grows.
+	KindsScanned uint64
+	// MirrorsAdded/MirrorsUpdated/MirrorsRemoved count mirror-entry
+	// mutations applied to the local registry.
+	MirrorsAdded   uint64
+	MirrorsUpdated uint64
+	MirrorsRemoved uint64
+	// MirrorsLive is the number of mirror entries currently registered on
+	// behalf of peers. After churn plus a sync it must equal the owners'
+	// live exported population — a higher value is a leak.
+	MirrorsLive uint64
+	// EventsForwarded counts readings sent to peers and admitted there.
+	EventsForwarded uint64
+	// EventBatchesSent counts event_batch RPCs issued;
+	// EventsForwarded/EventBatchesSent is the achieved coalescing factor.
+	EventBatchesSent uint64
+	// ForwardBudgetDrops counts readings refused at the sender because a
+	// peer's in-flight budget was exhausted.
+	ForwardBudgetDrops uint64
+	// ForwardSendDrops counts readings lost to failed event_batch RPCs.
+	ForwardSendDrops uint64
+	// ForwardUnrouted counts readings accepted from a device while no
+	// event-forwarding peer was configured for their source.
+	ForwardUnrouted uint64
+	// ExportedHosted counts distinct local drivers currently hosted on
+	// the node's transport server on behalf of exported kinds
+	// (overlapping exports of one kind share a refcounted hosting).
+	ExportedHosted uint64
+	// ExporterReconciles counts registry rescans forced by overflowed
+	// exporter watcher channels during churn or bind storms.
+	ExporterReconciles uint64
+}
+
+type statCounters struct {
+	syncRounds         atomic.Uint64
+	syncErrors         atomic.Uint64
+	kindsScanned       atomic.Uint64
+	mirrorsAdded       atomic.Uint64
+	mirrorsUpdated     atomic.Uint64
+	mirrorsRemoved     atomic.Uint64
+	mirrorsLive        atomic.Uint64
+	eventsForwarded    atomic.Uint64
+	eventBatchesSent   atomic.Uint64
+	forwardBudgetDrops atomic.Uint64
+	forwardSendDrops   atomic.Uint64
+	forwardUnrouted    atomic.Uint64
+	exportedHosted     atomic.Uint64
+	exporterReconciles atomic.Uint64
+}
+
+func (c *statCounters) snapshot() Stats {
+	return Stats{
+		SyncRounds:         c.syncRounds.Load(),
+		SyncErrors:         c.syncErrors.Load(),
+		KindsScanned:       c.kindsScanned.Load(),
+		MirrorsAdded:       c.mirrorsAdded.Load(),
+		MirrorsUpdated:     c.mirrorsUpdated.Load(),
+		MirrorsRemoved:     c.mirrorsRemoved.Load(),
+		MirrorsLive:        c.mirrorsLive.Load(),
+		EventsForwarded:    c.eventsForwarded.Load(),
+		EventBatchesSent:   c.eventBatchesSent.Load(),
+		ForwardBudgetDrops: c.forwardBudgetDrops.Load(),
+		ForwardSendDrops:   c.forwardSendDrops.Load(),
+		ForwardUnrouted:    c.forwardUnrouted.Load(),
+		ExportedHosted:     c.exportedHosted.Load(),
+		ExporterReconciles: c.exporterReconciles.Load(),
+	}
+}
+
+// Node is one federation endpoint: it hosts this process's exported devices,
+// mirrors peers' registries into the local one, and forwards exported device
+// events to interested peers. Create with New, connect with AddPeer, drive
+// sync with SyncPeers (or Run), and Close when done.
+type Node struct {
+	name    string
+	rt      *runtime.Runtime
+	reg     *registry.Registry
+	srv     *transport.Server
+	exports []Export
+
+	mu     sync.Mutex
+	peers  map[string]*peer
+	closed bool
+	stopCh chan struct{} // closed by Close; unblocks Run loops
+	wg     sync.WaitGroup
+
+	// sinks holds one fan-out sink per exported (kind, source); its peer
+	// list is copy-on-write so the device emission hot path reads it with
+	// one atomic load.
+	sinks map[string]*fwdSink
+
+	// hostCounts refcounts server hostings per device ID: several exports
+	// may cover one device (same kind, different sources), and the driver
+	// must stay hosted until the last of them detaches.
+	hostMu     sync.Mutex
+	hostCounts map[string]int
+
+	exporters []*exporter
+	watchers  []*registry.Watcher
+
+	stats statCounters
+}
+
+// New starts a federation node: it opens the transport server, installs the
+// federation handler, and begins tracking (hosting + event-attaching) local
+// devices of the exported kinds.
+func New(cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("federation: node needs a name")
+	}
+	if cfg.Runtime == nil {
+		return nil, errors.New("federation: node needs a runtime")
+	}
+	seen := make(map[Export]struct{}, len(cfg.Exports))
+	for _, ex := range cfg.Exports {
+		if ex.Kind == "" {
+			return nil, errors.New("federation: export needs a kind")
+		}
+		if _, dup := seen[ex]; dup {
+			// Two exporters sharing one sink would attach it twice per
+			// device and double-forward every reading, silently breaking
+			// exact delivery accounting.
+			return nil, fmt.Errorf("federation: duplicate export %s/%s", ex.Kind, ex.Source)
+		}
+		seen[ex] = struct{}{}
+	}
+	addr := cfg.ListenAddr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := transport.NewServer(addr)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		name:       cfg.Name,
+		rt:         cfg.Runtime,
+		reg:        cfg.Runtime.Registry(),
+		srv:        srv,
+		exports:    cfg.Exports,
+		peers:      make(map[string]*peer),
+		sinks:      make(map[string]*fwdSink),
+		hostCounts: make(map[string]int),
+		stopCh:     make(chan struct{}),
+	}
+	srv.ServeFederation(nodeHandler{n})
+	for _, ex := range cfg.Exports {
+		if ex.Source != "" {
+			key := exportKey(ex.Kind, ex.Source)
+			if _, dup := n.sinks[key]; !dup {
+				n.sinks[key] = newFwdSink(n, ex.Kind, ex.Source)
+			}
+		}
+	}
+	for _, ex := range cfg.Exports {
+		if err := n.startExporter(ex); err != nil {
+			n.Close()
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Name returns the node's name.
+func (n *Node) Name() string { return n.name }
+
+// Addr returns the node's transport address — what peers pass to AddPeer.
+func (n *Node) Addr() string { return n.srv.Addr() }
+
+// Stats returns a snapshot of the node's federation counters.
+func (n *Node) Stats() Stats { return n.stats.snapshot() }
+
+func exportKey(kind, source string) string { return kind + "\x00" + source }
+
+// hostDevice hosts drv on the transport server, refcounted per device so
+// overlapping exports of one kind share the hosting; ExportedHosted counts
+// distinct hosted drivers.
+func (n *Node) hostDevice(id string, drv device.Driver) {
+	n.hostMu.Lock()
+	defer n.hostMu.Unlock()
+	n.hostCounts[id]++
+	if n.hostCounts[id] == 1 {
+		n.srv.Host(drv)
+		n.stats.exportedHosted.Add(1)
+	}
+}
+
+// unhostDevice releases one export's claim on the device's hosting,
+// unhosting only when the last claim drops.
+func (n *Node) unhostDevice(id string) {
+	n.hostMu.Lock()
+	defer n.hostMu.Unlock()
+	if n.hostCounts[id] == 0 {
+		return
+	}
+	n.hostCounts[id]--
+	if n.hostCounts[id] == 0 {
+		delete(n.hostCounts, id)
+		n.srv.Unhost(id)
+		n.stats.exportedHosted.Add(^uint64(0))
+	}
+}
+
+// exportedKind reports whether kind is offered to peers.
+func (n *Node) exportedKind(kind string) bool {
+	for _, ex := range n.exports {
+		if ex.Kind == kind {
+			return true
+		}
+	}
+	return false
+}
+
+// AddPeer connects to a peer node. Mirroring starts with the next SyncPeers
+// round; event forwarding (when enabled) starts immediately for readings
+// emitted from now on.
+func (n *Node) AddPeer(cfg PeerConfig) error {
+	cfg = cfg.withDefaults()
+	if cfg.Name == "" || cfg.Addr == "" {
+		return errors.New("federation: peer needs a name and an address")
+	}
+	cli, err := transport.Dial(cfg.Addr, transport.WithCallTimeout(cfg.CallTimeout))
+	if err != nil {
+		return err
+	}
+	p := &peer{
+		n:       n,
+		name:    cfg.Name,
+		cfg:     cfg,
+		client:  cli,
+		budget:  qos.NewBudget(cfg.ForwardBudget),
+		gens:    make(map[string]uint64),
+		mirrors: make(map[string]map[registry.ID]mirrorEntry),
+		buffers: make(map[string]*fwdBuffer),
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		cli.Close()
+		return errors.New("federation: node closed")
+	}
+	if _, dup := n.peers[cfg.Name]; dup {
+		n.mu.Unlock()
+		cli.Close()
+		return fmt.Errorf("federation: peer %s already added", cfg.Name)
+	}
+	n.peers[cfg.Name] = p
+	n.mu.Unlock()
+
+	if cfg.ForwardEvents {
+		for _, ex := range n.exports {
+			if ex.Source == "" {
+				continue
+			}
+			buf := p.bufferFor(ex.Kind, ex.Source)
+			n.sinks[exportKey(ex.Kind, ex.Source)].addBuffer(buf)
+		}
+	}
+	return nil
+}
+
+// MirrorCount reports how many entities are currently mirrored from the
+// named peer (optionally restricted to one kind with kind != ""). It is the
+// leak probe for churn scenarios: after the owner churns and a sync round
+// completes, MirrorCount must equal the owner's live exported population.
+func (n *Node) MirrorCount(peerName, kind string) int {
+	n.mu.Lock()
+	p := n.peers[peerName]
+	n.mu.Unlock()
+	if p == nil {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if kind != "" {
+		return len(p.mirrors[kind])
+	}
+	total := 0
+	for _, m := range p.mirrors {
+		total += len(m)
+	}
+	return total
+}
+
+// SyncPeers performs one synchronous delta-sync round against every peer:
+// unchanged kinds cost one generation comparison on the owner and a few
+// bytes on the wire; changed kinds are rescanned and the mirror diff is
+// applied to the local registry. Peers sync concurrently, so one slow or
+// dead peer delays the round by at most its own RPC timeout instead of
+// head-of-line-blocking every healthy peer's mirror updates. The first
+// error (by peer order) is returned after all peers were attempted.
+func (n *Node) SyncPeers() error {
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	errs := make([]error, len(peers))
+	var wg sync.WaitGroup
+	for i, p := range peers {
+		wg.Add(1)
+		go func(i int, p *peer) {
+			defer wg.Done()
+			if err := n.syncPeer(p); err != nil {
+				n.stats.syncErrors.Add(1)
+				errs[i] = fmt.Errorf("federation: sync %s: %w", p.name, err)
+			}
+		}(i, p)
+	}
+	wg.Wait()
+	n.stats.syncRounds.Add(1)
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Node) syncPeer(p *peer) error {
+	if len(p.cfg.Import) == 0 {
+		return nil
+	}
+	kinds := p.cfg.Import
+	gens := make([]uint64, len(kinds))
+	p.mu.Lock()
+	for i, k := range kinds {
+		gens[i] = p.gens[k]
+	}
+	p.mu.Unlock()
+	deltas, err := p.client.SyncRegistry(kinds, gens)
+	if err != nil {
+		return err
+	}
+	for _, d := range deltas {
+		if !d.Changed {
+			continue
+		}
+		n.stats.kindsScanned.Add(1)
+		n.applyDelta(p, d)
+	}
+	return nil
+}
+
+// applyDelta reconciles one kind's mirror set against the owner's answer:
+// new entities are registered (with Origin naming the owner), changed ones
+// updated, absent ones unregistered. The generation is recorded only when
+// every mutation succeeded, so a failed application re-requests the full
+// delta (and retries the failed mutations) on the next round.
+func (n *Node) applyDelta(p *peer, d transport.SyncDelta) {
+	want := make(map[registry.ID]registry.Entity, len(d.Entities))
+	for _, e := range d.Entities {
+		want[e.ID] = e
+	}
+	p.mu.Lock()
+	have := p.mirrors[d.Kind]
+	if have == nil {
+		have = make(map[registry.ID]mirrorEntry)
+		p.mirrors[d.Kind] = have
+	}
+	var adds, updates []registry.Entity
+	var removes []registry.ID
+	for id, e := range want {
+		cur, ok := have[id]
+		if !ok {
+			adds = append(adds, e)
+			continue
+		}
+		if cur.endpoint != e.Endpoint || !maps.Equal(cur.attrs, e.Attrs) {
+			updates = append(updates, e)
+		}
+	}
+	for id := range have {
+		if _, ok := want[id]; !ok {
+			removes = append(removes, id)
+		}
+	}
+	p.mu.Unlock()
+
+	// Apply registry mutations outside the peer lock; bookkeeping follows
+	// each successful mutation. SyncPeers rounds for one peer never run
+	// concurrently with each other in normal use (callers serialize), but
+	// the bookkeeping is still guarded for Run + explicit-sync overlap.
+	failed := false
+	for _, e := range adds {
+		if err := n.reg.Register(e); err != nil {
+			n.rt.ReportError("federation:"+n.name, fmt.Errorf("mirror %s from %s: %w", e.ID, p.name, err))
+			failed = true
+			continue
+		}
+		p.mu.Lock()
+		p.mirrors[d.Kind][e.ID] = mirrorEntry{endpoint: e.Endpoint, attrs: e.Attrs.Clone()}
+		p.mu.Unlock()
+		n.stats.mirrorsAdded.Add(1)
+		n.stats.mirrorsLive.Add(1)
+	}
+	for _, e := range updates {
+		if err := n.reg.Update(e.ID, e.Attrs, e.Endpoint); err != nil {
+			n.rt.ReportError("federation:"+n.name, fmt.Errorf("mirror update %s from %s: %w", e.ID, p.name, err))
+			failed = true
+			continue
+		}
+		p.mu.Lock()
+		p.mirrors[d.Kind][e.ID] = mirrorEntry{endpoint: e.Endpoint, attrs: e.Attrs.Clone()}
+		p.mu.Unlock()
+		n.stats.mirrorsUpdated.Add(1)
+	}
+	for _, id := range removes {
+		if err := n.reg.Unregister(id); err != nil && !errors.Is(err, registry.ErrNotFound) {
+			n.rt.ReportError("federation:"+n.name, fmt.Errorf("mirror remove %s from %s: %w", id, p.name, err))
+			failed = true
+			continue
+		}
+		p.mu.Lock()
+		delete(p.mirrors[d.Kind], id)
+		p.mu.Unlock()
+		n.stats.mirrorsRemoved.Add(1)
+		n.stats.mirrorsLive.Add(^uint64(0))
+	}
+	if failed {
+		return // keep the old generation: the next round re-requests and retries
+	}
+	p.mu.Lock()
+	p.gens[d.Kind] = d.Gen
+	p.mu.Unlock()
+}
+
+// Run drives SyncPeers on the given interval until stop closes or the node
+// is closed (stop may be nil to rely on Close alone) — the background form
+// of federation sync for wall-clock deployments. Sync errors are counted in
+// Stats and do not stop the loop. Calling Run on a closed node is a no-op.
+func (n *Node) Run(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.wg.Add(1)
+	n.mu.Unlock()
+	go func() {
+		defer n.wg.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-n.stopCh:
+				return
+			case <-ticker.C:
+				_ = n.SyncPeers() // errors counted in Stats
+			}
+		}
+	}()
+}
+
+// Close tears the node down: exporters detach from their devices, pending
+// forward buffers are flushed, peer connections close, and the transport
+// server stops. Mirror entries this node registered locally are removed so
+// a restarted node starts clean.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		n.wg.Wait()
+		return
+	}
+	n.closed = true
+	close(n.stopCh)
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	watchers := n.watchers
+	exporters := n.exporters
+	n.watchers, n.exporters = nil, nil
+	n.mu.Unlock()
+
+	for _, w := range watchers {
+		w.Cancel()
+	}
+	for _, ex := range exporters {
+		ex.stopAll()
+	}
+	for _, p := range peers {
+		p.stopBuffers()
+	}
+	n.wg.Wait()
+	for _, p := range peers {
+		p.client.Close()
+		p.removeMirrors(n)
+	}
+	n.srv.Close()
+}
+
+// removeMirrors unregisters every mirror entry this node holds for p.
+func (p *peer) removeMirrors(n *Node) {
+	p.mu.Lock()
+	var ids []registry.ID
+	for _, m := range p.mirrors {
+		for id := range m {
+			ids = append(ids, id)
+		}
+	}
+	p.mirrors = make(map[string]map[registry.ID]mirrorEntry)
+	p.mu.Unlock()
+	for _, id := range ids {
+		if err := n.reg.Unregister(id); err == nil {
+			n.stats.mirrorsRemoved.Add(1)
+			n.stats.mirrorsLive.Add(^uint64(0))
+		}
+	}
+}
+
+// mirrorEntry is the locally recorded shape of one mirrored entity, used to
+// detect attribute/endpoint changes without a registry read.
+type mirrorEntry struct {
+	endpoint string
+	attrs    registry.Attributes
+}
+
+// peer is one connected federation peer: the transport client, the mirror
+// bookkeeping for kinds imported from it, and the event-forwarding buffers
+// toward it.
+type peer struct {
+	n      *Node
+	name   string
+	cfg    PeerConfig
+	client *transport.Client
+	budget *qos.Budget
+
+	mu      sync.Mutex
+	gens    map[string]uint64
+	mirrors map[string]map[registry.ID]mirrorEntry
+	buffers map[string]*fwdBuffer
+	stopped bool
+}
+
+// nodeHandler adapts a Node to the transport.FederationHandler interface
+// without exposing the wire entry points on the public Node API.
+type nodeHandler struct{ n *Node }
+
+// SyncKinds implements transport.FederationHandler: one generation-keyed
+// delta per requested kind. Mirrors (entities owned by other nodes) are
+// never re-exported; local entities are stamped with this node's name and
+// transport address so the peer can reach them.
+func (h nodeHandler) SyncKinds(kinds []string, gens []uint64) []transport.SyncDelta {
+	n := h.n
+	out := make([]transport.SyncDelta, len(kinds))
+	addr := n.srv.Addr()
+	for i, kind := range kinds {
+		if !n.exportedKind(kind) {
+			out[i] = transport.SyncDelta{Kind: kind}
+			continue
+		}
+		var since uint64
+		if i < len(gens) {
+			since = gens[i]
+		}
+		var ents []registry.Entity
+		gen, changed := n.reg.ScanIfChanged(kind, since, func(e registry.Entity) bool {
+			if e.Origin != "" {
+				return true // a mirror; its owner exports it
+			}
+			ce := registry.Entity{
+				ID:       e.ID,
+				Kind:     e.Kind,
+				Kinds:    append([]string(nil), e.Kinds...),
+				Attrs:    e.Attrs.Clone(),
+				Endpoint: e.Endpoint,
+				Origin:   n.name,
+				Bound:    e.Bound,
+			}
+			if ce.Endpoint == "" {
+				ce.Endpoint = addr
+			}
+			ents = append(ents, ce)
+			return true
+		})
+		out[i] = transport.SyncDelta{Kind: kind, Gen: gen, Changed: changed, Entities: ents}
+	}
+	return out
+}
+
+// IngestEventBatch implements transport.FederationHandler: forwarded
+// readings land in the runtime's ingestion shards as if their devices had
+// pushed locally.
+func (h nodeHandler) IngestEventBatch(kind, source string, readings []device.Reading) int {
+	return h.n.rt.RemoteIngest(kind, source, readings)
+}

@@ -1,0 +1,429 @@
+package federation_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/devsim"
+	"repro/internal/dsl"
+	"repro/internal/federation"
+	"repro/internal/registry"
+	"repro/internal/runtime"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+var epoch = time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+
+// consumerDesign runs on the aggregating node: it consumes presence events
+// and fans a panel update out when armed.
+const consumerDesign = `
+device PresenceSensor {
+	attribute zone as String;
+	source presence as Boolean;
+}
+
+device ZonePanel {
+	attribute zone as String;
+	action update(status as String);
+}
+
+context Occupancy as Boolean {
+	when provided presence from PresenceSensor
+	no publish;
+}
+`
+
+// ownerDesign runs on device-owner nodes: devices only, no components.
+const ownerDesign = `
+device PresenceSensor {
+	attribute zone as String;
+	source presence as Boolean;
+}
+
+device ZonePanel {
+	attribute zone as String;
+	action update(status as String);
+}
+`
+
+type countCtx struct{ n atomic.Uint64 }
+
+func (c *countCtx) OnTrigger(*runtime.ContextCall) (any, bool, error) {
+	c.n.Add(1)
+	return nil, false, nil
+}
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// newConsumerNode builds the aggregating runtime+node pair.
+func newConsumerNode(t *testing.T, name string) (*runtime.Runtime, *federation.Node, *countCtx) {
+	t.Helper()
+	model, err := dsl.Load(consumerDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := runtime.New(model, runtime.WithClock(simclock.NewVirtual(epoch)))
+	ctx := &countCtx{}
+	if err := rt.ImplementContext("Occupancy", ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	node, err := federation.New(federation.Config{Name: name, Runtime: rt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	return rt, node, ctx
+}
+
+// newOwnerNode builds a device-owner runtime+node pair exporting the sensor
+// kind (and its presence source) plus panels, with a bound swarm.
+func newOwnerNode(t *testing.T, name string, sensors int) (*runtime.Runtime, *federation.Node, *devsim.Swarm, *devsim.ChurnSwarm) {
+	t.Helper()
+	model, err := dsl.Load(ownerDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := simclock.NewVirtual(epoch)
+	rt := runtime.New(model, runtime.WithClock(vc))
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	node, err := federation.New(federation.Config{
+		Name:    name,
+		Runtime: rt,
+		Exports: []federation.Export{
+			{Kind: "PresenceSensor", Source: "presence"},
+			{Kind: "ZonePanel"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(node.Close)
+	swarm := devsim.NewSwarm(devsim.SwarmConfig{
+		Sensors: sensors, Lots: []string{name}, GroupAttr: "zone", Seed: 7,
+	}, vc)
+	cs, err := devsim.NewChurnSwarm(swarm, devsim.ChurnHooks{
+		Bind:   func(s *devsim.SwarmSensor) error { return rt.BindDevice(s) },
+		Unbind: rt.UnbindDevice,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt, node, swarm, cs
+}
+
+func settle(t *testing.T, cs *devsim.ChurnSwarm) {
+	t.Helper()
+	waitFor(t, "attachments to settle", cs.Settled)
+}
+
+// One owner, one consumer: mirrors appear via delta sync, events forward in
+// batches and are delivered exactly once, churn leaks no mirror entries and
+// no stale attachments, and steady-state sync never rescans.
+func TestTwoNodeSyncForwardChurn(t *testing.T) {
+	const sensors = 400
+	crt, consumer, delivered := newConsumerNode(t, "hub")
+	_, owner, _, cs := newOwnerNode(t, "edge", sensors)
+
+	if err := owner.AddPeer(federation.PeerConfig{
+		Name: "hub", Addr: consumer.Addr(), ForwardEvents: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.AddPeer(federation.PeerConfig{
+		Name: "edge", Addr: owner.Addr(), Import: []string{"PresenceSensor", "ZonePanel"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := cs.BindAll(); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, cs)
+
+	// First sync scans; the consumer mirrors the whole fleet.
+	if err := consumer.SyncPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if got := consumer.MirrorCount("edge", "PresenceSensor"); got != sensors {
+		t.Fatalf("mirrored %d sensors, want %d", got, sensors)
+	}
+	if got := crt.Registry().Count(); got != sensors {
+		t.Fatalf("consumer registry holds %d entities, want %d", got, sensors)
+	}
+	scansAfterFirst := consumer.Stats().KindsScanned
+
+	// Steady state: further syncs are generation checks only.
+	for i := 0; i < 5; i++ {
+		if err := consumer.SyncPeers(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := consumer.Stats()
+	if st.KindsScanned != scansAfterFirst {
+		t.Fatalf("steady-state sync rescanned: %d -> %d", scansAfterFirst, st.KindsScanned)
+	}
+	if st.SyncRounds != 6 {
+		t.Fatalf("SyncRounds=%d, want 6", st.SyncRounds)
+	}
+
+	// Storm: every live sensor emits once; all must arrive at the hub.
+	accepted := uint64(cs.StormLive(cs.LiveCount()))
+	waitFor(t, "cross-node delivery", func() bool { return delivered.n.Load() == accepted })
+	// The sender's counter moves when the RPC response lands, which can
+	// trail the receiver-side delivery.
+	waitFor(t, "forward acknowledgements", func() bool { return owner.Stats().EventsForwarded == accepted })
+
+	ost := owner.Stats()
+	if ost.EventsForwarded != accepted {
+		t.Fatalf("forwarded %d, accepted %d", ost.EventsForwarded, accepted)
+	}
+	if ost.ForwardBudgetDrops != 0 || ost.ForwardSendDrops != 0 || ost.ForwardUnrouted != 0 {
+		t.Fatalf("unexpected sender drops: %+v", ost)
+	}
+	if ost.EventBatchesSent == 0 || ost.EventBatchesSent >= ost.EventsForwarded {
+		t.Fatalf("no coalescing: %d events in %d batches", ost.EventsForwarded, ost.EventBatchesSent)
+	}
+	cst := crt.Stats()
+	if cst.FederationEventsIn != accepted || cst.FederationEventDrops != 0 {
+		t.Fatalf("receiver accounting off: %+v", cst)
+	}
+
+	// Churn 10% out on the owner; after settle + sync the mirrors must
+	// match exactly and dead sensors must be fully detached.
+	churn := sensors / 10
+	if err := cs.Churn(churn, false); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, cs)
+	if err := consumer.SyncPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if got := consumer.MirrorCount("edge", "PresenceSensor"); got != cs.LiveCount() {
+		t.Fatalf("mirror leak: %d mirrors, %d live", got, cs.LiveCount())
+	}
+	if stale := cs.StormDead(churn); stale != 0 {
+		t.Fatalf("%d readings accepted from churned-out sensors", stale)
+	}
+
+	// Post-churn traffic still accounts exactly.
+	accepted += uint64(cs.StormLive(cs.LiveCount()))
+	waitFor(t, "post-churn delivery", func() bool { return delivered.n.Load() == accepted })
+}
+
+// A second sync after local churn on the owner must scan exactly once more
+// (generation moved) and then return to steady state.
+func TestSyncRescansOnlyOnChange(t *testing.T) {
+	_, consumer, _ := newConsumerNode(t, "hub")
+	_, owner, _, cs := newOwnerNode(t, "edge", 50)
+
+	if err := consumer.AddPeer(federation.PeerConfig{
+		Name: "edge", Addr: owner.Addr(), Import: []string{"PresenceSensor"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.BindAll(); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.SyncPeers(); err != nil {
+		t.Fatal(err)
+	}
+	base := consumer.Stats().KindsScanned
+
+	if err := cs.Churn(5, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.SyncPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if got := consumer.Stats().KindsScanned; got != base+1 {
+		t.Fatalf("churn sync scanned %d kinds, want exactly 1 more than %d", got, base)
+	}
+	if err := consumer.SyncPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if got := consumer.Stats().KindsScanned; got != base+1 {
+		t.Fatalf("steady-state sync rescanned (%d)", got)
+	}
+}
+
+// Sender-side budget exhaustion must drop at the intake and count exactly:
+// accepted == delivered + budget drops (+ send drops, none here).
+func TestForwardBudgetDropsAccounted(t *testing.T) {
+	const sensors = 200
+	crt, consumer, delivered := newConsumerNode(t, "hub")
+	_, owner, _, cs := newOwnerNode(t, "edge", sensors)
+
+	if err := owner.AddPeer(federation.PeerConfig{
+		Name: "hub", Addr: consumer.Addr(), ForwardEvents: true,
+		ForwardBudget: 16, MaxBatch: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.AddPeer(federation.PeerConfig{
+		Name: "edge", Addr: owner.Addr(), Import: []string{"PresenceSensor"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.BindAll(); err != nil {
+		t.Fatal(err)
+	}
+	settle(t, cs)
+	if err := consumer.SyncPeers(); err != nil {
+		t.Fatal(err)
+	}
+
+	var accepted uint64
+	for i := 0; i < 10; i++ {
+		accepted += uint64(cs.StormLive(cs.LiveCount()))
+	}
+	waitFor(t, "accounted delivery", func() bool {
+		ost := owner.Stats()
+		return delivered.n.Load()+ost.ForwardBudgetDrops+ost.ForwardSendDrops == accepted
+	})
+	// The budget must actually have clamped something at this burst rate,
+	// otherwise the test proves nothing.
+	if owner.Stats().ForwardBudgetDrops == 0 {
+		t.Skip("burst never outran the forward budget on this machine")
+	}
+	if crt.Stats().FederationEventDrops != 0 {
+		t.Fatalf("receiver dropped despite default budget: %+v", crt.Stats())
+	}
+}
+
+// Actuation across nodes: the consumer's runtime discovers mirrored panels
+// and a command_batch fan-out actuates the owner-hosted drivers.
+func TestCrossNodeCommandBatch(t *testing.T) {
+	crt, consumer, _ := newConsumerNode(t, "hub")
+	ort, owner, _, _ := newOwnerNode(t, "edge", 1)
+
+	const panels = 30
+	recorders := make([]*devsim.RecorderDevice, panels)
+	for i := range recorders {
+		r := devsim.NewRecorderDevice(fmt.Sprintf("panel-%02d", i), "ZonePanel", nil,
+			registry.Attributes{"zone": "edge"}, []string{"update"}, nil)
+		recorders[i] = r
+		if err := ort.BindDevice(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := consumer.AddPeer(federation.PeerConfig{
+		Name: "edge", Addr: owner.Addr(), Import: []string{"ZonePanel"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.SyncPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if got := consumer.MirrorCount("edge", "ZonePanel"); got != panels {
+		t.Fatalf("mirrored %d panels, want %d", got, panels)
+	}
+
+	// Drive the actuation through a transport client directly against the
+	// owner (the runtime-level InvokeBatch path is covered in
+	// internal/runtime); here we prove the hosted drivers answer.
+	ents := crt.Registry().Discover(registry.Query{Kind: "ZonePanel"})
+	if len(ents) != panels {
+		t.Fatalf("discovered %d panels, want %d", len(ents), panels)
+	}
+	for _, e := range ents {
+		if e.Origin != "edge" || e.Endpoint == "" {
+			t.Fatalf("mirror not stamped: %+v", e)
+		}
+	}
+
+	ids := make([]string, len(ents))
+	for i, e := range ents {
+		ids[i] = string(e.ID)
+	}
+	cli := dialOrFatal(t, ents[0].Endpoint)
+	errs, err := cli.CommandBatch(ids, "update", "42 free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, es := range errs {
+		if es != "" {
+			t.Fatalf("panel %s: %s", ids[i], es)
+		}
+	}
+	for _, r := range recorders {
+		if calls := r.Calls("update"); len(calls) != 1 {
+			t.Fatalf("panel %s saw %d updates", r.ID(), len(calls))
+		}
+	}
+
+	// Unbinding a panel on the owner must (after sync) remove its mirror.
+	if err := ort.UnbindDevice(recorders[0].ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.SyncPeers(); err != nil {
+		t.Fatal(err)
+	}
+	if got := consumer.MirrorCount("edge", "ZonePanel"); got != panels-1 {
+		t.Fatalf("mirror leak after unbind: %d, want %d", got, panels-1)
+	}
+}
+
+func dialOrFatal(t *testing.T, addr string) *transport.Client {
+	t.Helper()
+	cli, err := transport.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(cli.Close)
+	return cli
+}
+
+// Duplicate exports would double-attach the shared forwarding sink and
+// break exact accounting; New must reject them up front.
+func TestDuplicateExportRejected(t *testing.T) {
+	model, err := dsl.Load(ownerDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := runtime.New(model, runtime.WithClock(simclock.NewVirtual(epoch)))
+	t.Cleanup(rt.Stop)
+	_, err = federation.New(federation.Config{
+		Name:    "dup",
+		Runtime: rt,
+		Exports: []federation.Export{
+			{Kind: "PresenceSensor", Source: "presence"},
+			{Kind: "PresenceSensor", Source: "presence"},
+		},
+	})
+	if err == nil {
+		t.Fatal("duplicate export accepted")
+	}
+	// Same kind with distinct sources is legitimate.
+	node, err := federation.New(federation.Config{
+		Name:    "ok",
+		Runtime: rt,
+		Exports: []federation.Export{
+			{Kind: "PresenceSensor", Source: "presence"},
+			{Kind: "PresenceSensor"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Close()
+}

@@ -1,0 +1,416 @@
+package federation
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/device"
+	"repro/internal/registry"
+)
+
+// This file implements the outbound half of a federation node: tracking the
+// local devices of exported kinds (hosting their drivers on the transport
+// server, attaching forwarding sinks to their event sources) and the
+// per-peer coalescing buffers that turn individual readings into
+// event_batch RPCs. The shape mirrors the runtime's ingestion pipeline: a
+// device push costs one buffer append; a single flusher per (peer, kind,
+// source) coalesces whatever accumulated into bounded batches; admission is
+// bounded by the peer's in-flight qos.Budget so a slow or dead peer drops
+// at the sender intake instead of growing queues without bound.
+
+// exporter keeps one Export's device attachments in step with the registry,
+// exactly like the runtime's sourceTracker: every local entity of the kind
+// is hosted (and, when the export names a source, sink-attached) while
+// registered, released on unregister or lease expiry, with a reconciling
+// scan whenever the watcher channel overflowed under churn.
+type exporter struct {
+	n      *Node
+	kind   string
+	source string
+	sink   *fwdSink // nil when the export has no source
+
+	mu   sync.Mutex
+	subs map[registry.ID]*exportedDevice
+
+	lastMissed uint64 // exporter goroutine only
+}
+
+// exporterWatchBuf is the watcher channel capacity of one exporter; churn
+// storms that overflow it trigger a reconciling scan.
+const exporterWatchBuf = 64
+
+func (n *Node) startExporter(ex Export) error {
+	w, err := n.reg.Watch(registry.Query{Kind: ex.Kind}, exporterWatchBuf)
+	if err != nil {
+		return err
+	}
+	e := &exporter{
+		n:      n,
+		kind:   ex.Kind,
+		source: ex.Source,
+		subs:   make(map[registry.ID]*exportedDevice),
+	}
+	if ex.Source != "" {
+		e.sink = n.sinks[exportKey(ex.Kind, ex.Source)]
+	}
+	n.mu.Lock()
+	n.watchers = append(n.watchers, w)
+	n.exporters = append(n.exporters, e)
+	n.mu.Unlock()
+
+	// Collect the current population first, attach after: add hosts
+	// drivers and opens subscriptions, which must not run inside the scan
+	// callback (Scan holds the shard lock and forbids re-entering the
+	// registry).
+	var present []registry.Entity
+	n.reg.Scan(registry.Query{Kind: ex.Kind}, func(ent registry.Entity) bool {
+		present = append(present, registry.Entity{ID: ent.ID, Kind: ent.Kind, Origin: ent.Origin})
+		return true
+	})
+	for _, ent := range present {
+		e.add(ent)
+	}
+	n.wg.Add(1)
+	go e.loop(w)
+	return nil
+}
+
+func (e *exporter) loop(w *registry.Watcher) {
+	defer e.n.wg.Done()
+	for c := range w.C() {
+		switch c.Type {
+		case registry.Added, registry.Updated:
+			e.add(c.Entity)
+		case registry.Removed, registry.Expired:
+			e.remove(c.Entity.ID)
+		}
+		if m := w.Missed(); m != e.lastMissed {
+			e.lastMissed = m
+			e.reconcile()
+		}
+	}
+	e.stopAll()
+}
+
+// add hosts (and sink-attaches) one local entity of the exported kind.
+// Mirrors are ignored: their owner exports them.
+func (e *exporter) add(ent registry.Entity) {
+	if ent.Origin != "" {
+		return
+	}
+	ed := &exportedDevice{}
+	e.mu.Lock()
+	if _, dup := e.subs[ent.ID]; dup {
+		e.mu.Unlock()
+		return
+	}
+	e.subs[ent.ID] = ed
+	e.mu.Unlock()
+
+	release := func() {
+		e.mu.Lock()
+		if e.subs[ent.ID] == ed {
+			delete(e.subs, ent.ID)
+		}
+		e.mu.Unlock()
+	}
+	drv, ok := e.n.rt.LocalDriver(string(ent.ID))
+	if !ok {
+		// Registered but not locally driven (e.g. an entity added with an
+		// explicit remote endpoint): nothing to host or forward.
+		release()
+		return
+	}
+	id := string(ent.ID)
+	e.n.hostDevice(id, drv)
+	unhost := func() { e.n.unhostDevice(id) }
+	if e.sink == nil {
+		ed.attach(unhost)
+		return
+	}
+	if ps, ok := drv.(device.PushSubscriber); ok {
+		cancel, err := ps.SubscribePush(e.source, e.sink)
+		if err != nil {
+			unhost()
+			release()
+			e.n.rt.ReportError("federation:"+e.n.name, fmt.Errorf("export %s source %s: %w", ent.ID, e.source, err))
+			return
+		}
+		ed.attach(func() { cancel(); unhost() })
+		return
+	}
+	sub, err := drv.Subscribe(e.source)
+	if err != nil {
+		unhost()
+		release()
+		e.n.rt.ReportError("federation:"+e.n.name, fmt.Errorf("export %s source %s: %w", ent.ID, e.source, err))
+		return
+	}
+	if !ed.attach(func() { sub.Cancel(); unhost() }) {
+		return
+	}
+	e.n.wg.Add(1)
+	go func() {
+		defer e.n.wg.Done()
+		for r := range sub.C() {
+			e.sink.Push(r)
+		}
+	}()
+}
+
+func (e *exporter) remove(id registry.ID) {
+	e.mu.Lock()
+	ed, ok := e.subs[id]
+	delete(e.subs, id)
+	e.mu.Unlock()
+	if ok {
+		ed.stop()
+	}
+}
+
+func (e *exporter) stopAll() {
+	e.mu.Lock()
+	subs := e.subs
+	e.subs = make(map[registry.ID]*exportedDevice)
+	e.mu.Unlock()
+	for _, ed := range subs {
+		ed.stop()
+	}
+}
+
+// reconcile repairs the attachment table against a registry scan after
+// watcher notifications were dropped, mirroring sourceTracker.reconcile.
+func (e *exporter) reconcile() {
+	e.n.stats.exporterReconciles.Add(1)
+	live := make(map[registry.ID]registry.Entity)
+	e.n.reg.Scan(registry.Query{Kind: e.kind}, func(ent registry.Entity) bool {
+		if ent.Origin == "" {
+			live[ent.ID] = registry.Entity{ID: ent.ID, Kind: ent.Kind}
+		}
+		return true
+	})
+	e.mu.Lock()
+	var gone []*exportedDevice
+	var missing []registry.Entity
+	for id, ed := range e.subs {
+		if _, ok := live[id]; !ok {
+			delete(e.subs, id)
+			gone = append(gone, ed)
+		}
+	}
+	for id, ent := range live {
+		if _, ok := e.subs[id]; !ok {
+			missing = append(missing, ent)
+		}
+	}
+	e.mu.Unlock()
+	for _, ed := range gone {
+		ed.stop()
+	}
+	for _, ent := range missing {
+		e.add(ent)
+	}
+}
+
+// exportedDevice tracks one exported device from reservation to release,
+// with the same stop-before-attach reconciliation as the runtime's
+// trackedDevice.
+type exportedDevice struct {
+	mu      sync.Mutex
+	cancel  func()
+	stopped bool
+}
+
+func (d *exportedDevice) attach(cancel func()) bool {
+	d.mu.Lock()
+	d.cancel = cancel
+	stopped := d.stopped
+	d.mu.Unlock()
+	if stopped {
+		cancel()
+		return false
+	}
+	return true
+}
+
+func (d *exportedDevice) stop() {
+	d.mu.Lock()
+	if d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.stopped = true
+	cancel := d.cancel
+	d.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// fwdSink is the fan-out point of one exported (kind, source): devices push
+// readings into it and it lands them in every event-forwarding peer's
+// coalescing buffer. The buffer list is copy-on-write so the emission hot
+// path costs one atomic load plus one append per peer.
+type fwdSink struct {
+	n       *Node
+	kind    string
+	source  string
+	buffers atomic.Pointer[[]*fwdBuffer]
+}
+
+var _ device.Sink = (*fwdSink)(nil)
+
+func newFwdSink(n *Node, kind, source string) *fwdSink {
+	s := &fwdSink{n: n, kind: kind, source: source}
+	empty := []*fwdBuffer{}
+	s.buffers.Store(&empty)
+	return s
+}
+
+// addBuffer installs one peer's coalescing buffer; called under the node's
+// AddPeer path only.
+func (s *fwdSink) addBuffer(b *fwdBuffer) {
+	for {
+		cur := s.buffers.Load()
+		next := make([]*fwdBuffer, len(*cur)+1)
+		copy(next, *cur)
+		next[len(*cur)] = b
+		if s.buffers.CompareAndSwap(cur, &next) {
+			return
+		}
+	}
+}
+
+// Push implements device.Sink: the device emission path of event
+// forwarding. Admission is per peer; a reading refused by one peer's budget
+// still reaches the others.
+func (s *fwdSink) Push(r device.Reading) {
+	bufs := *s.buffers.Load()
+	if len(bufs) == 0 {
+		s.n.stats.forwardUnrouted.Add(1)
+		return
+	}
+	for _, b := range bufs {
+		b.push(r)
+	}
+}
+
+// bufferFor returns (creating on first use) the peer's coalescing buffer
+// for one exported (kind, source), with its flusher running.
+func (p *peer) bufferFor(kind, source string) *fwdBuffer {
+	key := exportKey(kind, source)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if b, ok := p.buffers[key]; ok {
+		return b
+	}
+	b := &fwdBuffer{p: p, kind: kind, source: source}
+	b.notEmpty.L = &b.mu
+	if p.stopped {
+		// The node is closing: create the buffer pre-stopped with no
+		// flusher, so pushes drain as accounted drops instead of leaking
+		// a goroutine past Close's wait.
+		b.stopped = true
+		p.buffers[key] = b
+		return b
+	}
+	p.buffers[key] = b
+	p.n.wg.Add(1)
+	go b.run()
+	return b
+}
+
+// stopBuffers wakes every flusher for shutdown; buffered readings are still
+// sent before the flushers exit.
+func (p *peer) stopBuffers() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stopped = true
+	for _, b := range p.buffers {
+		b.mu.Lock()
+		b.stopped = true
+		b.notEmpty.Signal()
+		b.mu.Unlock()
+	}
+}
+
+// fwdBuffer is one (peer, kind, source) coalescing buffer plus its flusher.
+// push appends under the buffer mutex; the flusher swaps the buffer out
+// wholesale and ships it in MaxBatch-sized event_batch RPCs, so per-event
+// synchronization and per-RPC overhead are both amortized over the burst.
+type fwdBuffer struct {
+	p      *peer
+	kind   string
+	source string
+
+	mu       sync.Mutex
+	notEmpty sync.Cond
+	buf      []device.Reading
+	stopped  bool
+}
+
+// push admits one reading against the peer's in-flight budget.
+func (b *fwdBuffer) push(r device.Reading) {
+	p := b.p
+	if p.budget.AcquireUpTo(1) == 0 {
+		p.n.stats.forwardBudgetDrops.Add(1)
+		return
+	}
+	b.mu.Lock()
+	if b.stopped {
+		b.mu.Unlock()
+		p.budget.Release(1)
+		p.n.stats.forwardSendDrops.Add(1)
+		return
+	}
+	b.buf = append(b.buf, r)
+	if len(b.buf) == 1 {
+		b.notEmpty.Signal()
+	}
+	b.mu.Unlock()
+}
+
+func (b *fwdBuffer) run() {
+	defer b.p.n.wg.Done()
+	var pending []device.Reading
+	for {
+		b.mu.Lock()
+		for len(b.buf) == 0 && !b.stopped {
+			b.notEmpty.Wait()
+		}
+		if len(b.buf) == 0 {
+			b.mu.Unlock()
+			return // stopped and fully drained
+		}
+		pending, b.buf = b.buf, pending[:0]
+		b.mu.Unlock()
+		b.flush(pending)
+	}
+}
+
+// flush ships one swapped-out burst in MaxBatch chunks and returns the
+// admitted units to the peer budget. Readings on a failed RPC are counted
+// as send drops so end-to-end accounting stays exact.
+func (b *fwdBuffer) flush(batch []device.Reading) {
+	p := b.p
+	n := p.n
+	for lo := 0; lo < len(batch); lo += p.cfg.MaxBatch {
+		hi := lo + p.cfg.MaxBatch
+		if hi > len(batch) {
+			hi = len(batch)
+		}
+		chunk := batch[lo:hi]
+		accepted, err := p.client.PublishEventBatch(b.kind, b.source, chunk)
+		n.stats.eventBatchesSent.Add(1)
+		if err != nil {
+			n.stats.forwardSendDrops.Add(uint64(len(chunk)))
+			continue
+		}
+		n.stats.eventsForwarded.Add(uint64(accepted))
+	}
+	p.budget.Release(len(batch))
+	// Drop payload references so recycled capacity does not retain
+	// reading values across quiet periods.
+	clear(batch[:cap(batch)])
+}

@@ -150,3 +150,62 @@ func TestGenerationAllKinds(t *testing.T) {
 		t.Fatalf("Generation(\"\") = %d, want %d", got, g0+2)
 	}
 }
+
+// ScanIfChanged must be free of iteration while the generation is
+// unchanged, and must scan (and report the moved generation) after any
+// mutation of the kind.
+func TestScanIfChanged(t *testing.T) {
+	r := New()
+	defer r.Close()
+	for i := 0; i < 10; i++ {
+		err := r.Register(Entity{ID: ID(fmt.Sprintf("s%d", i)), Kind: "Sensor"})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	visits := 0
+	gen, changed := r.ScanIfChanged("Sensor", 0, func(Entity) bool { visits++; return true })
+	if !changed || visits != 10 {
+		t.Fatalf("first sync: changed=%v visits=%d, want true/10", changed, visits)
+	}
+
+	visits = 0
+	gen2, changed := r.ScanIfChanged("Sensor", gen, func(Entity) bool { visits++; return true })
+	if changed || visits != 0 || gen2 != gen {
+		t.Fatalf("steady state scanned: changed=%v visits=%d gen %d->%d", changed, visits, gen, gen2)
+	}
+
+	if err := r.Unregister("s3"); err != nil {
+		t.Fatal(err)
+	}
+	visits = 0
+	gen3, changed := r.ScanIfChanged("Sensor", gen, func(Entity) bool { visits++; return true })
+	if !changed || visits != 9 || gen3 == gen {
+		t.Fatalf("post-churn sync: changed=%v visits=%d gen %d->%d", changed, visits, gen, gen3)
+	}
+}
+
+// Origin must survive registration, cloning and discovery untouched: it is
+// the marker separating owned entities from federation mirrors.
+func TestOriginRoundTrips(t *testing.T) {
+	r := New()
+	defer r.Close()
+	if err := r.Register(Entity{ID: "m1", Kind: "Sensor", Origin: "node-b", Endpoint: "10.0.0.2:7"}); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := r.Get("m1")
+	if !ok || got.Origin != "node-b" {
+		t.Fatalf("Get lost origin: %+v", got)
+	}
+	ents := r.Discover(Query{Kind: "Sensor"})
+	if len(ents) != 1 || ents[0].Origin != "node-b" {
+		t.Fatalf("Discover lost origin: %+v", ents)
+	}
+	if err := r.Update("m1", Attributes{"zone": "z"}, "10.0.0.2:8"); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := r.Get("m1"); got.Origin != "node-b" {
+		t.Fatalf("Update lost origin: %+v", got)
+	}
+}

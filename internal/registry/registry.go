@@ -95,6 +95,13 @@ type Entity struct {
 	// Endpoint is the transport address serving this entity; empty for
 	// in-process entities.
 	Endpoint string
+	// Origin names the federation node that owns this entity when the
+	// local record is a mirror of a remote registry; empty for entities
+	// owned by this process. Mirrors are discoverable like any entity but
+	// are never re-exported to further peers, and the runtime binds their
+	// event delivery to the federation tier instead of per-device
+	// subscriptions.
+	Origin string
 	// Bound records when in the lifecycle the entity was bound.
 	Bound BindingTime
 }
@@ -532,6 +539,21 @@ func (r *Registry) Generation(kind string) uint64 {
 	return sum
 }
 
+// ScanIfChanged is the delta-since-generation scan behind federation
+// registry sync: it reports the current generation for kind and, only when
+// it differs from since, visits every entity of the kind exactly like Scan
+// (same sharing and re-entrancy rules). An unchanged population costs one
+// lock-free generation read and no iteration at all, which is what makes a
+// steady-state cross-node sync tick independent of fleet size.
+func (r *Registry) ScanIfChanged(kind string, since uint64, fn func(Entity) bool) (gen uint64, changed bool) {
+	gen = r.Generation(kind)
+	if gen == since {
+		return gen, false
+	}
+	r.Scan(Query{Kind: kind}, fn)
+	return gen, true
+}
+
 // Sweep removes expired registrations immediately and reports how many were
 // evicted. Expiry also happens lazily on every read/write, so calling Sweep
 // is only needed to force notifications promptly.
@@ -581,7 +603,9 @@ func (r *Registry) Close() {
 	}
 	for i := range r.shards {
 		r.shards[i].mu.Lock()
-		r.shards[i].mu.Unlock() //nolint:staticcheck // empty critical section is the barrier
+	}
+	for i := range r.shards {
+		r.shards[i].mu.Unlock()
 	}
 	r.watchMu.Lock()
 	defer r.watchMu.Unlock()

@@ -7,6 +7,7 @@ import (
 	"repro/internal/dsl/check"
 	"repro/internal/eventbus"
 	"repro/internal/registry"
+	"repro/internal/transport"
 )
 
 // wireController subscribes one `when provided <Context>` controller clause
@@ -103,6 +104,91 @@ func (c *ControllerCall) actionDeclared(kinds []string, action string) *check.Co
 		}
 	}
 	return nil
+}
+
+// InvokeBatch performs one declared action (with shared arguments) on many
+// discovered devices, amortizing cross-node actuation: local devices are
+// invoked directly, remote devices are grouped per endpoint and actuated
+// through chunked command_batch round trips (the actuation twin of the
+// periodic poller's query_batch). It returns how many devices were actuated
+// successfully plus one error per failed device. SCC conformance is checked
+// per proxy exactly as ActuatorProxy.Invoke does.
+func (c *ControllerCall) InvokeBatch(proxies []*ActuatorProxy, action string, args ...any) (ok int, errs []error) {
+	type endpointGroup struct {
+		client *transport.Client
+		ids    []string
+	}
+	var groups map[string]*endpointGroup
+	// Fan-outs are homogeneous in practice (one discovery's worth of one
+	// kind), so the per-kind declaration lookup is memoized across the
+	// loop instead of rescanning the clause's action list per device.
+	declByKind := make(map[string]*check.ControllerAction, 1)
+	for _, p := range proxies {
+		decl, cached := declByKind[p.entity.Kind]
+		if !cached {
+			decl = c.actionDeclared(p.entity.Kinds, action)
+			declByKind[p.entity.Kind] = decl
+		}
+		if decl == nil {
+			errs = append(errs, fmt.Errorf("runtime: controller %s: design declares no 'do %s on %s'",
+				c.ControllerName, action, p.entity.Kind))
+			continue
+		}
+		if len(args) != len(decl.Action.Params) {
+			errs = append(errs, fmt.Errorf("runtime: action %s.%s takes %d argument(s), got %d",
+				p.entity.Kind, action, len(decl.Action.Params), len(args)))
+			continue
+		}
+		if drv, local := c.rt.LocalDriver(string(p.entity.ID)); local {
+			if err := drv.Invoke(action, args...); err != nil {
+				errs = append(errs, fmt.Errorf("runtime: actuate %s.%s: %w", p.entity.ID, action, err))
+				continue
+			}
+			c.rt.stats.actuations.Add(1)
+			ok++
+			continue
+		}
+		cli, err := c.rt.clientFor(string(p.entity.ID), p.entity.Endpoint)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		if groups == nil {
+			groups = make(map[string]*endpointGroup)
+		}
+		g := groups[p.entity.Endpoint]
+		if g == nil {
+			g = &endpointGroup{client: cli}
+			groups[p.entity.Endpoint] = g
+		}
+		g.ids = append(g.ids, string(p.entity.ID))
+	}
+	for endpoint, g := range groups {
+		for lo := 0; lo < len(g.ids); lo += remoteBatchChunk {
+			hi := lo + remoteBatchChunk
+			if hi > len(g.ids) {
+				hi = len(g.ids)
+			}
+			chunk := g.ids[lo:hi]
+			c.rt.stats.fedCommandChunks.Add(1)
+			perDevice, err := g.client.CommandBatch(chunk, action, args...)
+			if err != nil {
+				// A failed chunk loses only its own devices; remaining
+				// chunks (and endpoints) are still attempted.
+				errs = append(errs, fmt.Errorf("runtime: actuate batch via %s: %w", endpoint, err))
+				continue
+			}
+			for i, es := range perDevice {
+				if es != "" {
+					errs = append(errs, fmt.Errorf("runtime: actuate %s.%s: %s", chunk[i], action, es))
+					continue
+				}
+				c.rt.stats.actuations.Add(1)
+				ok++
+			}
+		}
+	}
+	return ok, errs
 }
 
 // ActuatorProxy invokes actions on one discovered device. Invocations are

@@ -74,7 +74,14 @@ func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interacti
 	}, eventbus.WithQueue(sourceTopicQueue)); err != nil {
 		return err
 	}
-	return rt.trackDeviceSource(in.TriggerDevice.Name, in.TriggerSource.Name, rt.newIngestor(topic))
+	ing := rt.newIngestor(topic)
+	// Index the pipeline by (kind, source) so federation peers can land
+	// forwarded batches for this interaction through RemoteIngest.
+	rt.mu.Lock()
+	key := ingestKey(in.TriggerDevice.Name, in.TriggerSource.Name)
+	rt.ingestByKey[key] = append(rt.ingestByKey[key], ing)
+	rt.mu.Unlock()
+	return rt.trackDeviceSource(in.TriggerDevice.Name, in.TriggerSource.Name, ing)
 }
 
 // sourceTopicQueue is the bus queue depth of one device-source topic.

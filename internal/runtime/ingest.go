@@ -159,21 +159,97 @@ func (s *ingestShard) pushBatch(batch []any) {
 	if dropped := len(batch) - admitted; dropped > 0 {
 		ing.rt.stats.ingestBudgetDrops.Add(uint64(dropped))
 	}
-	if admitted == 0 {
+	s.appendAdmitted(batch[:admitted])
+}
+
+// appendAdmitted installs readings whose budget units are already acquired
+// into the shard buffer, releasing the units if the shard has stopped. It is
+// the budget-free lower half of pushBatch, shared with the federation
+// remote-ingest path (which applies its own admission accounting).
+func (s *ingestShard) appendAdmitted(batch []any) {
+	if len(batch) == 0 {
 		return
 	}
 	s.mu.Lock()
 	if s.stopped {
 		s.mu.Unlock()
-		ing.budget.Release(admitted)
+		s.ing.budget.Release(len(batch))
 		return
 	}
 	wasEmpty := len(s.buf) == 0
-	s.buf = append(s.buf, batch[:admitted]...)
+	s.buf = append(s.buf, batch...)
 	if wasEmpty {
 		s.notEmpty.Signal()
 	}
 	s.mu.Unlock()
+}
+
+// ingestRemote lands one peer-forwarded batch: admission happens once for
+// the whole batch against the interaction's budget (refusals are the
+// caller's to account), and the admitted prefix is fanned to the intake
+// shards by device ID so per-device ordering is preserved end to end.
+func (ing *ingestor) ingestRemote(readings []device.Reading) int {
+	admitted := ing.budget.AcquireUpTo(len(readings))
+	if admitted == 0 {
+		return 0
+	}
+	// Group the admitted prefix per shard, preserving arrival order within
+	// each device (same device always hashes to the same shard).
+	perShard := make([][]any, len(ing.shards))
+	for i := range readings[:admitted] {
+		r := readings[i]
+		si := maphash.String(ingestSeed, r.DeviceID) & ing.mask
+		perShard[si] = append(perShard[si], r)
+	}
+	for si, batch := range perShard {
+		ing.shards[si].appendAdmitted(batch)
+	}
+	return admitted
+}
+
+// ingestKey indexes the ingestion pipelines consuming one (kind, source)
+// device interaction.
+func ingestKey(kind, source string) string { return kind + "\x00" + source }
+
+// RemoteIngest lands a batch of device readings forwarded by a federation
+// peer — all of one device kind and source — into every ingestion pipeline
+// consuming that interaction, exactly as if the devices had pushed locally.
+// It returns how many readings were admitted by every pipeline (the
+// conservative wire answer the sender records as forwarded-and-admitted).
+//
+// Accounting is per pipeline, so it stays exact for any number of
+// consumers: each pipeline's admissions add to Stats.FederationEventsIn and
+// each pipeline's refusals add to Stats.FederationEventDrops (a batch no
+// interaction consumes is refused whole). For every consuming interaction,
+// delivered + deadline drops + its share of FederationEventDrops equals the
+// readings accepted at the source — summed over pipelines:
+// FederationEventsIn + FederationEventDrops == accepted × pipelines.
+func (rt *Runtime) RemoteIngest(kind, source string, readings []device.Reading) int {
+	if len(readings) == 0 {
+		return 0
+	}
+	rt.mu.Lock()
+	ings := rt.ingestByKey[ingestKey(kind, source)]
+	rt.mu.Unlock()
+	if len(ings) == 0 {
+		rt.stats.fedEventDrops.Add(uint64(len(readings)))
+		return 0
+	}
+	minAdmitted := len(readings)
+	total := 0
+	for _, ing := range ings {
+		n := ing.ingestRemote(readings)
+		total += n
+		if n < minAdmitted {
+			minAdmitted = n
+		}
+	}
+	rt.stats.fedEventBatchesIn.Add(1)
+	rt.stats.fedEventsIn.Add(uint64(total))
+	if dropped := len(readings)*len(ings) - total; dropped > 0 {
+		rt.stats.fedEventDrops.Add(uint64(dropped))
+	}
+	return minAdmitted
 }
 
 func (s *ingestShard) run() {
@@ -328,6 +404,17 @@ func (t *sourceTracker) add(e registry.Entity) {
 	t.subs[e.ID] = td
 	t.mu.Unlock()
 
+	// Federation mirrors are delivered by the federation tier: the owning
+	// node forwards their events in coalesced batches that land in this
+	// interaction's shards through RemoteIngest. Keeping the reservation
+	// (with no subscription behind it) makes mirror bookkeeping symmetric
+	// with local devices — removals and reconciles release it — without a
+	// per-device cross-node subscription stream.
+	if e.Origin != "" {
+		td.attach(func() {})
+		return
+	}
+
 	release := func() {
 		t.mu.Lock()
 		if t.subs[e.ID] == td {
@@ -427,8 +514,10 @@ func (t *sourceTracker) reconcile() {
 	live := make(map[registry.ID]registry.Entity)
 	t.rt.reg.Scan(registry.Query{Kind: t.kind}, func(e registry.Entity) bool {
 		// Copy the scalar identity fields only; Scan forbids retaining
-		// the entity, and add resolves local drivers by ID.
-		live[e.ID] = registry.Entity{ID: e.ID, Kind: e.Kind, Endpoint: e.Endpoint}
+		// the entity, and add resolves local drivers by ID. Origin must
+		// ride along or a reconciled mirror would be re-added as a
+		// subscribable device.
+		live[e.ID] = registry.Entity{ID: e.ID, Kind: e.Kind, Endpoint: e.Endpoint, Origin: e.Origin}
 		return true
 	})
 	t.mu.Lock()

@@ -110,6 +110,22 @@ type Stats struct {
 	// TrackerReconciles counts registry rescans forced by overflowed
 	// source-tracker watcher channels during churn storms.
 	TrackerReconciles uint64
+	// FederationEventsIn counts readings admitted into the ingestion
+	// pipeline from federation peers via RemoteIngest.
+	FederationEventsIn uint64
+	// FederationEventBatchesIn counts RemoteIngest batches served;
+	// FederationEventsIn/FederationEventBatchesIn is the cross-node
+	// coalescing factor actually achieved.
+	FederationEventBatchesIn uint64
+	// FederationEventDrops counts peer-forwarded readings refused at
+	// admission (budget exhausted, or no interaction consumes the batch's
+	// kind+source). These are accounted here, not in IngestBudgetDrops,
+	// so cross-node delivery accounting stays exact per counter.
+	FederationEventDrops uint64
+	// FederationCommandChunks counts command_batch round trips issued by
+	// batched actuation (ControllerCall.InvokeBatch); compare against
+	// Actuations to see the fan-out amortization.
+	FederationCommandChunks uint64
 	// Actuations counts successful device action invocations.
 	Actuations uint64
 	// Errors counts component errors.
@@ -129,24 +145,32 @@ type statCounters struct {
 	ingestBudgetDrops    atomic.Uint64
 	ingestDeadlineDrops  atomic.Uint64
 	trackerReconciles    atomic.Uint64
+	fedEventsIn          atomic.Uint64
+	fedEventBatchesIn    atomic.Uint64
+	fedEventDrops        atomic.Uint64
+	fedCommandChunks     atomic.Uint64
 	actuations           atomic.Uint64
 	errors               atomic.Uint64
 }
 
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		ContextTriggers:      c.contextTriggers.Load(),
-		ContextPublishes:     c.contextPublishes.Load(),
-		ControllerTriggers:   c.controllerTriggers.Load(),
-		PeriodicPolls:        c.periodicPolls.Load(),
-		PollSnapshotRebuilds: c.pollSnapshotRebuilds.Load(),
-		IngestEvents:         c.ingestEvents.Load(),
-		IngestBatches:        c.ingestBatches.Load(),
-		IngestBudgetDrops:    c.ingestBudgetDrops.Load(),
-		IngestDeadlineDrops:  c.ingestDeadlineDrops.Load(),
-		TrackerReconciles:    c.trackerReconciles.Load(),
-		Actuations:           c.actuations.Load(),
-		Errors:               c.errors.Load(),
+		ContextTriggers:          c.contextTriggers.Load(),
+		ContextPublishes:         c.contextPublishes.Load(),
+		ControllerTriggers:       c.controllerTriggers.Load(),
+		PeriodicPolls:            c.periodicPolls.Load(),
+		PollSnapshotRebuilds:     c.pollSnapshotRebuilds.Load(),
+		IngestEvents:             c.ingestEvents.Load(),
+		IngestBatches:            c.ingestBatches.Load(),
+		IngestBudgetDrops:        c.ingestBudgetDrops.Load(),
+		IngestDeadlineDrops:      c.ingestDeadlineDrops.Load(),
+		TrackerReconciles:        c.trackerReconciles.Load(),
+		FederationEventsIn:       c.fedEventsIn.Load(),
+		FederationEventBatchesIn: c.fedEventBatchesIn.Load(),
+		FederationEventDrops:     c.fedEventDrops.Load(),
+		FederationCommandChunks:  c.fedCommandChunks.Load(),
+		Actuations:               c.actuations.Load(),
+		Errors:                   c.errors.Load(),
 	}
 }
 
@@ -172,6 +196,7 @@ type Runtime struct {
 	pollers     []*poller
 	trackers    []*sourceTracker
 	ingestors   []*ingestor
+	ingestByKey map[string][]*ingestor // kind+source -> consuming pipelines
 	janitorOn   bool
 	watchers    []*registry.Watcher
 	lastValues  map[string]any // last published value per context
@@ -260,6 +285,7 @@ func New(model *check.Model, opts ...Option) *Runtime {
 		controllers: make(map[string]ControllerHandler),
 		devices:     make(map[string]device.Driver),
 		clients:     make(map[string]*transport.Client),
+		ingestByKey: make(map[string][]*ingestor),
 		lastValues:  make(map[string]any),
 		ownRegistry: true,
 	}
@@ -445,6 +471,16 @@ func (rt *Runtime) reapUnregistered() {
 	}
 }
 
+// LocalDriver returns the locally bound driver for id, if any. The
+// federation tier uses it to host exported devices on the node's transport
+// server without re-resolving through the registry.
+func (rt *Runtime) LocalDriver(id string) (device.Driver, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	drv, ok := rt.devices[id]
+	return drv, ok
+}
+
 // UnbindDevice removes a device from the registry and the runtime. The
 // registry entry goes first so no snapshot rebuild can observe a registered
 // entity whose local driver is already gone.
@@ -566,6 +602,7 @@ func (rt *Runtime) Stop() {
 	watchers := rt.watchers
 	clients := rt.clients
 	rt.pollers, rt.trackers, rt.ingestors, rt.watchers = nil, nil, nil, nil
+	rt.ingestByKey = make(map[string][]*ingestor)
 	rt.clients = make(map[string]*transport.Client)
 	rt.mu.Unlock()
 
@@ -613,6 +650,14 @@ func (rt *Runtime) LastPublished(contextName string) (any, bool) {
 	defer rt.mu.Unlock()
 	v, ok := rt.lastValues[contextName]
 	return v, ok
+}
+
+// ReportError feeds an external subsystem's failure into the runtime's
+// error accounting (Stats.Errors plus the WithErrorHandler callback), so
+// faults from cooperating tiers — e.g. federation sync — surface through
+// the same channel as component errors.
+func (rt *Runtime) ReportError(component string, err error) {
+	rt.reportError(component, err)
 }
 
 func (rt *Runtime) reportError(component string, err error) {

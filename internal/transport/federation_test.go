@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/registry"
+)
+
+// fakeFed is a scriptable FederationHandler.
+type fakeFed struct {
+	mu       sync.Mutex
+	deltas   []SyncDelta
+	accepted int // IngestEventBatch admits at most this many per call
+
+	gotKinds    []string
+	gotGens     []uint64
+	gotReadings []device.Reading
+	gotKind     string
+	gotSource   string
+	calls       atomic.Int64
+}
+
+func (f *fakeFed) SyncKinds(kinds []string, gens []uint64) []SyncDelta {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gotKinds = append([]string(nil), kinds...)
+	f.gotGens = append([]uint64(nil), gens...)
+	f.calls.Add(1)
+	return f.deltas
+}
+
+func (f *fakeFed) IngestEventBatch(kind, source string, readings []device.Reading) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gotKind, f.gotSource = kind, source
+	f.gotReadings = append(f.gotReadings, readings...)
+	f.calls.Add(1)
+	if f.accepted < len(readings) {
+		return f.accepted
+	}
+	return len(readings)
+}
+
+// Registry sync must round-trip kinds, generations and entity payloads —
+// including Origin and attribute maps — and unchanged kinds must stay tiny.
+func TestRegistrySyncRoundTrip(t *testing.T) {
+	srv, cli := newServerAndClient(t)
+	fed := &fakeFed{deltas: []SyncDelta{
+		{Kind: "Sensor", Gen: 42, Changed: true, Entities: []registry.Entity{
+			{ID: "s1", Kind: "Sensor", Kinds: []string{"Sensor"},
+				Attrs: registry.Attributes{"zone": "a"}, Endpoint: "1.2.3.4:5", Origin: "node-b"},
+		}},
+		{Kind: "Panel", Gen: 7, Changed: false},
+	}}
+	srv.ServeFederation(fed)
+
+	deltas, err := cli.SyncRegistry([]string{"Sensor", "Panel"}, []uint64{0, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2", len(deltas))
+	}
+	if d := deltas[0]; !d.Changed || d.Gen != 42 || len(d.Entities) != 1 {
+		t.Fatalf("sensor delta mangled: %+v", d)
+	}
+	e := deltas[0].Entities[0]
+	if e.Origin != "node-b" || e.Attrs["zone"] != "a" || e.Endpoint != "1.2.3.4:5" {
+		t.Fatalf("entity mangled: %+v", e)
+	}
+	if d := deltas[1]; d.Changed || len(d.Entities) != 0 {
+		t.Fatalf("unchanged delta not empty: %+v", d)
+	}
+	fed.mu.Lock()
+	defer fed.mu.Unlock()
+	if len(fed.gotKinds) != 2 || fed.gotKinds[0] != "Sensor" || fed.gotGens[1] != 7 {
+		t.Fatalf("server saw kinds=%v gens=%v", fed.gotKinds, fed.gotGens)
+	}
+}
+
+// Kinds/gens length mismatches must fail client-side before any wire work.
+func TestRegistrySyncLengthMismatch(t *testing.T) {
+	_, cli := newServerAndClient(t)
+	if _, err := cli.SyncRegistry([]string{"a"}, nil); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+// Event batches must land whole, carry kind+source routing, and report the
+// receiver's admitted count back to the sender.
+func TestEventBatchRoundTrip(t *testing.T) {
+	srv, cli := newServerAndClient(t)
+	fed := &fakeFed{accepted: 2}
+	srv.ServeFederation(fed)
+
+	at := time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+	batch := []device.Reading{
+		{DeviceID: "s1", Source: "presence", Value: true, Time: at},
+		{DeviceID: "s2", Source: "presence", Value: false, Time: at},
+		{DeviceID: "s3", Source: "presence", Value: true, Time: at},
+	}
+	accepted, err := cli.PublishEventBatch("Sensor", "presence", batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted %d, want the handler's 2", accepted)
+	}
+	fed.mu.Lock()
+	defer fed.mu.Unlock()
+	if fed.gotKind != "Sensor" || fed.gotSource != "presence" || len(fed.gotReadings) != 3 {
+		t.Fatalf("server saw kind=%s source=%s n=%d", fed.gotKind, fed.gotSource, len(fed.gotReadings))
+	}
+	if r := fed.gotReadings[0]; r.DeviceID != "s1" || r.Value != true || !r.Time.Equal(at) {
+		t.Fatalf("reading mangled: %+v", r)
+	}
+
+	// Empty batches never touch the wire.
+	if n, err := cli.PublishEventBatch("Sensor", "presence", nil); err != nil || n != 0 {
+		t.Fatalf("empty batch: n=%d err=%v", n, err)
+	}
+}
+
+// Federation ops without a handler must fail cleanly, and installing one
+// later must start serving.
+func TestFederationOpsWithoutHandler(t *testing.T) {
+	srv, cli := newServerAndClient(t)
+	if _, err := cli.SyncRegistry([]string{"Sensor"}, []uint64{0}); err == nil {
+		t.Fatal("registry_sync served without a handler")
+	}
+	if _, err := cli.PublishEventBatch("Sensor", "presence", []device.Reading{{DeviceID: "x"}}); err == nil {
+		t.Fatal("event_batch served without a handler")
+	}
+	srv.ServeFederation(&fakeFed{})
+	if _, err := cli.SyncRegistry([]string{"Sensor"}, []uint64{0}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CommandBatch must invoke every listed device with the shared arguments,
+// isolating per-device failures positionally.
+func TestCommandBatch(t *testing.T) {
+	srv, cli := newServerAndClient(t)
+	const n = 10
+	var invoked atomic.Int64
+	ids := make([]string, 0, n+1)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("p%02d", i)
+		d := device.NewBase(id, "Panel", nil, nil, nil)
+		d.OnAction("update", func(args ...any) error {
+			if len(args) != 1 || args[0] != "7 free" {
+				return fmt.Errorf("bad args %v", args)
+			}
+			invoked.Add(1)
+			return nil
+		})
+		srv.Host(d)
+		ids = append(ids, id)
+	}
+	ids = append(ids, "missing")
+
+	errs, err := cli.CommandBatch(ids, "update", "7 free")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(errs) != n+1 {
+		t.Fatalf("got %d errs, want %d", len(errs), n+1)
+	}
+	for i := 0; i < n; i++ {
+		if errs[i] != "" {
+			t.Fatalf("device %s failed: %s", ids[i], errs[i])
+		}
+	}
+	if errs[n] == "" {
+		t.Fatal("missing device did not error")
+	}
+	if invoked.Load() != n {
+		t.Fatalf("invoked %d devices, want %d", invoked.Load(), n)
+	}
+
+	// Empty batches never touch the wire.
+	if errs, err := cli.CommandBatch(nil, "update"); err != nil || errs != nil {
+		t.Fatalf("empty batch: errs=%v err=%v", errs, err)
+	}
+}

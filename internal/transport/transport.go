@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/device"
@@ -41,12 +42,18 @@ func ensureBasicTypes() {
 
 type request struct {
 	ID      uint64
-	Op      string // "query", "query_batch", "invoke", "subscribe", "cancel"
+	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch"
 	Device  string
-	Devices []string // for "query_batch": the devices to answer for
+	Devices []string // for "query_batch"/"command_batch": the devices to answer for
 	Facet   string
 	Args    []any
 	SubID   uint64
+
+	// Federation fields (gob omits them on the classic ops).
+	Kind     string           // "event_batch": device kind of the readings
+	Kinds    []string         // "registry_sync": kinds to sync
+	Gens     []uint64         // "registry_sync": last generation seen per kind
+	Readings []device.Reading // "event_batch": the forwarded readings
 }
 
 type response struct {
@@ -54,11 +61,40 @@ type response struct {
 	SubID   uint64
 	Value   any
 	Values  []any    // per-device answers of a "query_batch"
-	Errs    []string // per-device errors of a "query_batch" ("" = ok)
+	Errs    []string // per-device errors of a "query_batch"/"command_batch" ("" = ok)
 	Err     string
 	Push    bool
 	Reading device.Reading
 	Closed  bool // subscription ended
+
+	Deltas   []SyncDelta // "registry_sync" answer
+	Accepted int         // "event_batch": readings admitted by the receiver
+}
+
+// SyncDelta is one kind's answer to a "registry_sync" request. When the
+// requesting peer's generation still matches, Changed is false and Entities
+// is empty — the whole kind costs a few bytes on the wire. Otherwise
+// Entities carries the owner's full exported population of the kind and the
+// mirror side diffs it locally.
+type SyncDelta struct {
+	Kind     string
+	Gen      uint64
+	Changed  bool
+	Entities []registry.Entity
+}
+
+// FederationHandler answers the federation wire ops on behalf of a node:
+// registry delta sync and cross-node event ingestion. Implementations must
+// be safe for concurrent use (each server connection dispatches
+// independently).
+type FederationHandler interface {
+	// SyncKinds answers one registry_sync request: one SyncDelta per
+	// requested kind, given the generation the peer last observed.
+	SyncKinds(kinds []string, gens []uint64) []SyncDelta
+	// IngestEventBatch lands one forwarded event batch and reports how
+	// many readings were admitted (the rest were dropped by the
+	// receiver's admission budget and are accounted there).
+	IngestEventBatch(kind, source string, readings []device.Reading) int
 }
 
 // Errors returned by transport operations.
@@ -76,7 +112,12 @@ type Server struct {
 	conns   map[net.Conn]struct{}
 	closed  bool
 	wg      sync.WaitGroup
+
+	fed atomic.Pointer[fedBox]
 }
+
+// fedBox wraps the handler so the atomic pointer has a concrete type.
+type fedBox struct{ h FederationHandler }
 
 // NewServer starts a server listening on addr ("127.0.0.1:0" for an
 // ephemeral port).
@@ -112,6 +153,24 @@ func (s *Server) Unhost(id string) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	delete(s.drivers, id)
+}
+
+// ServeFederation installs the handler answering registry_sync and
+// event_batch requests on this server. Passing nil uninstalls it; without a
+// handler those ops fail with an error response.
+func (s *Server) ServeFederation(h FederationHandler) {
+	if h == nil {
+		s.fed.Store(nil)
+		return
+	}
+	s.fed.Store(&fedBox{h: h})
+}
+
+func (s *Server) federation() FederationHandler {
+	if box := s.fed.Load(); box != nil {
+		return box.h
+	}
+	return nil
 }
 
 // Close stops the listener and all connections.
@@ -265,6 +324,35 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			err := drv.Invoke(req.Facet, req.Args...)
 			send(response{ID: req.ID, Err: errString(err)})
+		case "command_batch":
+			// The actuation twin of query_batch: one round trip performs
+			// the same action (with shared arguments) on every listed
+			// device hosted here, with per-device error isolation.
+			drvs := s.lookupMany(req.Devices)
+			errs := make([]string, len(req.Devices))
+			for i, drv := range drvs {
+				if drv == nil {
+					errs[i] = "unknown device " + req.Devices[i]
+					continue
+				}
+				errs[i] = errString(drv.Invoke(req.Facet, req.Args...))
+			}
+			send(response{ID: req.ID, Errs: errs})
+		case "registry_sync":
+			fed := s.federation()
+			if fed == nil {
+				send(response{ID: req.ID, Err: "federation not served here"})
+				continue
+			}
+			send(response{ID: req.ID, Deltas: fed.SyncKinds(req.Kinds, req.Gens)})
+		case "event_batch":
+			fed := s.federation()
+			if fed == nil {
+				send(response{ID: req.ID, Err: "federation not served here"})
+				continue
+			}
+			n := fed.IngestEventBatch(req.Kind, req.Facet, req.Readings)
+			send(response{ID: req.ID, Accepted: n})
 		case "subscribe":
 			drv := s.lookup(req.Device)
 			if drv == nil {
@@ -521,6 +609,52 @@ func (c *Client) QueryBatch(deviceIDs []string, source string) ([]any, []string,
 func (c *Client) Invoke(deviceID, action string, args ...any) error {
 	_, err := c.call(request{Op: "invoke", Device: deviceID, Facet: action, Args: args})
 	return err
+}
+
+// CommandBatch performs the same action (with shared arguments) on many
+// devices hosted on this endpoint in a single round trip — the actuation
+// twin of QueryBatch. It returns one error string per device, positionally
+// matching deviceIDs ("" = success). The returned error covers
+// transport-level failures only.
+func (c *Client) CommandBatch(deviceIDs []string, action string, args ...any) ([]string, error) {
+	if len(deviceIDs) == 0 {
+		return nil, nil
+	}
+	resp, err := c.call(request{Op: "command_batch", Devices: deviceIDs, Facet: action, Args: args})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Errs, nil
+}
+
+// SyncRegistry performs one registry delta-sync round trip against the
+// server's federation handler: for each kind, gens carries the generation
+// observed by the previous sync (0 for the first). Unchanged kinds come
+// back with Changed=false and no entities.
+func (c *Client) SyncRegistry(kinds []string, gens []uint64) ([]SyncDelta, error) {
+	if len(kinds) != len(gens) {
+		return nil, fmt.Errorf("transport: sync kinds/gens length mismatch: %d vs %d", len(kinds), len(gens))
+	}
+	resp, err := c.call(request{Op: "registry_sync", Kinds: kinds, Gens: gens})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Deltas, nil
+}
+
+// PublishEventBatch forwards one coalesced batch of device readings (all of
+// one kind and source) to the server's federation handler and reports how
+// many the receiver admitted; the remainder was dropped by its admission
+// budget and is accounted on the receiving node.
+func (c *Client) PublishEventBatch(kind, source string, readings []device.Reading) (accepted int, err error) {
+	if len(readings) == 0 {
+		return 0, nil
+	}
+	resp, err := c.call(request{Op: "event_batch", Kind: kind, Facet: source, Readings: readings})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Accepted, nil
 }
 
 // Subscribe opens a remote event-driven stream.
