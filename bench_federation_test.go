@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -200,6 +201,210 @@ func BenchmarkFederation_EventForward(b *testing.B) {
 			}
 			b.ReportMetric(float64(accepted-measuredFrom)/b.Elapsed().Seconds(), "events/sec")
 		})
+	}
+}
+
+// fedAggHubDesign consumes the federated presence stream as a continuous
+// per-zone vacancy aggregate (the provided-grouped lowering).
+const fedAggHubDesign = `
+device PresenceSensor {
+	attribute zone as String;
+	source presence as Boolean;
+}
+
+context ZoneVacancy as Integer {
+	when provided presence from PresenceSensor
+	grouped by zone
+	with map as Boolean reduce as Integer
+	no publish;
+}
+`
+
+// fedVacancy is the vacancy aggregate (vacancyMonoid, bench_test.go)
+// shared by the hub context and the edge's Aggregate export, recording the
+// latest delivered per-zone state.
+type fedVacancy struct {
+	vacancyMonoid
+	mu       sync.Mutex
+	last     map[string]int
+	triggers atomic.Uint64
+}
+
+func (h *fedVacancy) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
+	snap := make(map[string]int, len(call.GroupedReduced))
+	for k, v := range call.GroupedReduced {
+		snap[k] = v.(int)
+	}
+	h.mu.Lock()
+	h.last = snap
+	h.mu.Unlock()
+	h.triggers.Add(1)
+	return nil, false, nil
+}
+
+func (h *fedVacancy) matches(want map[string]int) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.last) != len(want) {
+		return false
+	}
+	for k, v := range want {
+		if h.last[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// aggBenchWorld is one hub consuming the grouped aggregate plus one edge
+// owning `sensors` devices across 25 zones, forwarding either raw events
+// or node-local partial aggregates.
+type aggBenchWorld struct {
+	hubRT *runtime.Runtime
+	hub   *federation.Node
+	edge  *federation.Node
+	swarm *devsim.Swarm
+	h     *fedVacancy
+}
+
+func newAggBenchWorld(b *testing.B, sensors int, agg bool) *aggBenchWorld {
+	b.Helper()
+	const zones = 25
+	zoneNames := make([]string, zones)
+	for i := range zoneNames {
+		zoneNames[i] = fmt.Sprintf("Z%02d", i)
+	}
+	vc := simclock.NewVirtual(benchEpoch)
+
+	hubModel, err := dsl.Load(fedAggHubDesign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hubRT := runtime.New(hubModel, runtime.WithClock(vc))
+	h := &fedVacancy{}
+	if err := hubRT.ImplementContext("ZoneVacancy", h); err != nil {
+		b.Fatal(err)
+	}
+	if err := hubRT.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(hubRT.Stop)
+	hub, err := federation.New(federation.Config{Name: "hub", Runtime: hubRT})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(hub.Close)
+
+	edgeModel, err := dsl.Load(fedEdgeDesign)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edgeRT := runtime.New(edgeModel, runtime.WithClock(vc))
+	if err := edgeRT.Start(); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(edgeRT.Stop)
+	export := federation.Export{Kind: "PresenceSensor", Source: "presence"}
+	if agg {
+		export.Aggregate = &federation.Aggregate{GroupAttr: "zone", Handler: &fedVacancy{}}
+	}
+	edge, err := federation.New(federation.Config{
+		Name: "edge", Runtime: edgeRT, Exports: []federation.Export{export},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(edge.Close)
+	if err := edge.AddPeer(federation.PeerConfig{
+		Name: "hub", Addr: hub.Addr(), ForwardEvents: true, CallTimeout: time.Minute,
+	}); err != nil {
+		b.Fatal(err)
+	}
+
+	w := &aggBenchWorld{hubRT: hubRT, hub: hub, edge: edge, h: h}
+	w.swarm = devsim.NewSwarm(devsim.SwarmConfig{
+		Sensors: sensors, Lots: zoneNames, GroupAttr: "zone", Seed: 7,
+	}, vc)
+	for _, s := range w.swarm.Sensors() {
+		if err := edgeRT.BindDevice(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	waitAttached(b, w.swarm, sensors)
+
+	if !agg {
+		// Raw mode aggregates on the hub, which needs the mirrors to
+		// resolve readings to zones.
+		if err := hub.AddPeer(federation.PeerConfig{
+			Name: "edge", Addr: edge.Addr(), Import: []string{"PresenceSensor"},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := hub.SyncPeers(); err != nil {
+			b.Fatal(err)
+		}
+		if got := hub.MirrorCount("edge", "PresenceSensor"); got != sensors {
+			b.Fatalf("mirrored %d sensors, want %d", got, sensors)
+		}
+	}
+	return w
+}
+
+// roundConverged waits until the hub's aggregate equals the edge fleet's
+// ground truth. In agg mode a group's partial jumps straight to its final
+// value (the edge folds synchronously at emission), so matching means every
+// dirty group synced.
+func (w *aggBenchWorld) roundConverged(b *testing.B) {
+	b.Helper()
+	want := w.swarm.VacantPerLot()
+	for k, v := range want {
+		if v == 0 {
+			delete(want, k)
+		}
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for !w.h.matches(want) {
+		if time.Now().After(deadline) {
+			b.Fatalf("hub aggregate never converged to %v", want)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}
+
+// BenchmarkFederation_AggSync: one full round of fleet-wide change (every
+// sensor emits once) delivered cross-node — raw event forwarding plus
+// hub-side aggregation vs agg_sync partial-aggregate forwarding. The
+// headline metric is syncbytes/round: raw forwarding grows O(devices)
+// with fleet size while agg_sync stays flat at O(groups) (25 zones
+// regardless of population; the acceptance criterion).
+func BenchmarkFederation_AggSync(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		agg  bool
+	}{
+		{"raw-events", false},
+		{"agg-sync", true},
+	} {
+		for _, sensors := range []int{1000, 5000, 25000} {
+			b.Run(fmt.Sprintf("%s/n=%d", mode.name, sensors), func(b *testing.B) {
+				w := newAggBenchWorld(b, sensors, mode.agg)
+				// Warm: every sensor emits its current state so the
+				// aggregate covers the whole fleet end to end.
+				w.swarm.FlipBurst(sensors)
+				w.roundConverged(b)
+				sent0, _ := w.edge.PeerBytes("hub")
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					w.swarm.FlipBurst(sensors)
+					w.roundConverged(b)
+				}
+				b.StopTimer()
+				sent1, _ := w.edge.PeerBytes("hub")
+				b.ReportMetric(float64(sent1-sent0)/float64(b.N), "syncbytes/round")
+				b.ReportMetric(float64(sensors)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			})
+		}
 	}
 }
 

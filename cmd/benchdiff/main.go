@@ -216,5 +216,31 @@ func run(w io.Writer, basePath, curPath string, gates []gate, allowMissing bool)
 	if !ok {
 		fmt.Fprintf(w, "benchdiff: regression beyond threshold — apply the bench-regression-ok label to override, or refresh BENCH_baseline.json if the change is intended\n")
 	}
+	printReuseSummary(w, cur)
 	return ok, nil
+}
+
+// reuseMetric is the custom benchmark metric incremental-aggregation
+// benches report: the percentage of groups re-reduced per round.
+const reuseMetric = "%dirty-groups"
+
+// printReuseSummary prints one line per current-run benchmark that reports
+// the dirty-group ratio, so the CI log shows how much aggregation work the
+// incremental engine actually performed (informational; never gates).
+func printReuseSummary(w io.Writer, cur map[string]Benchmark) {
+	names := make([]string, 0, len(cur))
+	for name, bm := range cur {
+		if _, has := bm.Metrics[reuseMetric]; has {
+			names = append(names, name)
+		}
+	}
+	if len(names) == 0 {
+		return
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dirty := cur[name].Metrics[reuseMetric]
+		fmt.Fprintf(w, "  reuse %-60s dirty %5.1f%% of groups (%.1f%% served from previous round)\n",
+			name, dirty, 100-dirty)
+	}
 }

@@ -189,3 +189,29 @@ func TestImprovementNeverFails(t *testing.T) {
 		t.Fatalf("no FAST hint:\n%s", out)
 	}
 }
+
+// Benchmarks reporting the %dirty-groups metric get a one-line reuse
+// summary; benches without it do not, and the summary never gates.
+func TestReuseSummary(t *testing.T) {
+	withDirty := bm("BenchmarkSwarm_IncrementalAgg/incremental/change=1%-4", 1000, 8)
+	withDirty.Metrics[reuseMetric] = 1.0
+	plain := bm("BenchmarkSwarm_PeriodicRound/sensors=50000-4", 2000, 16)
+	base := []Benchmark{bm("BenchmarkSwarm_IncrementalAgg/incremental/change=1%-4", 1000, 8), plain}
+	cur := []Benchmark{withDirty, plain}
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if !ok {
+		t.Fatalf("clean run failed:\n%s", out)
+	}
+	if !strings.Contains(out, "reuse") || !strings.Contains(out, "dirty   1.0% of groups") {
+		t.Fatalf("missing reuse summary:\n%s", out)
+	}
+	if strings.Contains(out, "reuse BenchmarkSwarm_PeriodicRound") {
+		t.Fatalf("reuse summary printed for a bench without the metric:\n%s", out)
+	}
+
+	// Absent everywhere: no summary at all.
+	_, out = runDiff(t, []Benchmark{plain}, []Benchmark{plain}, defaultGates, false)
+	if strings.Contains(out, "reuse") {
+		t.Fatalf("unexpected reuse summary:\n%s", out)
+	}
+}

@@ -68,7 +68,13 @@ func (vacancy) Reduce(lot string, vs []any, emit func(string, any)) {
 }
 
 func (vacancy) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
-	return call.GroupedReduced, true, nil
+	// The aggregate is engine-owned and mutated in place on later rounds:
+	// publish a copy, never the map itself.
+	out := make(map[string]any, len(call.GroupedReduced))
+	for k, v := range call.GroupedReduced {
+		out[k] = v
+	}
+	return out, true, nil
 }
 
 // panelUpdater pushes each lot's count to its zone panel.

@@ -49,6 +49,13 @@ func (r *rollup) Reduce(zone string, values []int, emit func(string, int)) {
 	emit(zone, sum)
 }
 
+// Combine/Uncombine implement RollupCombiner/RollupUncombiner (the sum
+// monoid and its inverse), so BindRollup installs the combiner-bridged
+// adapter and the end-to-end test below runs the runtime's O(1)
+// incremental fold path with the same expected outputs.
+func (r *rollup) Combine(_ string, a, b int) int     { return a + b }
+func (r *rollup) Uncombine(_ string, acc, v int) int { return acc - v }
+
 func (r *rollup) OnPeriodicLevel(levelByZone map[string]int) ([]Digest, error) {
 	var out []Digest
 	for zone, total := range levelByZone {
@@ -404,4 +411,33 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 		time.Sleep(200 * time.Microsecond)
 	}
 	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestGeneratedCombinerBridge: BindRollup must install an adapter that
+// satisfies runtime.Combiner/Uncombiner exactly when the impl provides the
+// typed methods, and the bridges must delegate with typed arguments.
+func TestGeneratedCombinerBridge(t *testing.T) {
+	ru := &rollup{}
+	ca := &rollupCombinerAdapter{rollupAdapter: rollupAdapter{impl: ru}, c: ru}
+	ua := &rollupUncombinerAdapter{rollupCombinerAdapter: *ca, u: ru}
+	var c runtime.Combiner = ua
+	if got := c.Combine("east", 3, 4); got != 7 {
+		t.Fatalf("Combine bridge = %v, want 7", got)
+	}
+	var u runtime.Uncombiner = ua
+	if got := u.Uncombine("east", 7, 3); got != 4 {
+		t.Fatalf("Uncombine bridge = %v, want 4", got)
+	}
+	// Untyped garbage degrades gracefully instead of panicking.
+	if got := c.Combine("east", "x", 4); got != 4 {
+		t.Fatalf("mismatched Combine = %v, want the typed side 4", got)
+	}
+	if got := u.Uncombine("east", "x", 3); got != "x" {
+		t.Fatalf("mismatched Uncombine = %v, want acc back", got)
+	}
+	// The plain adapter (an impl without Combine) satisfies neither.
+	var h runtime.ContextHandler = &ungroupedAdapter{}
+	if _, ok := h.(runtime.Combiner); ok {
+		t.Fatal("non-combining adapter claims runtime.Combiner")
+	}
 }

@@ -76,11 +76,12 @@ type Swarm struct {
 	// mu guards the model state (rng, lastStep, flipCursor). Per-space
 	// occupancy is atomic so the periodic-gather hot path — 50k queries
 	// per round — never touches a shared lock.
-	mu         sync.Mutex
-	rng        *rand.Rand
-	occupied   []atomic.Bool
-	lastStep   time.Time
-	flipCursor int
+	mu          sync.Mutex
+	rng         *rand.Rand
+	occupied    []atomic.Bool
+	lastStep    time.Time
+	flipCursor  int
+	deltaCursor int // lot-major cursor of DeltaRound
 
 	// subMu guards the channel-subscription table, the push-sink COW
 	// updates and the attachment counters. The emission hot path reads
@@ -272,6 +273,56 @@ func (s *Swarm) flipAt(idx int, at time.Time) bool {
 	next := !s.occupied[idx].Load()
 	s.occupied[idx].Store(next)
 	return s.emit(idx, next, at)
+}
+
+// DeltaRound is the delta-generating swarm mode behind incremental
+// aggregation experiments: it flips exactly ⌈fraction·population⌉ sensors
+// and returns how many changed, so a periodic poller over the swarm
+// observes exactly that fraction of readings changed per round — the knob
+// the aggstorm example and BenchmarkSwarm_IncrementalAgg turn from 1% to
+// 100%. Unlike FlipBurst's round-robin (which spreads a burst over every
+// lot), DeltaRound walks the fleet lot-major from a persistent cursor:
+// successive rounds churn through whole lots one after another, the
+// spatially clustered change pattern (a district fills up while others
+// stand still) that grouped delta processing exists for — at a 1% change
+// rate only ~1% of groups go dirty.
+func (s *Swarm) DeltaRound(fraction float64) int {
+	if fraction <= 0 || len(s.sensors) == 0 {
+		return 0
+	}
+	n := int(math.Ceil(fraction * float64(len(s.sensors))))
+	if n > len(s.sensors) {
+		n = len(s.sensors)
+	}
+	total := len(s.sensors)
+	lots := len(s.cfg.Lots)
+	perLot := (total + lots - 1) / lots
+	grid := perLot * lots
+	// Select the indices under the cursor lock, advancing the cursor by
+	// every position consumed — including skipped ragged-tail positions of
+	// a population not divisible by the lot count — so successive rounds
+	// stay disjoint; flips run outside the lock.
+	s.mu.Lock()
+	p := s.deltaCursor
+	idxs := make([]int, 0, n)
+	for len(idxs) < n {
+		pos := p % grid
+		// Lot-major enumeration: all of lot 0's sensors first, then lot
+		// 1's, … Sensor idx belongs to lot idx%lots, so lot l's k-th
+		// sensor sits at k*lots+l.
+		idx := (pos%perLot)*lots + pos/perLot
+		if idx < total {
+			idxs = append(idxs, idx)
+		}
+		p++
+	}
+	s.deltaCursor = p % grid
+	s.mu.Unlock()
+	now := s.clock.Now()
+	for _, idx := range idxs {
+		s.flipAt(idx, now)
+	}
+	return len(idxs)
 }
 
 // FlipBurst toggles n sensors round-robin across the whole population and

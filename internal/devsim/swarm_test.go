@@ -127,3 +127,89 @@ func TestSwarmSubscriptionCancelIdempotent(t *testing.T) {
 	sub.Cancel()
 	sub.Cancel()
 }
+
+func TestSwarmDeltaRound(t *testing.T) {
+	vc := simclock.NewVirtual(time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC))
+	s := NewSwarm(SwarmConfig{Sensors: 200, Lots: []string{"A", "B"}, Seed: 7}, vc)
+	before := make([]bool, s.Size())
+	for i := range before {
+		v, err := s.Sensors()[i].Query("presence")
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = v.(bool)
+	}
+	if n := s.DeltaRound(0.01); n != 2 {
+		t.Fatalf("DeltaRound(0.01) flipped %d of 200, want 2", n)
+	}
+	changed := 0
+	for i := range before {
+		v, _ := s.Sensors()[i].Query("presence")
+		if v.(bool) != before[i] {
+			changed++
+		}
+	}
+	if changed != 2 {
+		t.Fatalf("%d sensors changed, want 2", changed)
+	}
+	// Successive rounds advance round-robin: the next 1% is a different
+	// pair of sensors.
+	for i := range before {
+		v, _ := s.Sensors()[i].Query("presence")
+		before[i] = v.(bool)
+	}
+	s.DeltaRound(0.01)
+	for i := 0; i < 2; i++ {
+		v, _ := s.Sensors()[i].Query("presence")
+		if v.(bool) != before[i] {
+			t.Fatalf("round 2 re-flipped sensor %d", i)
+		}
+	}
+	// Clamps: zero fraction flips nothing, >1 flips everything once.
+	if n := s.DeltaRound(0); n != 0 {
+		t.Fatalf("DeltaRound(0) flipped %d", n)
+	}
+	if n := s.DeltaRound(2.0); n != 200 {
+		t.Fatalf("DeltaRound(2.0) flipped %d, want 200", n)
+	}
+}
+
+// DeltaRound must keep successive rounds disjoint even when the population
+// is not divisible by the lot count (the lot-major grid has invalid
+// ragged-tail positions the cursor must still consume).
+func TestSwarmDeltaRoundRaggedPopulation(t *testing.T) {
+	vc := simclock.NewVirtual(swarmEpoch)
+	s := NewSwarm(SwarmConfig{Sensors: 10, Lots: []string{"A", "B", "C"}, Seed: 7}, vc)
+	state := func() []bool {
+		out := make([]bool, s.Size())
+		for i := range out {
+			v, _ := s.Sensors()[i].Query("presence")
+			out[i] = v.(bool)
+		}
+		return out
+	}
+	seen := make(map[int]int)
+	prev := state()
+	// Five rounds of 2 flips cover the whole 10-sensor population exactly
+	// once before the cursor wraps.
+	for r := 0; r < 5; r++ {
+		if n := s.DeltaRound(0.2); n != 2 {
+			t.Fatalf("round %d flipped %d, want 2", r, n)
+		}
+		cur := state()
+		for i := range cur {
+			if cur[i] != prev[i] {
+				seen[i]++
+			}
+		}
+		prev = cur
+	}
+	if len(seen) != 10 {
+		t.Fatalf("5 rounds touched %d distinct sensors, want all 10 (%v)", len(seen), seen)
+	}
+	for idx, times := range seen {
+		if times != 1 {
+			t.Fatalf("sensor %d flipped %d times before the cursor wrapped", idx, times)
+		}
+	}
+}

@@ -155,9 +155,16 @@ type Interaction interface {
 // WhenProvided is an event-driven subscription:
 // `when provided tickSecond from Clock get … maybe publish;` (device source)
 // or `when provided ParkingAvailability get … always publish;` (context).
+// Device sources may additionally declare
+// `grouped by <attr> [with map as T reduce as U]`: the context then
+// maintains a continuous per-group aggregate, incrementally updated by each
+// event (the push-pipeline form of the periodic grouping below).
 type WhenProvided struct {
 	Source  string // device source name, or context name when From == ""
 	From    string // publishing device; empty for context-to-context
+	GroupBy string // attribute name; empty when not grouped
+	MapType *TypeRef
+	RedType *TypeRef
 	Gets    []GetClause
 	Publish PublishMode
 	WPos    token.Position

@@ -179,8 +179,10 @@ type Interaction struct {
 	TriggerSource *Source  // FromDeviceSource
 	TriggerCtx    *Context // FromContext
 
-	// Periodic-only fields.
-	Period  time.Duration
+	// Periodic-only field.
+	Period time.Duration
+	// Grouping fields (Periodic, and Provided device sources — the
+	// event-driven form maintains a continuous per-event aggregate).
 	GroupBy *Attribute // nil when not grouped
 	Every   time.Duration
 	MapType *Type // nil when no MapReduce clause
@@ -533,6 +535,27 @@ func (c *checker) resolveInteraction(ctx *Context, in ast.Interaction) *Interact
 			}
 			ri.TriggerKind = FromDeviceSource
 			ri.TriggerDevice, ri.TriggerSource = dev, src
+			// Event-driven grouping: each event updates a continuous
+			// per-group aggregate, typed exactly like the periodic clause.
+			if w.GroupBy != "" {
+				attr, ok := dev.Attributes[w.GroupBy]
+				if !ok {
+					c.errf(w.Pos(), "context %s: grouped by %s names no attribute of device %s", ctx.Name, w.GroupBy, dev.Name)
+				} else {
+					ri.GroupBy = attr
+				}
+			}
+			if w.MapType != nil {
+				if w.GroupBy == "" {
+					c.errf(w.Pos(), "context %s: 'with map … reduce …' requires 'grouped by'", ctx.Name)
+				}
+				ri.MapType = c.resolveType(*w.MapType)
+				ri.RedType = c.resolveType(*w.RedType)
+				if src != nil && !ri.MapType.Equal(src.Type) {
+					c.errf(w.Pos(), "context %s: map input type %s does not match source %s.%s type %s",
+						ctx.Name, ri.MapType, dev.Name, src.Name, src.Type)
+				}
+			}
 		} else {
 			pub, ok := c.m.Contexts[w.Source]
 			if !ok {

@@ -218,6 +218,47 @@ context C as Integer { when periodic s from D <1 min> grouped by a with map as I
 `, "map input type Integer does not match source D.s type Boolean")
 }
 
+func TestProvidedGroupedResolves(t *testing.T) {
+	m := load(t, `
+device D { attribute zone as String; source s as Boolean; }
+context C as Integer {
+	when provided s from D
+	grouped by zone
+	with map as Boolean reduce as Integer
+	always publish;
+}
+`)
+	in := m.Contexts["C"].Interactions[0]
+	if in.Kind != check.Provided {
+		t.Fatalf("kind = %v, want Provided", in.Kind)
+	}
+	if in.GroupBy == nil || in.GroupBy.Name != "zone" {
+		t.Fatalf("GroupBy = %+v, want zone", in.GroupBy)
+	}
+	if in.MapType == nil || in.MapType.Kind != check.KindBoolean {
+		t.Fatalf("MapType = %v, want Boolean", in.MapType)
+	}
+	if in.RedType == nil || in.RedType.Kind != check.KindInteger {
+		t.Fatalf("RedType = %v, want Integer", in.RedType)
+	}
+}
+
+func TestProvidedGroupedAttributeMustExist(t *testing.T) {
+	loadErr(t, `
+device D { source s as Boolean; }
+context C as Integer { when provided s from D grouped by lot always publish; }
+`, "grouped by lot names no attribute")
+}
+
+func TestProvidedGroupedMapTypeMustMatchSource(t *testing.T) {
+	loadErr(t, `
+device D { attribute a as String; source s as Boolean; }
+context C as Integer {
+	when provided s from D grouped by a with map as Integer reduce as Integer always publish;
+}
+`, "map input type Integer does not match source D.s type Boolean")
+}
+
 func TestEveryRequiresGroupingAndLongerWindow(t *testing.T) {
 	loadErr(t, `
 device D { attribute a as String; source s as Boolean; }

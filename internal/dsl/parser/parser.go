@@ -292,6 +292,24 @@ func (p *parser) parseInteraction() (ast.Interaction, error) {
 				return nil, err
 			}
 			w.From = from.Lit
+			// Device sources may maintain a continuous grouped aggregate,
+			// the event-driven twin of the periodic `grouped by` clause
+			// (no `every` window: each event updates the aggregate).
+			if p.accept(token.KwGrouped) {
+				if _, err := p.expect(token.KwBy); err != nil {
+					return nil, err
+				}
+				attr, err := p.expect(token.Ident)
+				if err != nil {
+					return nil, err
+				}
+				w.GroupBy = attr.Lit
+				if p.at(token.KwWith) {
+					if w.MapType, w.RedType, err = p.parseMapReduce(); err != nil {
+						return nil, err
+					}
+				}
+			}
 		}
 		if w.Gets, err = p.parseGets(); err != nil {
 			return nil, err
@@ -333,28 +351,10 @@ func (p *parser) parseInteraction() (ast.Interaction, error) {
 					return nil, err
 				}
 			}
-			if p.accept(token.KwWith) {
-				if _, err := p.expect(token.KwMap); err != nil {
+			if p.at(token.KwWith) {
+				if w.MapType, w.RedType, err = p.parseMapReduce(); err != nil {
 					return nil, err
 				}
-				if _, err := p.expect(token.KwAs); err != nil {
-					return nil, err
-				}
-				mt, err := p.parseType()
-				if err != nil {
-					return nil, err
-				}
-				if _, err := p.expect(token.KwReduce); err != nil {
-					return nil, err
-				}
-				if _, err := p.expect(token.KwAs); err != nil {
-					return nil, err
-				}
-				rt, err := p.parseType()
-				if err != nil {
-					return nil, err
-				}
-				w.MapType, w.RedType = &mt, &rt
 			}
 		}
 		if w.Gets, err = p.parseGets(); err != nil {
@@ -374,6 +374,35 @@ func (p *parser) parseInteraction() (ast.Interaction, error) {
 	default:
 		return nil, p.errf("expected 'provided', 'periodic' or 'required' after 'when', found %s", p.cur())
 	}
+}
+
+// parseMapReduce parses `with map as <T> reduce as <U>`, shared by the
+// periodic and event-driven grouped clauses.
+func (p *parser) parseMapReduce() (*ast.TypeRef, *ast.TypeRef, error) {
+	if _, err := p.expect(token.KwWith); err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(token.KwMap); err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(token.KwAs); err != nil {
+		return nil, nil, err
+	}
+	mt, err := p.parseType()
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(token.KwReduce); err != nil {
+		return nil, nil, err
+	}
+	if _, err := p.expect(token.KwAs); err != nil {
+		return nil, nil, err
+	}
+	rt, err := p.parseType()
+	if err != nil {
+		return nil, nil, err
+	}
+	return &mt, &rt, nil
 }
 
 func (p *parser) parseGets() ([]ast.GetClause, error) {

@@ -87,6 +87,12 @@ func printInteraction(b *strings.Builder, in ast.Interaction) {
 		if w.From != "" {
 			fmt.Fprintf(b, " from %s", w.From)
 		}
+		if w.GroupBy != "" {
+			fmt.Fprintf(b, "\n\tgrouped by %s", w.GroupBy)
+			if w.MapType != nil {
+				fmt.Fprintf(b, "\n\twith map as %s reduce as %s", w.MapType, w.RedType)
+			}
+		}
 		printGets(b, w.Gets)
 		fmt.Fprintf(b, "\n\t%s;\n", w.Publish)
 	case *ast.WhenPeriodic:

@@ -49,6 +49,14 @@ func stripPositions(d *ast.Design) *ast.Design {
 					cw := *w
 					cw.WPos = c.NamePos
 					cw.Gets = stripGets(cw.Gets)
+					if cw.MapType != nil {
+						mt := *cw.MapType
+						mt.TPos = c.NamePos
+						cw.MapType = &mt
+						rt := *cw.RedType
+						rt.TPos = c.NamePos
+						cw.RedType = &rt
+					}
 					ins = append(ins, &cw)
 				case *ast.WhenPeriodic:
 					cw := *w
@@ -135,6 +143,28 @@ func TestRoundTripPaperDesigns(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) { roundTrip(t, src) })
 	}
+}
+
+func TestRoundTripProvidedGrouped(t *testing.T) {
+	roundTrip(t, `
+device PresenceSensor {
+	attribute zone as String;
+	source presence as Boolean;
+}
+
+context ZoneOccupancy as Integer {
+	when provided presence from PresenceSensor
+	grouped by zone
+	with map as Boolean reduce as Integer
+	always publish;
+}
+
+context ZoneReadings as Integer {
+	when provided presence from PresenceSensor
+	grouped by zone
+	no publish;
+}
+`)
 }
 
 func TestPrintIsIdempotent(t *testing.T) {

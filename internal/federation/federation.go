@@ -42,10 +42,15 @@ import (
 // local drivers are hosted on the node's transport server and its registry
 // entries are served through delta sync. When Source is nonempty, readings
 // from that source are additionally forwarded to every event-forwarding
-// peer.
+// peer — raw, or as node-local per-group partial aggregates when Aggregate
+// is set (agg_sync: cross-node bytes per round become O(groups), not
+// O(devices)).
 type Export struct {
 	Kind   string
 	Source string
+	// Aggregate, when non-nil, replaces raw event forwarding of this
+	// source with partial-aggregate sync. Requires Source.
+	Aggregate *Aggregate
 }
 
 // Config configures a Node.
@@ -137,6 +142,18 @@ type Stats struct {
 	// ExporterReconciles counts registry rescans forced by overflowed
 	// exporter watcher channels during churn or bind storms.
 	ExporterReconciles uint64
+	// AggSyncsSent counts agg_sync RPCs carrying partial aggregates to
+	// peers; AggGroupsSent counts the group partials they carried.
+	// AggGroupsSent/AggSyncsSent is the achieved coalescing factor.
+	AggSyncsSent  uint64
+	AggGroupsSent uint64
+	// AggSyncErrors counts failed agg_sync RPCs (their groups are
+	// re-marked dirty and retried; the protocol is idempotent).
+	AggSyncErrors uint64
+	// AggSyncsUnrouted counts agg_syncs a peer accepted but merged into
+	// no interaction (no consuming grouped context, or its handler lacks
+	// a Combiner).
+	AggSyncsUnrouted uint64
 }
 
 type statCounters struct {
@@ -154,6 +171,10 @@ type statCounters struct {
 	forwardUnrouted    atomic.Uint64
 	exportedHosted     atomic.Uint64
 	exporterReconciles atomic.Uint64
+	aggSyncsSent       atomic.Uint64
+	aggGroupsSent      atomic.Uint64
+	aggSyncErrors      atomic.Uint64
+	aggSyncsUnrouted   atomic.Uint64
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -172,6 +193,10 @@ func (c *statCounters) snapshot() Stats {
 		ForwardUnrouted:    c.forwardUnrouted.Load(),
 		ExportedHosted:     c.exportedHosted.Load(),
 		ExporterReconciles: c.exporterReconciles.Load(),
+		AggSyncsSent:       c.aggSyncsSent.Load(),
+		AggGroupsSent:      c.aggGroupsSent.Load(),
+		AggSyncErrors:      c.aggSyncErrors.Load(),
+		AggSyncsUnrouted:   c.aggSyncsUnrouted.Load(),
 	}
 }
 
@@ -192,10 +217,10 @@ type Node struct {
 	stopCh chan struct{} // closed by Close; unblocks Run loops
 	wg     sync.WaitGroup
 
-	// sinks holds one fan-out sink per exported (kind, source); its peer
-	// list is copy-on-write so the device emission hot path reads it with
-	// one atomic load.
-	sinks map[string]*fwdSink
+	// sinks holds one fan-out sink per exported (kind, source) — raw
+	// forwarding or partial aggregation; peer lists are copy-on-write so
+	// the device emission hot path reads them with one atomic load.
+	sinks map[string]exportSink
 
 	// hostCounts refcounts server hostings per device ID: several exports
 	// may cover one device (same kind, different sources), and the driver
@@ -219,18 +244,34 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Runtime == nil {
 		return nil, errors.New("federation: node needs a runtime")
 	}
-	seen := make(map[Export]struct{}, len(cfg.Exports))
+	type exportID struct{ kind, source string }
+	seen := make(map[exportID]struct{}, len(cfg.Exports))
 	for _, ex := range cfg.Exports {
 		if ex.Kind == "" {
 			return nil, errors.New("federation: export needs a kind")
 		}
-		if _, dup := seen[ex]; dup {
+		id := exportID{ex.Kind, ex.Source}
+		if _, dup := seen[id]; dup {
 			// Two exporters sharing one sink would attach it twice per
 			// device and double-forward every reading, silently breaking
 			// exact delivery accounting.
 			return nil, fmt.Errorf("federation: duplicate export %s/%s", ex.Kind, ex.Source)
 		}
-		seen[ex] = struct{}{}
+		seen[id] = struct{}{}
+		if agg := ex.Aggregate; agg != nil {
+			if ex.Source == "" {
+				return nil, fmt.Errorf("federation: export %s: Aggregate requires a Source", ex.Kind)
+			}
+			if agg.GroupAttr == "" {
+				return nil, fmt.Errorf("federation: export %s/%s: Aggregate needs a GroupAttr", ex.Kind, ex.Source)
+			}
+			if agg.Handler == nil {
+				return nil, fmt.Errorf("federation: export %s/%s: Aggregate needs a Handler", ex.Kind, ex.Source)
+			}
+			if _, ok := agg.Handler.(runtime.Combiner); !ok {
+				return nil, fmt.Errorf("federation: export %s/%s: Aggregate handler must implement runtime.Combiner", ex.Kind, ex.Source)
+			}
+		}
 	}
 	addr := cfg.ListenAddr
 	if addr == "" {
@@ -247,7 +288,7 @@ func New(cfg Config) (*Node, error) {
 		srv:        srv,
 		exports:    cfg.Exports,
 		peers:      make(map[string]*peer),
-		sinks:      make(map[string]*fwdSink),
+		sinks:      make(map[string]exportSink),
 		hostCounts: make(map[string]int),
 		stopCh:     make(chan struct{}),
 	}
@@ -256,7 +297,11 @@ func New(cfg Config) (*Node, error) {
 		if ex.Source != "" {
 			key := exportKey(ex.Kind, ex.Source)
 			if _, dup := n.sinks[key]; !dup {
-				n.sinks[key] = newFwdSink(n, ex.Kind, ex.Source)
+				if ex.Aggregate != nil {
+					n.sinks[key] = newAggSink(n, ex.Kind, ex.Source, ex.Aggregate)
+				} else {
+					n.sinks[key] = newFwdSink(n, ex.Kind, ex.Source)
+				}
 			}
 		}
 	}
@@ -332,14 +377,15 @@ func (n *Node) AddPeer(cfg PeerConfig) error {
 		return err
 	}
 	p := &peer{
-		n:       n,
-		name:    cfg.Name,
-		cfg:     cfg,
-		client:  cli,
-		budget:  qos.NewBudget(cfg.ForwardBudget),
-		gens:    make(map[string]uint64),
-		mirrors: make(map[string]map[registry.ID]mirrorEntry),
-		buffers: make(map[string]*fwdBuffer),
+		n:          n,
+		name:       cfg.Name,
+		cfg:        cfg,
+		client:     cli,
+		budget:     qos.NewBudget(cfg.ForwardBudget),
+		gens:       make(map[string]uint64),
+		mirrors:    make(map[string]map[registry.ID]mirrorEntry),
+		buffers:    make(map[string]*fwdBuffer),
+		aggBuffers: make(map[string]*aggBuffer),
 	}
 	n.mu.Lock()
 	if n.closed {
@@ -360,11 +406,29 @@ func (n *Node) AddPeer(cfg PeerConfig) error {
 			if ex.Source == "" {
 				continue
 			}
-			buf := p.bufferFor(ex.Kind, ex.Source)
-			n.sinks[exportKey(ex.Kind, ex.Source)].addBuffer(buf)
+			switch sink := n.sinks[exportKey(ex.Kind, ex.Source)].(type) {
+			case *aggSink:
+				sink.addBuffer(p.aggBufferFor(sink))
+			case *fwdSink:
+				sink.addBuffer(p.bufferFor(ex.Kind, ex.Source))
+			}
 		}
 	}
 	return nil
+}
+
+// PeerBytes reports the total bytes sent to and received from the named
+// peer's transport connection — the wire-payload gauge for sync-cost
+// experiments (agg_sync stays O(groups) per round while raw event
+// forwarding grows O(devices)).
+func (n *Node) PeerBytes(peerName string) (sent, recv uint64) {
+	n.mu.Lock()
+	p := n.peers[peerName]
+	n.mu.Unlock()
+	if p == nil {
+		return 0, 0
+	}
+	return p.client.BytesSent(), p.client.BytesReceived()
 }
 
 // MirrorCount reports how many entities are currently mirrored from the
@@ -641,11 +705,12 @@ type peer struct {
 	client *transport.Client
 	budget *qos.Budget
 
-	mu      sync.Mutex
-	gens    map[string]uint64
-	mirrors map[string]map[registry.ID]mirrorEntry
-	buffers map[string]*fwdBuffer
-	stopped bool
+	mu         sync.Mutex
+	gens       map[string]uint64
+	mirrors    map[string]map[registry.ID]mirrorEntry
+	buffers    map[string]*fwdBuffer
+	aggBuffers map[string]*aggBuffer
+	stopped    bool
 }
 
 // nodeHandler adapts a Node to the transport.FederationHandler interface
@@ -699,4 +764,11 @@ func (h nodeHandler) SyncKinds(kinds []string, gens []uint64) []transport.SyncDe
 // pushed locally.
 func (h nodeHandler) IngestEventBatch(kind, source string, readings []device.Reading) int {
 	return h.n.rt.RemoteIngest(kind, source, readings)
+}
+
+// IngestAggSync implements transport.FederationHandler: a peer's
+// node-local per-group partial aggregates merge into every consuming
+// `when provided … grouped by …` interaction with a Combiner handler.
+func (h nodeHandler) IngestAggSync(kind, source, origin string, groups []transport.GroupPartial) int {
+	return h.n.rt.RemoteAggregate(kind, source, origin, groups)
 }

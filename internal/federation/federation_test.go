@@ -2,10 +2,12 @@ package federation_test
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/device"
 	"repro/internal/devsim"
 	"repro/internal/dsl"
 	"repro/internal/federation"
@@ -426,4 +428,397 @@ func TestDuplicateExportRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	node.Close()
+}
+
+// ---- partial-aggregate forwarding (agg_sync) ----
+
+// vacancyAgg is the shared aggregation logic: count vacant readings per
+// zone. On the hub it also records every delivered aggregate; on the edge
+// the same implementation drives the node-local partial fold, keeping the
+// two one definition (the deployment the Aggregate export is meant for).
+type vacancyAgg struct {
+	mu   sync.Mutex
+	last map[string]int
+}
+
+func (h *vacancyAgg) Map(zone string, v any, emit func(string, any)) {
+	if !v.(bool) {
+		emit(zone, true)
+	}
+}
+func (h *vacancyAgg) Reduce(zone string, vs []any, emit func(string, any)) {
+	emit(zone, len(vs))
+}
+func (h *vacancyAgg) Combine(_ string, a, b any) any   { return a.(int) + b.(int) }
+func (h *vacancyAgg) Uncombine(_ string, a, v any) any { return a.(int) - v.(int) }
+
+func (h *vacancyAgg) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
+	snap := make(map[string]int, len(call.GroupedReduced))
+	for k, v := range call.GroupedReduced {
+		snap[k] = v.(int)
+	}
+	h.mu.Lock()
+	h.last = snap
+	h.mu.Unlock()
+	return nil, false, nil
+}
+
+func (h *vacancyAgg) snapshot() map[string]int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	cp := make(map[string]int, len(h.last))
+	for k, v := range h.last {
+		cp[k] = v
+	}
+	return cp
+}
+
+const aggHubDesign = `
+device PresenceSensor {
+	attribute zone as String;
+	source presence as Boolean;
+}
+
+context ZoneVacancy as Integer {
+	when provided presence from PresenceSensor
+	grouped by zone
+	with map as Boolean reduce as Integer
+	no publish;
+}
+`
+
+// TestAggSyncForwardsPartialsNotReadings: an edge exporting with an
+// Aggregate syncs per-group partials into the hub's continuous aggregate —
+// no raw readings cross the wire, retractions propagate on churn, and the
+// merged state tracks the edge fleet's ground truth exactly.
+func TestAggSyncForwardsPartialsNotReadings(t *testing.T) {
+	// Hub: the consuming grouped context with a combinable handler.
+	hubModel, err := dsl.Load(aggHubDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubRT := runtime.New(hubModel, runtime.WithClock(simclock.NewVirtual(epoch)))
+	hubH := &vacancyAgg{}
+	if err := hubRT.ImplementContext("ZoneVacancy", hubH); err != nil {
+		t.Fatal(err)
+	}
+	if err := hubRT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hubRT.Stop)
+	hub, err := federation.New(federation.Config{Name: "hub", Runtime: hubRT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+
+	// Edge: taxonomy-only runtime, exporting the sensors with the same
+	// aggregation logic.
+	edgeModel, err := dsl.Load(ownerDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := simclock.NewVirtual(epoch)
+	edgeRT := runtime.New(edgeModel, runtime.WithClock(vc))
+	if err := edgeRT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(edgeRT.Stop)
+	edge, err := federation.New(federation.Config{
+		Name:    "edge",
+		Runtime: edgeRT,
+		Exports: []federation.Export{{
+			Kind: "PresenceSensor", Source: "presence",
+			Aggregate: &federation.Aggregate{GroupAttr: "zone", Handler: &vacancyAgg{}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(edge.Close)
+	if err := edge.AddPeer(federation.PeerConfig{
+		Name: "hub", Addr: hub.Addr(), ForwardEvents: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	mk := func(id, zone string) *device.Base {
+		d := device.NewBase(id, "PresenceSensor", nil, registry.Attributes{"zone": zone}, vc.Now)
+		if err := edgeRT.BindDevice(d); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	s1 := mk("s1", "za")
+	s2 := mk("s2", "za")
+	s3 := mk("s3", "zb")
+
+	matches := func(want map[string]int) bool {
+		got := hubH.snapshot()
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	// The exporter attaches asynchronously (registry watcher), so an
+	// emission may race the subscription. Partial-aggregate upserts are
+	// idempotent per device, so re-emitting the same readings until the
+	// hub converges is exact, not approximate.
+	emitUntil := func(what string, want map[string]int, emits func()) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for !matches(want) {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: hub stuck at %v, want %v", what, hubH.snapshot(), want)
+			}
+			emits()
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	emitUntil("za:1", map[string]int{"za": 1}, func() { s1.Emit("presence", false) })
+	emitUntil("za:2 zb:1", map[string]int{"za": 2, "zb": 1}, func() {
+		s2.Emit("presence", false)
+		s3.Emit("presence", false)
+	})
+	emitUntil("za:1 zb:1", map[string]int{"za": 1, "zb": 1}, func() { s1.Emit("presence", true) })
+
+	expect := func(what string, want map[string]int) {
+		t.Helper()
+		waitFor(t, what, func() bool { return matches(want) })
+	}
+
+	// Churn: s2 leaves the edge fleet; its contribution retracts and the
+	// emptied za group disappears from the hub.
+	if err := edgeRT.UnbindDevice("s2"); err != nil {
+		t.Fatal(err)
+	}
+	expect("za retracted", map[string]int{"zb": 1})
+
+	// Partials, not readings, crossed the wire.
+	est := edge.Stats()
+	if est.EventsForwarded != 0 || est.EventBatchesSent != 0 {
+		t.Fatalf("raw events crossed the wire: %+v", est)
+	}
+	if est.AggSyncsSent == 0 || est.AggGroupsSent == 0 {
+		t.Fatalf("no agg syncs recorded: %+v", est)
+	}
+	if est.AggSyncErrors != 0 || est.AggSyncsUnrouted != 0 {
+		t.Fatalf("agg sync errors: %+v", est)
+	}
+	if hst := hubRT.Stats(); hst.FederationAggPartialsIn == 0 {
+		t.Fatalf("hub merged no partials: %+v", hst)
+	}
+}
+
+// TestAggregateExportValidation: malformed Aggregate exports are rejected.
+func TestAggregateExportValidation(t *testing.T) {
+	model, err := dsl.Load(ownerDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := runtime.New(model)
+	if err := rt.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Stop)
+	cases := []federation.Export{
+		{Kind: "PresenceSensor", Aggregate: &federation.Aggregate{GroupAttr: "zone", Handler: &vacancyAgg{}}},
+		{Kind: "PresenceSensor", Source: "presence", Aggregate: &federation.Aggregate{Handler: &vacancyAgg{}}},
+		{Kind: "PresenceSensor", Source: "presence", Aggregate: &federation.Aggregate{GroupAttr: "zone"}},
+		{Kind: "PresenceSensor", Source: "presence", Aggregate: &federation.Aggregate{GroupAttr: "zone", Handler: nonCombinable{}}},
+	}
+	for i, ex := range cases {
+		n, err := federation.New(federation.Config{Name: "bad", Runtime: rt, Exports: []federation.Export{ex}})
+		if err == nil {
+			n.Close()
+			t.Fatalf("case %d: invalid Aggregate export accepted", i)
+		}
+	}
+}
+
+// nonCombinable implements MapReducer but not Combiner.
+type nonCombinable struct{}
+
+func (nonCombinable) Map(string, any, func(string, any))      {}
+func (nonCombinable) Reduce(string, []any, func(string, any)) {}
+
+// TestAggSyncSeedsLateJoiningPeer: a peer added after readings have been
+// folded must receive the aggregate's existing groups, not just future
+// deltas — steady groups would otherwise be missing on the receiver
+// forever.
+func TestAggSyncSeedsLateJoiningPeer(t *testing.T) {
+	hubModel, err := dsl.Load(aggHubDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubRT := runtime.New(hubModel, runtime.WithClock(simclock.NewVirtual(epoch)))
+	hubH := &vacancyAgg{}
+	if err := hubRT.ImplementContext("ZoneVacancy", hubH); err != nil {
+		t.Fatal(err)
+	}
+	if err := hubRT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hubRT.Stop)
+	hub, err := federation.New(federation.Config{Name: "hub", Runtime: hubRT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+
+	edgeModel, err := dsl.Load(ownerDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := simclock.NewVirtual(epoch)
+	edgeRT := runtime.New(edgeModel, runtime.WithClock(vc))
+	if err := edgeRT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(edgeRT.Stop)
+	edge, err := federation.New(federation.Config{
+		Name:    "edge",
+		Runtime: edgeRT,
+		Exports: []federation.Export{{
+			Kind: "PresenceSensor", Source: "presence",
+			Aggregate: &federation.Aggregate{GroupAttr: "zone", Handler: &vacancyAgg{}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(edge.Close)
+
+	// Fold the whole fleet's state into the edge aggregate BEFORE any
+	// peer exists. Swarm sensors push synchronously once attached.
+	const sensors = 40
+	swarm := devsim.NewSwarm(devsim.SwarmConfig{
+		Sensors: sensors, Lots: []string{"z0", "z1", "z2", "z3"}, GroupAttr: "zone", Seed: 7,
+	}, vc)
+	for _, s := range swarm.Sensors() {
+		if err := edgeRT.BindDevice(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "exporter attachments", func() bool { return swarm.AttachedCount() == sensors })
+	swarm.FlipBurst(sensors)
+
+	// The late-joining peer must converge to the full current state.
+	if err := edge.AddPeer(federation.PeerConfig{
+		Name: "hub", Addr: hub.Addr(), ForwardEvents: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := swarm.VacantPerLot()
+	for k, v := range want {
+		if v == 0 {
+			delete(want, k)
+		}
+	}
+	waitFor(t, "late peer seeded with existing groups", func() bool {
+		got := hubH.snapshot()
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// TestAggSyncRehomesOnAttributeUpdate: updating a device's grouping
+// attribute in the registry retracts its contribution from the old group;
+// its next reading folds into the new group.
+func TestAggSyncRehomesOnAttributeUpdate(t *testing.T) {
+	hubModel, err := dsl.Load(aggHubDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hubRT := runtime.New(hubModel, runtime.WithClock(simclock.NewVirtual(epoch)))
+	hubH := &vacancyAgg{}
+	if err := hubRT.ImplementContext("ZoneVacancy", hubH); err != nil {
+		t.Fatal(err)
+	}
+	if err := hubRT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hubRT.Stop)
+	hub, err := federation.New(federation.Config{Name: "hub", Runtime: hubRT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(hub.Close)
+
+	edgeModel, err := dsl.Load(ownerDesign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vc := simclock.NewVirtual(epoch)
+	edgeRT := runtime.New(edgeModel, runtime.WithClock(vc))
+	if err := edgeRT.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(edgeRT.Stop)
+	edge, err := federation.New(federation.Config{
+		Name:    "edge",
+		Runtime: edgeRT,
+		Exports: []federation.Export{{
+			Kind: "PresenceSensor", Source: "presence",
+			Aggregate: &federation.Aggregate{GroupAttr: "zone", Handler: &vacancyAgg{}},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(edge.Close)
+	if err := edge.AddPeer(federation.PeerConfig{
+		Name: "hub", Addr: hub.Addr(), ForwardEvents: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	d := device.NewBase("s1", "PresenceSensor", nil, registry.Attributes{"zone": "za"}, vc.Now)
+	if err := edgeRT.BindDevice(d); err != nil {
+		t.Fatal(err)
+	}
+	converge := func(what string, want map[string]int, emits func()) {
+		t.Helper()
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			got := hubH.snapshot()
+			ok := len(got) == len(want)
+			for k, v := range want {
+				if got[k] != v {
+					ok = false
+				}
+			}
+			if ok {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("%s: hub stuck at %v, want %v", what, got, want)
+			}
+			if emits != nil {
+				emits()
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	converge("za:1", map[string]int{"za": 1}, func() { d.Emit("presence", false) })
+
+	// Re-home s1 to zb; the old contribution retracts and the next
+	// reading counts under zb.
+	if err := edgeRT.Registry().Update("s1", registry.Attributes{"zone": "zb"}, ""); err != nil {
+		t.Fatal(err)
+	}
+	converge("re-homed to zb", map[string]int{"zb": 1}, func() { d.Emit("presence", false) })
 }

@@ -28,7 +28,11 @@ type exporter struct {
 	n      *Node
 	kind   string
 	source string
-	sink   *fwdSink // nil when the export has no source
+	sink   exportSink // nil when the export has no source
+	// groupAttr is the Aggregate's grouping attribute; empty for raw
+	// forwarding. The exporter resolves it per tracked device so the
+	// aggregating sink never touches the registry on the emission path.
+	groupAttr string
 
 	mu   sync.Mutex
 	subs map[registry.ID]*exportedDevice
@@ -54,6 +58,9 @@ func (n *Node) startExporter(ex Export) error {
 	if ex.Source != "" {
 		e.sink = n.sinks[exportKey(ex.Kind, ex.Source)]
 	}
+	if ex.Aggregate != nil {
+		e.groupAttr = ex.Aggregate.GroupAttr
+	}
 	n.mu.Lock()
 	n.watchers = append(n.watchers, w)
 	n.exporters = append(n.exporters, e)
@@ -65,7 +72,7 @@ func (n *Node) startExporter(ex Export) error {
 	// registry).
 	var present []registry.Entity
 	n.reg.Scan(registry.Query{Kind: ex.Kind}, func(ent registry.Entity) bool {
-		present = append(present, registry.Entity{ID: ent.ID, Kind: ent.Kind, Origin: ent.Origin})
+		present = append(present, e.scanCopy(ent))
 		return true
 	})
 	for _, ent := range present {
@@ -93,6 +100,17 @@ func (e *exporter) loop(w *registry.Watcher) {
 	e.stopAll()
 }
 
+// scanCopy captures the identity fields add needs from one scanned entity
+// (Scan forbids retaining the entity), including the grouping attribute of
+// an aggregating export.
+func (e *exporter) scanCopy(ent registry.Entity) registry.Entity {
+	c := registry.Entity{ID: ent.ID, Kind: ent.Kind, Origin: ent.Origin}
+	if e.groupAttr != "" {
+		c.Attrs = registry.Attributes{e.groupAttr: ent.Attrs[e.groupAttr]}
+	}
+	return c
+}
+
 // add hosts (and sink-attaches) one local entity of the exported kind.
 // Mirrors are ignored: their owner exports them.
 func (e *exporter) add(ent registry.Entity) {
@@ -103,6 +121,12 @@ func (e *exporter) add(ent registry.Entity) {
 	e.mu.Lock()
 	if _, dup := e.subs[ent.ID]; dup {
 		e.mu.Unlock()
+		// Already attached: a registry Update still refreshes the sink's
+		// group mapping so an aggregating export re-homes the device when
+		// its grouping attribute changes.
+		if e.sink != nil {
+			e.sink.deviceAdded(string(ent.ID), ent.Attrs[e.groupAttr])
+		}
 		return
 	}
 	e.subs[ent.ID] = ed
@@ -129,25 +153,32 @@ func (e *exporter) add(ent registry.Entity) {
 		ed.attach(unhost)
 		return
 	}
+	// Register the device with the sink before the subscription opens so
+	// an aggregating sink can route its very first reading; detach
+	// retracts the registration (and, for aggregates, the contribution).
+	e.sink.deviceAdded(id, ent.Attrs[e.groupAttr])
+	detachSink := func() { e.sink.deviceRemoved(id) }
 	if ps, ok := drv.(device.PushSubscriber); ok {
 		cancel, err := ps.SubscribePush(e.source, e.sink)
 		if err != nil {
+			detachSink()
 			unhost()
 			release()
 			e.n.rt.ReportError("federation:"+e.n.name, fmt.Errorf("export %s source %s: %w", ent.ID, e.source, err))
 			return
 		}
-		ed.attach(func() { cancel(); unhost() })
+		ed.attach(func() { cancel(); detachSink(); unhost() })
 		return
 	}
 	sub, err := drv.Subscribe(e.source)
 	if err != nil {
+		detachSink()
 		unhost()
 		release()
 		e.n.rt.ReportError("federation:"+e.n.name, fmt.Errorf("export %s source %s: %w", ent.ID, e.source, err))
 		return
 	}
-	if !ed.attach(func() { sub.Cancel(); unhost() }) {
+	if !ed.attach(func() { sub.Cancel(); detachSink(); unhost() }) {
 		return
 	}
 	e.n.wg.Add(1)
@@ -186,13 +217,13 @@ func (e *exporter) reconcile() {
 	live := make(map[registry.ID]registry.Entity)
 	e.n.reg.Scan(registry.Query{Kind: e.kind}, func(ent registry.Entity) bool {
 		if ent.Origin == "" {
-			live[ent.ID] = registry.Entity{ID: ent.ID, Kind: ent.Kind}
+			live[ent.ID] = e.scanCopy(ent)
 		}
 		return true
 	})
 	e.mu.Lock()
 	var gone []*exportedDevice
-	var missing []registry.Entity
+	var missing, kept []registry.Entity
 	for id, ed := range e.subs {
 		if _, ok := live[id]; !ok {
 			delete(e.subs, id)
@@ -202,6 +233,8 @@ func (e *exporter) reconcile() {
 	for id, ent := range live {
 		if _, ok := e.subs[id]; !ok {
 			missing = append(missing, ent)
+		} else {
+			kept = append(kept, ent)
 		}
 	}
 	e.mu.Unlock()
@@ -210,6 +243,13 @@ func (e *exporter) reconcile() {
 	}
 	for _, ent := range missing {
 		e.add(ent)
+	}
+	// Refresh the sink's group mapping of the devices that stayed: a
+	// dropped Update notification may have re-homed one.
+	if e.sink != nil {
+		for _, ent := range kept {
+			e.sink.deviceAdded(string(ent.ID), ent.Attrs[e.groupAttr])
+		}
 	}
 }
 
@@ -259,7 +299,14 @@ type fwdSink struct {
 	buffers atomic.Pointer[[]*fwdBuffer]
 }
 
-var _ device.Sink = (*fwdSink)(nil)
+var _ exportSink = (*fwdSink)(nil)
+
+// deviceAdded implements exportSink; raw forwarding needs no population
+// bookkeeping.
+func (s *fwdSink) deviceAdded(string, string) {}
+
+// deviceRemoved implements exportSink.
+func (s *fwdSink) deviceRemoved(string) {}
 
 func newFwdSink(n *Node, kind, source string) *fwdSink {
 	s := &fwdSink{n: n, kind: kind, source: source}
@@ -321,13 +368,19 @@ func (p *peer) bufferFor(kind, source string) *fwdBuffer {
 	return b
 }
 
-// stopBuffers wakes every flusher for shutdown; buffered readings are still
-// sent before the flushers exit.
+// stopBuffers wakes every flusher for shutdown; buffered readings and
+// dirty aggregate groups are still sent before the flushers exit.
 func (p *peer) stopBuffers() {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.stopped = true
 	for _, b := range p.buffers {
+		b.mu.Lock()
+		b.stopped = true
+		b.notEmpty.Signal()
+		b.mu.Unlock()
+	}
+	for _, b := range p.aggBuffers {
 		b.mu.Lock()
 		b.stopped = true
 		b.notEmpty.Signal()

@@ -89,10 +89,67 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// defaultKeyHash hashes intermediate keys for partitioning. String and
+// integer keys — the overwhelmingly common cases — are hashed directly with
+// FNV-1a, allocation-free; other types fall back to hashing their fmt
+// rendering (which allocates, but stays correct for any printable key).
 func defaultKeyHash(k any) uint64 {
+	switch v := k.(type) {
+	case string:
+		return fnvString(v)
+	case int:
+		return fnvUint64(uint64(v))
+	case int64:
+		return fnvUint64(uint64(v))
+	case int32:
+		return fnvUint64(uint64(v))
+	case int16:
+		return fnvUint64(uint64(v))
+	case int8:
+		return fnvUint64(uint64(v))
+	case uint:
+		return fnvUint64(uint64(v))
+	case uint64:
+		return fnvUint64(v)
+	case uint32:
+		return fnvUint64(uint64(v))
+	case uint16:
+		return fnvUint64(uint64(v))
+	case uint8:
+		return fnvUint64(uint64(v))
+	case bool:
+		if v {
+			return fnvUint64(1)
+		}
+		return fnvUint64(0)
+	}
 	h := fnv.New64a()
 	fmt.Fprintf(h, "%v", k)
 	return h.Sum64()
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func fnvString(s string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+func fnvUint64(x uint64) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
 }
 
 // StringKeyHash is a KeyHash optimized for string intermediate keys: it
@@ -104,16 +161,7 @@ func StringKeyHash(k any) uint64 {
 	if !ok {
 		return defaultKeyHash(k)
 	}
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(s); i++ {
-		h ^= uint64(s[i])
-		h *= prime64
-	}
-	return h
+	return fnvString(s)
 }
 
 // seqValue orders intermediate values by provenance so reducers observe a

@@ -1,0 +1,398 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dsl/check"
+	"repro/internal/mapreduce"
+	"repro/internal/registry"
+	"repro/internal/transport"
+)
+
+// This file implements the runtime half of incremental grouped aggregation:
+// the engine wrapper shared by the periodic and event-driven grouped paths
+// (aggCore), the per-interaction state of `when provided … grouped by …`
+// contexts (provAgg), and the federation merge point for node-local partial
+// aggregates (RemoteAggregate). The engine itself lives in
+// internal/mapreduce; this layer feeds it deltas — changed readings from
+// the periodic poller's per-slot diff, individual events from the ingestion
+// pipeline, per-group partials from agg_sync peers — and serves
+// ContextCall.GroupedReduced / ContextCall.Grouped from its persistent
+// output instead of rebuilding a map per round.
+
+// aggPartialPrefix namespaces the synthetic engine inputs that carry
+// federation peers' per-group partial aggregates; real device IDs never
+// start with NUL, so registry reconciliation leaves them alone.
+const aggPartialPrefix = "\x00agg\x00"
+
+func aggPartialID(origin, group string) string {
+	return aggPartialPrefix + origin + "\x00" + group
+}
+
+// aggCore wraps one interaction's incremental engine together with the
+// raw-grouped mirror map (for `grouped by` without MapReduce) and the
+// runtime's flush accounting. It is not safe for concurrent use; each
+// owner serializes access (the poller through its bus subscription, a
+// provAgg through its mutex).
+type aggCore struct {
+	rt        *Runtime
+	eng       *mapreduce.Incremental[string, any]
+	mapReduce bool
+	// grouped mirrors the engine output as map[group][]raw values for the
+	// no-MapReduce lowering; only dirty keys are touched per flush.
+	grouped  map[string][]any
+	dirtyBuf []string
+}
+
+// newAggCore builds the engine for one grouped interaction from the
+// installed context handler: the handler's Map/Reduce when the design
+// declares `with map … reduce …` (with Combine/Uncombine fast paths when
+// implemented), or the identity lowering that maintains raw per-group value
+// lists otherwise.
+func newAggCore(rt *Runtime, ctxName string, in *check.Interaction) (*aggCore, error) {
+	core := &aggCore{rt: rt, mapReduce: in.MapType != nil}
+	if !core.mapReduce {
+		core.grouped = make(map[string][]any)
+		core.eng = mapreduce.NewIncremental[string, any](
+			func(k string, v any, emit func(string, any)) { emit(k, v) },
+			func(k string, vs []any, emit func(string, any)) { emit(k, vs) },
+			nil, nil)
+		return core, nil
+	}
+	h := rt.contextHandler(ctxName)
+	mr, ok := h.(MapReducer)
+	if !ok {
+		return nil, fmt.Errorf("handler does not implement MapReducer")
+	}
+	var combine mapreduce.CombineFunc[string, any]
+	var uncombine mapreduce.UncombineFunc[string, any]
+	if c, ok := h.(Combiner); ok {
+		combine = c.Combine
+	}
+	if u, ok := h.(Uncombiner); ok {
+		uncombine = u.Uncombine
+	}
+	core.eng = mapreduce.NewIncremental[string, any](
+		func(k string, v any, emit func(string, any)) { mr.Map(k, v, emit) },
+		func(k string, vs []any, emit func(string, any)) { mr.Reduce(k, vs, emit) },
+		combine, uncombine)
+	return core, nil
+}
+
+// flush re-reduces the dirty groups and returns the call payloads: the
+// MapReduce output map, or the raw-grouped mirror. Both are engine-owned
+// and valid only until the next delta; handlers copy what they retain.
+func (c *aggCore) flush() (reduced map[string]any, grouped map[string][]any) {
+	out, dirty := c.eng.Flush(c.dirtyBuf[:0])
+	c.dirtyBuf = dirty
+	c.rt.stats.noteFlush(c.eng.LastFlushDirty(), c.eng.LastFlushTotal())
+	if c.mapReduce {
+		return out, nil
+	}
+	for _, k := range dirty {
+		if v, ok := out[k]; ok {
+			c.grouped[k] = v.([]any)
+		} else {
+			delete(c.grouped, k)
+		}
+	}
+	return nil, c.grouped
+}
+
+// reset drops all engine state (the periodic path resets on snapshot
+// rebuild and re-feeds the full fleet).
+func (c *aggCore) reset() {
+	c.eng.Reset()
+	if c.grouped != nil {
+		c.grouped = make(map[string][]any)
+	}
+}
+
+// provAgg is the state of one `when provided … grouped by …` interaction:
+// a continuous per-group aggregate over the fleet's last-known readings,
+// updated incrementally by every event the ingestion pipeline delivers and
+// by federation peers' partial aggregates. The group of a device is its
+// `grouped by` attribute value; the device→group cache is maintained from
+// the registry watcher's incremental deltas (one full scan only at wiring
+// time and after watcher overflow), so the event hot path never scans the
+// registry. Departures and attribute changes evict stale contributions and
+// dispatch the retraction even when no further event arrives.
+type provAgg struct {
+	rt        *Runtime
+	ctx       *check.Context
+	in        *check.Interaction
+	idx       int
+	kind      string
+	source    string
+	groupAttr string
+	// combinable marks interactions whose handler implements Combiner —
+	// the precondition for merging federation partials via agg_sync.
+	combinable bool
+
+	mu      sync.Mutex
+	core    *aggCore
+	groupOf map[string]string // device id -> group; real devices only
+	// pending holds the latest reading of devices that emitted before
+	// their registration was observed here (a federation event_batch can
+	// outrun the registry delta sync that mirrors its devices); the
+	// watcher's Added delta adopts them into the aggregate. Bounded so a
+	// storm of unregistered senders cannot grow it without limit.
+	pending map[string]device.Reading
+}
+
+// provAggPendingCap bounds provAgg.pending.
+const provAggPendingCap = 4096
+
+// newProvAgg wires the aggregate for one provided-grouped interaction and
+// indexes it by (kind, source) for RemoteAggregate routing.
+func (rt *Runtime) newProvAgg(ctx *check.Context, idx int, in *check.Interaction) (*provAgg, error) {
+	core, err := newAggCore(rt, ctx.Name, in)
+	if err != nil {
+		return nil, fmt.Errorf("runtime: context %s: %w", ctx.Name, err)
+	}
+	_, combinable := rt.contextHandler(ctx.Name).(Combiner)
+	pa := &provAgg{
+		rt:         rt,
+		ctx:        ctx,
+		in:         in,
+		idx:        idx,
+		kind:       in.TriggerDevice.Name,
+		source:     in.TriggerSource.Name,
+		groupAttr:  in.GroupBy.Name,
+		combinable: combinable && in.MapType != nil,
+		core:       core,
+		groupOf:    make(map[string]string),
+		pending:    make(map[string]device.Reading),
+	}
+	rt.mu.Lock()
+	key := ingestKey(pa.kind, pa.source)
+	rt.aggByKey[key] = append(rt.aggByKey[key], pa)
+	rt.mu.Unlock()
+
+	// The watcher keeps the device→group cache current (and retracts
+	// departed devices' contributions even when no further event
+	// arrives); the scan below seeds it with the population registered
+	// before wiring. Watch-then-scan means a bind racing this window is
+	// seen at least once (duplicate deltas are idempotent).
+	w, err := rt.reg.Watch(registry.Query{Kind: pa.kind}, trackerWatchBuf)
+	if err != nil {
+		return nil, err
+	}
+	rt.mu.Lock()
+	rt.watchers = append(rt.watchers, w)
+	rt.mu.Unlock()
+	pa.resync()
+	rt.wg.Add(1)
+	go pa.watch(w)
+	return pa, nil
+}
+
+// watch applies the registry's incremental deltas to the device→group
+// cache, coalescing bursts (a churn storm is applied per drained batch,
+// with one dispatch, not one per notification). Only a watcher-channel
+// overflow falls back to a full reconciling scan — the event hot path
+// never scans the registry.
+func (pa *provAgg) watch(w *registry.Watcher) {
+	defer pa.rt.wg.Done()
+	var lastMissed uint64
+	batch := make([]registry.Change, 0, trackerWatchBuf)
+	for c := range w.C() {
+		batch = append(batch[:0], c)
+	drain:
+		for len(batch) < cap(batch) {
+			select {
+			case more, ok := <-w.C():
+				if !ok {
+					break drain
+				}
+				batch = append(batch, more)
+			default:
+				break drain
+			}
+		}
+		pa.applyChanges(batch)
+		if m := w.Missed(); m != lastMissed {
+			lastMissed = m
+			pa.resync()
+		}
+	}
+}
+
+// applyChanges folds one batch of registry deltas into the cache and the
+// aggregate, dispatching once if any contribution changed.
+func (pa *provAgg) applyChanges(batch []registry.Change) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	changed := false
+	for _, c := range batch {
+		id := string(c.Entity.ID)
+		switch c.Type {
+		case registry.Added, registry.Updated:
+			if pa.trackLocked(id, c.Entity.Attrs[pa.groupAttr]) {
+				changed = true
+			}
+		case registry.Removed, registry.Expired:
+			if pa.evictLocked(id) {
+				changed = true
+			}
+		}
+	}
+	if changed {
+		pa.dispatchLocked(nil, "", pa.rt.clock.Now())
+	}
+}
+
+// trackLocked installs or refreshes one device's group, evicting its old
+// contribution on a group change and adopting a pending reading that
+// arrived before the registration was observed. It reports whether the
+// aggregate changed.
+func (pa *provAgg) trackLocked(id, group string) (changed bool) {
+	if old, tracked := pa.groupOf[id]; tracked && old != group && pa.core.eng.Has(id) {
+		// Re-homed: the old contribution is stale; the device re-enters
+		// under the new group with its next reading.
+		pa.core.eng.Remove(id)
+		changed = true
+	}
+	pa.groupOf[id] = group
+	if r, ok := pa.pending[id]; ok {
+		delete(pa.pending, id)
+		pa.core.eng.Upsert(id, group, r.Value)
+		changed = true
+	}
+	return changed
+}
+
+// evictLocked drops one departed device, reporting whether it contributed.
+func (pa *provAgg) evictLocked(id string) (changed bool) {
+	if _, tracked := pa.groupOf[id]; !tracked {
+		return false
+	}
+	delete(pa.groupOf, id)
+	delete(pa.pending, id)
+	if pa.core.eng.Has(id) {
+		pa.core.eng.Remove(id)
+		return true
+	}
+	return false
+}
+
+// onReading folds one delivered event into the aggregate and dispatches the
+// context with the updated per-group state. Serialized by pa.mu with
+// concurrent RemoteAggregate merges and watcher deltas; the bus already
+// serializes local events per subscription.
+func (pa *provAgg) onReading(r device.Reading) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	group, ok := pa.groupOf[r.DeviceID]
+	if !ok {
+		// Registration not (yet) observed: either the device already left
+		// — a stale reading must not resurrect it — or its event outran
+		// the registration (a federation event_batch can land before the
+		// registry delta sync mirrors its device). Park the latest
+		// reading; the watcher's Added delta adopts it.
+		if _, queued := pa.pending[r.DeviceID]; queued || len(pa.pending) < provAggPendingCap {
+			pa.pending[r.DeviceID] = r
+		}
+		return
+	}
+	pa.core.eng.Upsert(r.DeviceID, group, r.Value)
+	pa.dispatchLocked(&r, group, r.Time)
+}
+
+// applyPartials merges one federation peer's per-group partial aggregates
+// and dispatches the context with the updated state.
+func (pa *provAgg) applyPartials(origin string, partials []transport.GroupPartial, at time.Time) {
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	for _, p := range partials {
+		id := aggPartialID(origin, p.Group)
+		if p.Removed {
+			pa.core.eng.Remove(id)
+		} else {
+			pa.core.eng.UpsertPartial(id, p.Group, p.Value)
+		}
+	}
+	pa.dispatchLocked(nil, "", at)
+}
+
+func (pa *provAgg) dispatchLocked(r *device.Reading, group string, at time.Time) {
+	reduced, grouped := pa.core.flush()
+	call := &ContextCall{
+		ContextName:      pa.ctx.Name,
+		Interaction:      pa.in,
+		InteractionIndex: pa.idx,
+		Reading:          r,
+		Group:            group,
+		Time:             at,
+		GroupedReduced:   reduced,
+		Grouped:          grouped,
+		rt:               pa.rt,
+	}
+	pa.rt.dispatchContext(pa.ctx, pa.in, call)
+}
+
+// resync rebuilds the device→group cache from a full registry scan — the
+// wiring-time seed, and the repair path after a watcher-channel overflow
+// dropped deltas.
+func (pa *provAgg) resync() {
+	live := make(map[string]string)
+	pa.rt.reg.Scan(registry.Query{Kind: pa.kind}, func(e registry.Entity) bool {
+		live[string(e.ID)] = e.Attrs[pa.groupAttr]
+		return true
+	})
+	pa.mu.Lock()
+	defer pa.mu.Unlock()
+	changed := false
+	for id := range pa.groupOf {
+		if _, ok := live[id]; !ok {
+			if pa.evictLocked(id) {
+				changed = true
+			}
+		}
+	}
+	for id, group := range live {
+		if pa.trackLocked(id, group) {
+			changed = true
+		}
+	}
+	if changed {
+		pa.dispatchLocked(nil, "", pa.rt.clock.Now())
+	}
+}
+
+// RemoteAggregate lands one federation peer's node-local per-group partial
+// aggregates — all of one device kind and source, computed by the peer over
+// its local fleet — into every `when provided … grouped by …` interaction
+// consuming that source whose handler declares a Combiner. It returns how
+// many interactions merged the partials; 0 tells the sender the payload was
+// unrouted (no consuming aggregate here, or a non-combinable handler).
+//
+// Each call replaces the origin node's previous partials group by group
+// (Removed entries retract a group the peer no longer aggregates), so the
+// protocol is idempotent and self-healing: a lost sync is repaired by the
+// next one, and per-round cross-node bytes are O(dirty groups), not
+// O(devices).
+func (rt *Runtime) RemoteAggregate(kind, source, origin string, partials []transport.GroupPartial) int {
+	if len(partials) == 0 {
+		return 0
+	}
+	rt.mu.Lock()
+	pas := rt.aggByKey[ingestKey(kind, source)]
+	rt.mu.Unlock()
+	applied := 0
+	at := rt.clock.Now()
+	for _, pa := range pas {
+		if !pa.combinable {
+			continue
+		}
+		pa.applyPartials(origin, partials, at)
+		applied++
+	}
+	if applied > 0 {
+		rt.stats.fedAggPartialsIn.Add(uint64(len(partials) * applied))
+	}
+	return applied
+}

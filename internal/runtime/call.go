@@ -24,19 +24,34 @@ type ContextCall struct {
 	// declaration; generated adapters dispatch on it.
 	InteractionIndex int
 	// Reading is the triggering device reading for event-driven
-	// device-source deliveries; nil otherwise.
+	// device-source deliveries; nil otherwise — including deliveries of
+	// grouped device-source interactions triggered by a federation
+	// partial-aggregate merge (RemoteAggregate) or a fleet-change
+	// retraction, which have no local triggering reading. Grouped
+	// handlers must nil-check before dereferencing.
 	Reading *device.Reading
+	// Group is the triggering device's `grouped by` attribute value for
+	// grouped device-source deliveries ("" when Reading is nil). It keys
+	// the entry of Grouped/GroupedReduced the event just updated, so
+	// per-event consumers can react in O(group) instead of rescanning
+	// the whole aggregate.
+	Group string
 	// Value is the triggering context value for context-to-context
 	// deliveries; nil otherwise.
 	Value any
 	// Readings holds one periodic round of ungrouped readings.
 	Readings []device.Reading
-	// Grouped holds a periodic round grouped by the `grouped by`
-	// attribute (raw values per group), when no MapReduce is declared.
+	// Grouped holds the delivery grouped by the `grouped by` attribute
+	// (raw values per group), when no MapReduce is declared. For
+	// incrementally aggregated interactions (grouped periodic rounds
+	// without an `every` window, and grouped device-source events) the
+	// map is the engine's continuously maintained state: it is valid only
+	// for the duration of the call and must be copied to be retained.
 	Grouped map[string][]any
 	// GroupedReduced holds the MapReduce output per group for
 	// `with map … reduce …` interactions (paper Figure 10's
-	// onPeriodicPresence map parameter).
+	// onPeriodicPresence map parameter). Same ownership rule as Grouped:
+	// incrementally maintained, copy to retain past the call.
 	GroupedReduced map[string]any
 	// Time is the delivery time.
 	Time time.Time

@@ -3,6 +3,7 @@ package runtime
 import (
 	"errors"
 	"fmt"
+	"reflect"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -41,7 +42,9 @@ func periodicTopic(ctxName string, idx int) string {
 
 // wireProvided wires one `when provided` interaction: a bus subscription for
 // context-to-context arrows, or — for device sources — the sharded ingestion
-// pipeline (see ingest.go) funneled through the bus topic.
+// pipeline (see ingest.go) funneled through the bus topic. Grouped device
+// sources route each event through the interaction's incremental aggregate
+// (agg.go) so the handler sees a continuously maintained per-group state.
 func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interaction) error {
 	if in.TriggerKind == check.FromContext {
 		_, err := rt.bus.Subscribe(contextTopic(in.TriggerCtx.Name), func(ev eventbus.Event) {
@@ -57,11 +60,7 @@ func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interacti
 		return err
 	}
 
-	topic := sourceTopic(ctx.Name, idx)
-	// The ingestion workers publish whole bursts; a deeper queue lets them
-	// run ahead of the handler within the interaction's qos budget instead
-	// of blocking after the default 64 events.
-	if _, err := rt.bus.Subscribe(topic, func(ev eventbus.Event) {
+	onEvent := func(ev eventbus.Event) {
 		r := ev.Payload.(device.Reading)
 		rt.dispatchContext(ctx, in, &ContextCall{
 			ContextName:      ctx.Name,
@@ -71,7 +70,22 @@ func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interacti
 			Time:             r.Time,
 			rt:               rt,
 		})
-	}, eventbus.WithQueue(sourceTopicQueue)); err != nil {
+	}
+	if in.GroupBy != nil {
+		pa, err := rt.newProvAgg(ctx, idx, in)
+		if err != nil {
+			return err
+		}
+		onEvent = func(ev eventbus.Event) {
+			pa.onReading(ev.Payload.(device.Reading))
+		}
+	}
+
+	topic := sourceTopic(ctx.Name, idx)
+	// The ingestion workers publish whole bursts; a deeper queue lets them
+	// run ahead of the handler within the interaction's qos budget instead
+	// of blocking after the default 64 events.
+	if _, err := rt.bus.Subscribe(topic, onEvent, eventbus.WithQueue(sourceTopicQueue)); err != nil {
 		return err
 	}
 	ing := rt.newIngestor(topic)
@@ -110,6 +124,20 @@ type poller struct {
 	// or replaces it.
 	snap *pollSnapshot
 
+	// Incremental aggregation (grouped interactions without an `every`
+	// window): the poll loop diffs each round's readings against the
+	// per-slot last-value cache below and publishes only the deltas; the
+	// dispatch side folds them into the interaction's engine (core). The
+	// cache is keyed to the snapshot epoch — a rebuild (fleet change)
+	// invalidates it and the next delta resets the engine and re-feeds
+	// the full round.
+	aggOn     bool
+	prevVals  []any
+	prevOk    []bool
+	snapEpoch uint64
+	prevEpoch uint64   // epoch prevVals/prevOk describe; differs => reset
+	core      *aggCore // owned by the dispatch (bus-handler) side
+
 	// Persistent query pool: up to workers goroutines block on rounds and
 	// work-steal targets through the round's cursors. The pool grows
 	// lazily with the snapshot's work units (started counts live workers),
@@ -136,18 +164,28 @@ func (rt *Runtime) startPoller(ctx *check.Context, idx int, in *check.Interactio
 		in:      in,
 		idx:     idx,
 		stopCh:  make(chan struct{}),
-		workers: 32,
+		workers: rt.pollWorkers,
 	}
 	if in.Every > 0 {
 		p.flushEvery = int(in.Every / in.Period)
 	}
+	// Incremental aggregation applies to grouped interactions polled round
+	// by round; `every` windows concatenate several rounds per delivery
+	// (the same device contributes one value per tick), which is a batch
+	// semantic, so they keep the batch lowering.
+	p.aggOn = in.GroupBy != nil && p.flushEvery == 0 && !rt.batchAgg
 	// Deliver batches through the bus so handler invocations for this
 	// interaction are serialized like every other delivery. dispatch fully
 	// copies the batch out, so the readings buffer is recycled afterwards.
 	if _, err := rt.bus.Subscribe(periodicTopic(ctx.Name, idx), func(ev eventbus.Event) {
-		batch := ev.Payload.(periodicBatch)
-		p.dispatch(batch)
-		p.putReadings(batch.readings)
+		switch batch := ev.Payload.(type) {
+		case periodicBatch:
+			p.dispatch(batch)
+			p.putReadings(batch.readings)
+		case aggDelta:
+			p.dispatchDelta(batch)
+			p.putReadings(batch.upserts)
+		}
 	}); err != nil {
 		rt.reportError(ctx.Name, err)
 		return
@@ -173,10 +211,27 @@ func (p *poller) run(ticker *simclock.Ticker) {
 	for {
 		select {
 		case <-p.stopCh:
+			p.flushWindow()
 			return
 		case at := <-ticker.C:
 			p.poll(at)
 		}
+	}
+}
+
+// flushWindow delivers a partially accumulated `every` window at shutdown,
+// so readings gathered before Stop are not silently discarded. The bus
+// drains queued deliveries before closing, which keeps the flush ordered
+// after every full-window batch already published.
+func (p *poller) flushWindow() {
+	if p.flushEvery == 0 || len(p.window) == 0 {
+		return
+	}
+	batch := periodicBatch{readings: p.window, at: p.rt.clock.Now()}
+	p.window = nil
+	p.ticksInWin = 0
+	if err := p.rt.bus.Publish(periodicTopic(p.ctx.Name, p.idx), batch, batch.at); err != nil {
+		p.putReadings(batch.readings)
 	}
 }
 
@@ -215,6 +270,9 @@ type pollSnapshot struct {
 	locals  []pollTarget
 	remotes []endpointBatch
 	total   int
+	// ids maps round slots back to device IDs; filled only for
+	// incrementally aggregated interactions (removal deltas name devices).
+	ids []string
 	// incomplete marks a snapshot missing targets whose endpoint could
 	// not be dialed; the next tick rebuilds (and so redials) even with an
 	// unchanged generation, matching the old per-round retry behavior.
@@ -225,7 +283,9 @@ type pollSnapshot struct {
 // pool and either delivers the batch immediately or accumulates it into the
 // `every` window. With an unchanged fleet this performs no registry scan, no
 // sort and no target allocation — the generation check is the only registry
-// interaction.
+// interaction. Incrementally aggregated interactions publish the round's
+// per-slot diff (changed readings + dropped-out devices) instead of the
+// full batch.
 func (p *poller) poll(at time.Time) {
 	gen := p.rt.reg.Generation(p.in.TriggerDevice.Name)
 	if p.snap == nil || p.snap.gen != gen || p.snap.incomplete {
@@ -233,65 +293,30 @@ func (p *poller) poll(at time.Time) {
 	}
 	snap := p.snap
 
+	if snap.total > 0 && !p.runRound(at, snap) {
+		return // stopped mid-round
+	}
+	p.rt.stats.periodicPolls.Add(1)
+
+	if p.aggOn {
+		p.publishDelta(at, snap)
+		return
+	}
+
 	var readings []GroupedReading
 	if snap.total > 0 {
-		if cap(p.outBuf) < snap.total {
-			p.outBuf = make([]GroupedReading, snap.total)
-			p.okBuf = make([]bool, snap.total)
-		}
 		out := p.outBuf[:snap.total]
-		ok := p.okBuf[:snap.total]
-		for i := range ok {
-			ok[i] = false
-		}
-		round := &pollRound{
-			p:      p,
-			snap:   snap,
-			at:     at,
-			source: p.in.TriggerSource.Name,
-			out:    out,
-			ok:     ok,
-			done:   make(chan struct{}),
-		}
-		// Hand the round to at most one worker per unit of work (remote
-		// batches + local targets) so small fleets don't wake the whole
-		// pool for one query's worth of polling; grow the pool to match.
-		// p.rt.wg stays >0 for the poller's own goroutine while poll
-		// runs, so Add here cannot race a Stop-side Wait reaching zero.
-		hands := len(snap.remotes) + len(snap.locals)
-		if hands > p.workers {
-			hands = p.workers
-		}
-		for p.started < hands {
-			p.rt.wg.Add(1)
-			go p.worker()
-			p.started++
-		}
-		round.pending.Store(int64(hands))
-		for i := 0; i < hands; i++ {
-			select {
-			case p.rounds <- round:
-			case <-p.stopCh:
-				return
-			}
-		}
-		select {
-		case <-round.done:
-		case <-p.stopCh:
-			return
-		}
 		kept := p.getReadings()
 		if cap(kept) < snap.total {
 			kept = make([]GroupedReading, 0, snap.total)
 		}
-		for i, good := range ok {
+		for i, good := range p.okBuf[:snap.total] {
 			if good {
 				kept = append(kept, out[i])
 			}
 		}
 		readings = kept
 	}
-	p.rt.stats.periodicPolls.Add(1)
 
 	if p.flushEvery > 0 {
 		p.window = append(p.window, readings...)
@@ -309,6 +334,200 @@ func (p *poller) poll(at time.Time) {
 		p.putReadings(readings)
 		return
 	}
+}
+
+// runRound executes one query round over the snapshot through the worker
+// pool, filling p.outBuf/p.okBuf per slot. It reports false when the poller
+// stopped before the round completed.
+func (p *poller) runRound(at time.Time, snap *pollSnapshot) bool {
+	if cap(p.outBuf) < snap.total {
+		p.outBuf = make([]GroupedReading, snap.total)
+		p.okBuf = make([]bool, snap.total)
+	}
+	out := p.outBuf[:snap.total]
+	ok := p.okBuf[:snap.total]
+	for i := range ok {
+		ok[i] = false
+	}
+	round := &pollRound{
+		p:      p,
+		snap:   snap,
+		at:     at,
+		source: p.in.TriggerSource.Name,
+		out:    out,
+		ok:     ok,
+		done:   make(chan struct{}),
+	}
+	// Hand the round to at most one worker per unit of work (remote
+	// batches + local targets) so small fleets don't wake the whole
+	// pool for one query's worth of polling; grow the pool to match.
+	// p.rt.wg stays >0 for the poller's own goroutine while poll
+	// runs, so Add here cannot race a Stop-side Wait reaching zero.
+	hands := len(snap.remotes) + len(snap.locals)
+	if hands > p.workers {
+		hands = p.workers
+	}
+	for p.started < hands {
+		p.rt.wg.Add(1)
+		go p.worker()
+		p.started++
+	}
+	round.pending.Store(int64(hands))
+	for i := 0; i < hands; i++ {
+		select {
+		case p.rounds <- round:
+		case <-p.stopCh:
+			return false
+		}
+	}
+	select {
+	case <-round.done:
+	case <-p.stopCh:
+		return false
+	}
+	return true
+}
+
+// aggDelta is the payload of one incrementally aggregated round: the
+// readings whose value changed since the previous round, the devices that
+// answered last round but not this one, and whether the dispatch-side
+// engine must reset first (snapshot rebuilt: slots renumbered, fleet
+// membership changed — the whole round rides in upserts).
+type aggDelta struct {
+	upserts  []GroupedReading
+	removals []string
+	reset    bool
+	at       time.Time
+}
+
+// publishDelta diffs the round against the per-slot last-value cache and
+// publishes only what changed. A steady fleet with unchanged readings
+// publishes an empty delta — the dispatch side still flushes (cheaply, no
+// dirty groups) and triggers the handler, preserving one delivery per
+// period.
+func (p *poller) publishDelta(at time.Time, snap *pollSnapshot) {
+	reset := p.prevEpoch != p.snapEpoch
+	if reset {
+		if cap(p.prevVals) < snap.total {
+			p.prevVals = make([]any, snap.total)
+			p.prevOk = make([]bool, snap.total)
+		}
+		p.prevVals = p.prevVals[:snap.total]
+		p.prevOk = p.prevOk[:snap.total]
+		for i := range p.prevOk {
+			p.prevOk[i] = false
+			p.prevVals[i] = nil
+		}
+		p.prevEpoch = p.snapEpoch
+	}
+	ups := p.getReadings()
+	var removals []string
+	out := p.outBuf[:snap.total]
+	ok := p.okBuf[:snap.total]
+	for i := 0; i < snap.total; i++ {
+		if ok[i] {
+			if !p.prevOk[i] || !valuesEqual(p.prevVals[i], out[i].Reading.Value) {
+				ups = append(ups, out[i])
+				p.prevVals[i] = out[i].Reading.Value
+				p.prevOk[i] = true
+			}
+		} else if p.prevOk[i] {
+			// Answered last round, failed this one: its value drops out of
+			// the aggregate until it answers again, matching the batch
+			// path's per-round membership.
+			removals = append(removals, snap.ids[i])
+			p.prevOk[i] = false
+			p.prevVals[i] = nil
+		}
+	}
+	batch := aggDelta{upserts: ups, removals: removals, reset: reset, at: at}
+	if err := p.rt.bus.Publish(periodicTopic(p.ctx.Name, p.idx), batch, at); err != nil {
+		p.putReadings(ups)
+	}
+}
+
+// valuesEqual compares two reading values of common scalar types; exotic or
+// non-comparable values report false (treated as changed), which keeps the
+// delta path conservative rather than wrong.
+func valuesEqual(a, b any) bool {
+	switch av := a.(type) {
+	case bool:
+		bv, ok := b.(bool)
+		return ok && av == bv
+	case int:
+		bv, ok := b.(int)
+		return ok && av == bv
+	case int64:
+		bv, ok := b.(int64)
+		return ok && av == bv
+	case float64:
+		bv, ok := b.(float64)
+		return ok && av == bv
+	case float32:
+		bv, ok := b.(float32)
+		return ok && av == bv
+	case string:
+		bv, ok := b.(string)
+		return ok && av == bv
+	case uint64:
+		bv, ok := b.(uint64)
+		return ok && av == bv
+	case int32:
+		bv, ok := b.(int32)
+		return ok && av == bv
+	case uint32:
+		bv, ok := b.(uint32)
+		return ok && av == bv
+	case time.Time:
+		bv, ok := b.(time.Time)
+		return ok && av.Equal(bv)
+	default:
+		// Named scalar types (DSL enums generate `type X string`) and
+		// other comparable values fall through here: compare with Go
+		// equality when both sides share a comparable dynamic type.
+		// Non-comparable values (slices, maps) stay "changed".
+		ta, tb := reflect.TypeOf(a), reflect.TypeOf(b)
+		if ta == nil || ta != tb || !ta.Comparable() {
+			return false
+		}
+		return a == b
+	}
+}
+
+// dispatchDelta folds one round's delta into the interaction's engine and
+// dispatches the handler with the updated aggregate. Runs on the bus
+// handler goroutine, serialized with every other delivery of this
+// interaction.
+func (p *poller) dispatchDelta(d aggDelta) {
+	if p.core == nil {
+		core, err := newAggCore(p.rt, p.ctx.Name, p.in)
+		if err != nil {
+			p.rt.reportError(p.ctx.Name, err)
+			return
+		}
+		p.core = core
+	}
+	if d.reset {
+		p.core.reset()
+	}
+	for i := range d.upserts {
+		gr := &d.upserts[i]
+		p.core.eng.Upsert(gr.Reading.DeviceID, gr.Group, gr.Reading.Value)
+	}
+	for _, id := range d.removals {
+		p.core.eng.Remove(id)
+	}
+	reduced, grouped := p.core.flush()
+	call := &ContextCall{
+		ContextName:      p.ctx.Name,
+		Interaction:      p.in,
+		InteractionIndex: p.idx,
+		Time:             d.at,
+		GroupedReduced:   reduced,
+		Grouped:          grouped,
+		rt:               p.rt,
+	}
+	p.rt.dispatchContext(p.ctx, p.in, call)
 }
 
 // rebuild rescans the registry and rebuilds the fleet snapshot: locals carry
@@ -383,7 +602,18 @@ func (p *poller) rebuild(gen uint64) {
 		base += len(snap.remotes[i].ids)
 	}
 	snap.total = base
+	if p.aggOn {
+		snap.ids = make([]string, snap.total)
+		for i := range snap.locals {
+			snap.ids[i] = snap.locals[i].id
+		}
+		for i := range snap.remotes {
+			eb := &snap.remotes[i]
+			copy(snap.ids[eb.base:], eb.ids)
+		}
+	}
 	p.snap = snap
+	p.snapEpoch++
 	p.rt.stats.pollSnapshotRebuilds.Add(1)
 }
 

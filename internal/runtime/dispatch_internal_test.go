@@ -1,0 +1,39 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+)
+
+type namedEnum string
+type badSlice []int
+
+// valuesEqual must recognize named scalar types (DSL enums generate
+// `type X string`) so the periodic delta path doesn't degrade to
+// everything-changed, and must stay safe on non-comparable values.
+func TestValuesEqual(t *testing.T) {
+	at := time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name string
+		a, b any
+		want bool
+	}{
+		{"bool-eq", true, true, true},
+		{"bool-ne", true, false, false},
+		{"int-eq", 7, 7, true},
+		{"float-ne", 1.5, 2.5, false},
+		{"string-eq", "x", "x", true},
+		{"time-eq", at, at.Add(0), true},
+		{"named-string-eq", namedEnum("FULL"), namedEnum("FULL"), true},
+		{"named-string-ne", namedEnum("FULL"), namedEnum("FREE"), false},
+		{"cross-type", namedEnum("FULL"), "FULL", false},
+		{"nil-side", nil, true, false},
+		{"both-nil", nil, nil, false}, // conservative: nil carries no type
+		{"non-comparable", badSlice{1}, badSlice{1}, false},
+	}
+	for _, tc := range cases {
+		if got := valuesEqual(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: valuesEqual(%v, %v) = %v, want %v", tc.name, tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -67,6 +67,25 @@ type MapReducer interface {
 	Reduce(key string, values []any, emit func(key string, v any))
 }
 
+// Combiner is additionally implemented by MapReducer handlers whose reduce
+// phase is an associative, commutative merge of partial aggregates (sum,
+// count, min, max, …): Reduce over a value list must equal the
+// Combine-fold of Reduce over its single-element sublists. The runtime's
+// incremental aggregation then folds new contributions in O(1) instead of
+// replaying the group's value list, and federation peers sync node-local
+// per-group partials (agg_sync) instead of raw readings.
+type Combiner interface {
+	Combine(key string, a, b any) any
+}
+
+// Uncombiner is additionally implemented by Combiners whose merge is
+// invertible (sum, count): Uncombine removes one previously combined
+// partial. With it, updates and removals adjust a group's aggregate in
+// O(1); without it a changed group re-folds its members' partials.
+type Uncombiner interface {
+	Uncombine(key string, acc, v any) any
+}
+
 // ComponentError reports a failure inside a component or device interaction.
 type ComponentError struct {
 	Component string
@@ -126,6 +145,22 @@ type Stats struct {
 	// batched actuation (ControllerCall.InvokeBatch); compare against
 	// Actuations to see the fan-out amortization.
 	FederationCommandChunks uint64
+	// FederationAggPartialsIn counts per-group partial aggregates merged
+	// from federation peers via RemoteAggregate (the agg_sync receive
+	// path).
+	FederationAggPartialsIn uint64
+	// GroupsDirty counts groups re-reduced by incremental grouped
+	// aggregation across all flushes; GroupsTotal counts groups live at
+	// those flushes. GroupsDirty/GroupsTotal is the fraction of
+	// aggregation work actually performed.
+	GroupsDirty uint64
+	// GroupsTotal counts groups live across incremental flushes (see
+	// GroupsDirty).
+	GroupsTotal uint64
+	// AggReuse counts clean groups whose output was served from the
+	// previous round's aggregate without re-reducing — the incremental
+	// engine's savings, GroupsTotal - GroupsDirty accumulated.
+	AggReuse uint64
 	// Actuations counts successful device action invocations.
 	Actuations uint64
 	// Errors counts component errors.
@@ -149,8 +184,22 @@ type statCounters struct {
 	fedEventBatchesIn    atomic.Uint64
 	fedEventDrops        atomic.Uint64
 	fedCommandChunks     atomic.Uint64
+	fedAggPartialsIn     atomic.Uint64
+	groupsDirty          atomic.Uint64
+	groupsTotal          atomic.Uint64
+	aggReuse             atomic.Uint64
 	actuations           atomic.Uint64
 	errors               atomic.Uint64
+}
+
+// noteFlush accumulates one incremental-aggregation flush into the
+// dirty/total/reuse counters.
+func (c *statCounters) noteFlush(dirty, total int) {
+	c.groupsDirty.Add(uint64(dirty))
+	c.groupsTotal.Add(uint64(total))
+	if total > dirty {
+		c.aggReuse.Add(uint64(total - dirty))
+	}
 }
 
 func (c *statCounters) snapshot() Stats {
@@ -169,6 +218,10 @@ func (c *statCounters) snapshot() Stats {
 		FederationEventBatchesIn: c.fedEventBatchesIn.Load(),
 		FederationEventDrops:     c.fedEventDrops.Load(),
 		FederationCommandChunks:  c.fedCommandChunks.Load(),
+		FederationAggPartialsIn:  c.fedAggPartialsIn.Load(),
+		GroupsDirty:              c.groupsDirty.Load(),
+		GroupsTotal:              c.groupsTotal.Load(),
+		AggReuse:                 c.aggReuse.Load(),
 		Actuations:               c.actuations.Load(),
 		Errors:                   c.errors.Load(),
 	}
@@ -176,12 +229,14 @@ func (c *statCounters) snapshot() Stats {
 
 // Runtime hosts one application built from a checked design.
 type Runtime struct {
-	model     *check.Model
-	reg       *registry.Registry
-	bus       *eventbus.Bus
-	clock     simclock.Clock
-	mrCfg     mapreduce.Config
-	ingestCfg IngestConfig
+	model       *check.Model
+	reg         *registry.Registry
+	bus         *eventbus.Bus
+	clock       simclock.Clock
+	mrCfg       mapreduce.Config
+	ingestCfg   IngestConfig
+	pollWorkers int
+	batchAgg    bool
 
 	onError     func(ComponentError)
 	ownRegistry bool
@@ -197,6 +252,7 @@ type Runtime struct {
 	trackers    []*sourceTracker
 	ingestors   []*ingestor
 	ingestByKey map[string][]*ingestor // kind+source -> consuming pipelines
+	aggByKey    map[string][]*provAgg  // kind+source -> provided-grouped aggregates
 	janitorOn   bool
 	watchers    []*registry.Watcher
 	lastValues  map[string]any // last published value per context
@@ -276,6 +332,26 @@ func WithIngestConfig(cfg IngestConfig) Option {
 	return func(rt *Runtime) { rt.ingestCfg = cfg }
 }
 
+// WithPollWorkers bounds the per-poller query pool of `when periodic`
+// interactions: up to n goroutines issue device queries concurrently per
+// poller (the pool still grows lazily with the fleet, so small fleets park
+// no idle workers). Default 32.
+func WithPollWorkers(n int) Option {
+	return func(rt *Runtime) {
+		if n > 0 {
+			rt.pollWorkers = n
+		}
+	}
+}
+
+// WithBatchAggregation makes grouped periodic interactions re-run the full
+// batch MapReduce every round instead of maintaining state in the
+// incremental engine — the pre-incremental behavior, kept as the ablation
+// baseline and correctness oracle (examples/aggstorm cross-checks the two).
+func WithBatchAggregation() Option {
+	return func(rt *Runtime) { rt.batchAgg = true }
+}
+
 // New creates a Runtime for the given checked design model.
 func New(model *check.Model, opts ...Option) *Runtime {
 	rt := &Runtime{
@@ -286,8 +362,10 @@ func New(model *check.Model, opts ...Option) *Runtime {
 		devices:     make(map[string]device.Driver),
 		clients:     make(map[string]*transport.Client),
 		ingestByKey: make(map[string][]*ingestor),
+		aggByKey:    make(map[string][]*provAgg),
 		lastValues:  make(map[string]any),
 		ownRegistry: true,
+		pollWorkers: 32,
 	}
 	for _, o := range opts {
 		o(rt)
@@ -603,6 +681,7 @@ func (rt *Runtime) Stop() {
 	clients := rt.clients
 	rt.pollers, rt.trackers, rt.ingestors, rt.watchers = nil, nil, nil, nil
 	rt.ingestByKey = make(map[string][]*ingestor)
+	rt.aggByKey = make(map[string][]*provAgg)
 	rt.clients = make(map[string]*transport.Client)
 	rt.mu.Unlock()
 

@@ -16,12 +16,15 @@ type fakeFed struct {
 	mu       sync.Mutex
 	deltas   []SyncDelta
 	accepted int // IngestEventBatch admits at most this many per call
+	merged   int // IngestAggSync reports this many consuming interactions
 
 	gotKinds    []string
 	gotGens     []uint64
 	gotReadings []device.Reading
 	gotKind     string
 	gotSource   string
+	gotOrigin   string
+	gotGroups   []GroupPartial
 	calls       atomic.Int64
 }
 
@@ -44,6 +47,15 @@ func (f *fakeFed) IngestEventBatch(kind, source string, readings []device.Readin
 		return f.accepted
 	}
 	return len(readings)
+}
+
+func (f *fakeFed) IngestAggSync(kind, source, origin string, groups []GroupPartial) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gotKind, f.gotSource, f.gotOrigin = kind, source, origin
+	f.gotGroups = append(f.gotGroups, groups...)
+	f.calls.Add(1)
+	return f.merged
 }
 
 // Registry sync must round-trip kinds, generations and entity payloads —
@@ -126,6 +138,46 @@ func TestEventBatchRoundTrip(t *testing.T) {
 	}
 }
 
+// Agg syncs must land whole — group keys, partial values, removal markers
+// and the origin node — and report the receiver's merge count back.
+func TestAggSyncRoundTrip(t *testing.T) {
+	srv, cli := newServerAndClient(t)
+	fed := &fakeFed{merged: 1}
+	srv.ServeFederation(fed)
+
+	groups := []GroupPartial{
+		{Group: "zone-a", Value: 7},
+		{Group: "zone-b", Value: 12},
+		{Group: "zone-c", Removed: true},
+	}
+	merged, err := cli.PublishAggSync("Sensor", "presence", "edge-1", groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged != 1 {
+		t.Fatalf("merged %d, want the handler's 1", merged)
+	}
+	fed.mu.Lock()
+	defer fed.mu.Unlock()
+	if fed.gotKind != "Sensor" || fed.gotSource != "presence" || fed.gotOrigin != "edge-1" {
+		t.Fatalf("server saw kind=%s source=%s origin=%s", fed.gotKind, fed.gotSource, fed.gotOrigin)
+	}
+	if len(fed.gotGroups) != 3 {
+		t.Fatalf("server saw %d groups, want 3", len(fed.gotGroups))
+	}
+	if g := fed.gotGroups[1]; g.Group != "zone-b" || g.Value != 12 || g.Removed {
+		t.Fatalf("group mangled: %+v", g)
+	}
+	if g := fed.gotGroups[2]; !g.Removed {
+		t.Fatalf("removal marker lost: %+v", g)
+	}
+
+	// Empty syncs never touch the wire.
+	if n, err := cli.PublishAggSync("Sensor", "presence", "edge-1", nil); err != nil || n != 0 {
+		t.Fatalf("empty sync: n=%d err=%v", n, err)
+	}
+}
+
 // Federation ops without a handler must fail cleanly, and installing one
 // later must start serving.
 func TestFederationOpsWithoutHandler(t *testing.T) {
@@ -135,6 +187,9 @@ func TestFederationOpsWithoutHandler(t *testing.T) {
 	}
 	if _, err := cli.PublishEventBatch("Sensor", "presence", []device.Reading{{DeviceID: "x"}}); err == nil {
 		t.Fatal("event_batch served without a handler")
+	}
+	if _, err := cli.PublishAggSync("Sensor", "presence", "edge", []GroupPartial{{Group: "g"}}); err == nil {
+		t.Fatal("agg_sync served without a handler")
 	}
 	srv.ServeFederation(&fakeFed{})
 	if _, err := cli.SyncRegistry([]string{"Sensor"}, []uint64{0}); err != nil {

@@ -42,7 +42,7 @@ func ensureBasicTypes() {
 
 type request struct {
 	ID      uint64
-	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch"
+	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "agg_sync"
 	Device  string
 	Devices []string // for "query_batch"/"command_batch": the devices to answer for
 	Facet   string
@@ -50,10 +50,12 @@ type request struct {
 	SubID   uint64
 
 	// Federation fields (gob omits them on the classic ops).
-	Kind     string           // "event_batch": device kind of the readings
+	Kind     string           // "event_batch"/"agg_sync": device kind
 	Kinds    []string         // "registry_sync": kinds to sync
 	Gens     []uint64         // "registry_sync": last generation seen per kind
 	Readings []device.Reading // "event_batch": the forwarded readings
+	Origin   string           // "agg_sync": name of the aggregating node
+	Groups   []GroupPartial   // "agg_sync": the per-group partial aggregates
 }
 
 type response struct {
@@ -69,6 +71,18 @@ type response struct {
 
 	Deltas   []SyncDelta // "registry_sync" answer
 	Accepted int         // "event_batch": readings admitted by the receiver
+}
+
+// GroupPartial is one group's node-local partial aggregate in an
+// "agg_sync" request: the sending node's combine-fold over its own fleet's
+// readings for that group. Removed retracts a group the sender no longer
+// aggregates (its last local contributor left). Each sync replaces the
+// sender's previous partials group by group, so the op is idempotent and a
+// lost sync is repaired by the next one.
+type GroupPartial struct {
+	Group   string
+	Value   any
+	Removed bool
 }
 
 // SyncDelta is one kind's answer to a "registry_sync" request. When the
@@ -95,6 +109,10 @@ type FederationHandler interface {
 	// many readings were admitted (the rest were dropped by the
 	// receiver's admission budget and are accounted there).
 	IngestEventBatch(kind, source string, readings []device.Reading) int
+	// IngestAggSync merges one peer's node-local per-group partial
+	// aggregates for (kind, source) and reports how many consuming
+	// interactions merged them (0 = unrouted).
+	IngestAggSync(kind, source, origin string, groups []GroupPartial) int
 }
 
 // Errors returned by transport operations.
@@ -353,6 +371,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			n := fed.IngestEventBatch(req.Kind, req.Facet, req.Readings)
 			send(response{ID: req.ID, Accepted: n})
+		case "agg_sync":
+			fed := s.federation()
+			if fed == nil {
+				send(response{ID: req.ID, Err: "federation not served here"})
+				continue
+			}
+			n := fed.IngestAggSync(req.Kind, req.Facet, req.Origin, req.Groups)
+			send(response{ID: req.ID, Accepted: n})
 		case "subscribe":
 			drv := s.lookup(req.Device)
 			if drv == nil {
@@ -439,6 +465,35 @@ type Client struct {
 
 	timeout time.Duration
 	wg      sync.WaitGroup
+
+	bytesSent atomic.Uint64
+	bytesRecv atomic.Uint64
+}
+
+// BytesSent reports the total bytes this client has written to the wire —
+// the sync-payload gauge federation benchmarks use to show agg_sync stays
+// O(groups) while event forwarding grows O(devices).
+func (c *Client) BytesSent() uint64 { return c.bytesSent.Load() }
+
+// BytesReceived reports the total bytes read from the wire.
+func (c *Client) BytesReceived() uint64 { return c.bytesRecv.Load() }
+
+// countingConn counts bytes through a client connection.
+type countingConn struct {
+	net.Conn
+	sent, recv *atomic.Uint64
+}
+
+func (c countingConn) Read(p []byte) (int, error) {
+	n, err := c.Conn.Read(p)
+	c.recv.Add(uint64(n))
+	return n, err
+}
+
+func (c countingConn) Write(p []byte) (int, error) {
+	n, err := c.Conn.Write(p)
+	c.sent.Add(uint64(n))
+	return n, err
 }
 
 // ClientOption configures a Client.
@@ -457,12 +512,12 @@ func Dial(addr string, opts ...ClientOption) (*Client, error) {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	c := &Client{
-		conn:    conn,
-		enc:     gob.NewEncoder(conn),
 		pending: make(map[uint64]chan response),
 		subs:    make(map[uint64]*clientSub),
 		timeout: 5 * time.Second,
 	}
+	c.conn = countingConn{Conn: conn, sent: &c.bytesSent, recv: &c.bytesRecv}
+	c.enc = gob.NewEncoder(c.conn)
 	for _, o := range opts {
 		o(c)
 	}
@@ -651,6 +706,22 @@ func (c *Client) PublishEventBatch(kind, source string, readings []device.Readin
 		return 0, nil
 	}
 	resp, err := c.call(request{Op: "event_batch", Kind: kind, Facet: source, Readings: readings})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Accepted, nil
+}
+
+// PublishAggSync forwards one node's per-group partial aggregates for
+// (kind, source) to the server's federation handler — the O(groups)
+// alternative to forwarding raw readings when the consuming context's
+// reduce phase is combinable. It reports how many consuming interactions
+// merged the partials (0 = unrouted on the receiver).
+func (c *Client) PublishAggSync(kind, source, origin string, groups []GroupPartial) (int, error) {
+	if len(groups) == 0 {
+		return 0, nil
+	}
+	resp, err := c.call(request{Op: "agg_sync", Kind: kind, Facet: source, Origin: origin, Groups: groups})
 	if err != nil {
 		return 0, err
 	}
