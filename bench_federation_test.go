@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/devsim"
+	"repro/internal/devsim/chaos"
 	"repro/internal/dsl"
 	"repro/internal/federation"
 	"repro/internal/runtime"
@@ -46,7 +47,8 @@ func (c *fedBenchCtx) OnTrigger(*runtime.ContextCall) (any, bool, error) {
 
 // fedBenchWorld is one hub + one edge owning `sensors` devices, connected
 // and synced, with the edge forwarding presence events at the given batch
-// size.
+// size. A non-nil dialer replaces the edge->hub dial path (fault-injection
+// benches wrap it in a chaos link).
 type fedBenchWorld struct {
 	hubRT *runtime.Runtime
 	hub   *federation.Node
@@ -55,7 +57,7 @@ type fedBenchWorld struct {
 	ctx   *fedBenchCtx
 }
 
-func newFedBenchWorld(b *testing.B, sensors, maxBatch int) *fedBenchWorld {
+func newFedBenchWorld(b *testing.B, sensors, maxBatch int, dialer transport.Dialer) *fedBenchWorld {
 	b.Helper()
 	vc := simclock.NewVirtual(benchEpoch)
 
@@ -99,7 +101,7 @@ func newFedBenchWorld(b *testing.B, sensors, maxBatch int) *fedBenchWorld {
 
 	if err := edge.AddPeer(federation.PeerConfig{
 		Name: "hub", Addr: hub.Addr(), ForwardEvents: true,
-		MaxBatch: maxBatch, CallTimeout: time.Minute,
+		MaxBatch: maxBatch, CallTimeout: time.Minute, Dialer: dialer,
 	}); err != nil {
 		b.Fatal(err)
 	}
@@ -186,7 +188,7 @@ func BenchmarkFederation_EventForward(b *testing.B) {
 		{"batched", 256},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
-			w := newFedBenchWorld(b, sensors, cfg.maxBatch)
+			w := newFedBenchWorld(b, sensors, cfg.maxBatch, nil)
 			var accepted uint64
 			// Warm the path end to end so measured iterations are steady
 			// state.
@@ -202,6 +204,31 @@ func BenchmarkFederation_EventForward(b *testing.B) {
 			b.ReportMetric(float64(accepted-measuredFrom)/b.Elapsed().Seconds(), "events/sec")
 		})
 	}
+}
+
+// BenchmarkFederation_ChaosLatency: the event-forwarding round of
+// BenchmarkFederation_EventForward, but with 5ms of injected per-write
+// latency on the edge->hub link (through the same chaos dialer the
+// partition tests use). Coalescing is what keeps a slow WAN link usable:
+// one burst costs one 5ms penalty per MaxBatch chunk rather than one per
+// event, so events/sec must degrade by the chunk count, not collapse by
+// the event count.
+func BenchmarkFederation_ChaosLatency(b *testing.B) {
+	const sensors = 12500
+	net := chaos.NewNet(1)
+	net.SetProfile("edge->hub", chaos.Profile{Latency: 5 * time.Millisecond})
+	w := newFedBenchWorld(b, sensors, 256, net.Dialer("edge->hub"))
+	var accepted uint64
+	accepted += uint64(w.swarm.FlipBurst(sensors))
+	waitFedAccounted(b, w, accepted)
+	measuredFrom := accepted
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		accepted += uint64(w.swarm.FlipBurst(sensors))
+		waitFedAccounted(b, w, accepted)
+	}
+	b.ReportMetric(float64(accepted-measuredFrom)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // fedAggHubDesign consumes the federated presence stream as a continuous
@@ -473,7 +500,7 @@ func BenchmarkFederation_CommandFanout(b *testing.B) {
 func BenchmarkFederation_RegistrySync(b *testing.B) {
 	for _, sensors := range []int{1000, 12500, 50000} {
 		b.Run(fmt.Sprintf("n=%d", sensors), func(b *testing.B) {
-			w := newFedBenchWorld(b, sensors, 256)
+			w := newFedBenchWorld(b, sensors, 256, nil)
 			scans := w.hub.Stats().KindsScanned
 			b.ReportAllocs()
 			b.ResetTimer()

@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// newServer starts a transport server on a loopback port.
+func newServer(t *testing.T) *transport.Server {
+	t.Helper()
+	srv, err := transport.NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// dialThrough connects a transport client to srv through the named chaos
+// link.
+func dialThrough(t *testing.T, n *Net, name string, srv *transport.Server) *transport.Client {
+	t.Helper()
+	cli, err := transport.Dial(srv.Addr(),
+		transport.WithDialer(n.Dialer(name)),
+		transport.WithCallTimeout(2*time.Second))
+	if err != nil {
+		t.Fatalf("Dial through %s: %v", name, err)
+	}
+	t.Cleanup(cli.Close)
+	return cli
+}
+
+func TestPartitionSeversLiveConnsAndRefusesDials(t *testing.T) {
+	srv := newServer(t)
+	n := NewNet(1)
+	cli := dialThrough(t, n, "a->hub", srv)
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping before partition: %v", err)
+	}
+
+	n.Partition("a->hub")
+	if !n.Partitioned("a->hub") {
+		t.Fatal("Partitioned() = false after Partition")
+	}
+	// The live connection was severed; the in-flight or next call must die
+	// with a connection failure, not hang.
+	if err := cli.Ping(); !transport.IsConnFailure(err) {
+		t.Fatalf("ping on severed link: got %v, want conn failure", err)
+	}
+	if _, err := transport.Dial(srv.Addr(), transport.WithDialer(n.Dialer("a->hub"))); err == nil {
+		t.Fatal("dial through partitioned link succeeded")
+	}
+	st := n.Stats()
+	if st.ConnsSevered == 0 {
+		t.Fatalf("ConnsSevered = 0 after partition, stats %+v", st)
+	}
+	if st.DialsRefused == 0 {
+		t.Fatalf("DialsRefused = 0 after refused dial, stats %+v", st)
+	}
+
+	n.Heal("a->hub")
+	if n.Partitioned("a->hub") {
+		t.Fatal("Partitioned() = true after Heal")
+	}
+	cli2 := dialThrough(t, n, "a->hub", srv)
+	if err := cli2.Ping(); err != nil {
+		t.Fatalf("ping after heal: %v", err)
+	}
+}
+
+func TestPartitionIsPerLink(t *testing.T) {
+	srv := newServer(t)
+	n := NewNet(2)
+	a := dialThrough(t, n, "a->hub", srv)
+	b := dialThrough(t, n, "b->hub", srv)
+
+	n.Partition("a->hub")
+	if err := a.Ping(); !transport.IsConnFailure(err) {
+		t.Fatalf("partitioned link a: got %v, want conn failure", err)
+	}
+	if err := b.Ping(); err != nil {
+		t.Fatalf("healthy link b broken by a's partition: %v", err)
+	}
+}
+
+func TestDropSeversConnection(t *testing.T) {
+	srv := newServer(t)
+	n := NewNet(3)
+	cli := dialThrough(t, n, "lossy", srv)
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping on clean link: %v", err)
+	}
+	n.SetProfile("lossy", Profile{DropRate: 1})
+	if err := cli.Ping(); !transport.IsConnFailure(err) {
+		t.Fatalf("ping on always-drop link: got %v, want conn failure", err)
+	}
+	st := n.Stats()
+	if st.WritesDropped == 0 {
+		t.Fatalf("WritesDropped = 0, stats %+v", st)
+	}
+	if st.ConnsSevered == 0 {
+		t.Fatalf("ConnsSevered = 0 after drop, stats %+v", st)
+	}
+}
+
+// TestTruncationKillsOnlyThatConn drives a torn write through a real server:
+// the codec must reject the torn frame and hang up that connection, while a
+// clean connection established afterwards is served normally.
+func TestTruncationKillsOnlyThatConn(t *testing.T) {
+	srv := newServer(t)
+	n := NewNet(4)
+	cli := dialThrough(t, n, "torn", srv)
+	n.SetProfile("torn", Profile{TruncRate: 1})
+	if err := cli.Ping(); !transport.IsConnFailure(err) {
+		t.Fatalf("ping on truncating link: got %v, want conn failure", err)
+	}
+	if n.Stats().WritesTruncated == 0 {
+		t.Fatalf("WritesTruncated = 0, stats %+v", n.Stats())
+	}
+
+	n.SetProfile("torn", Profile{})
+	cli2 := dialThrough(t, n, "torn", srv)
+	if err := cli2.Ping(); err != nil {
+		t.Fatalf("server wedged by earlier torn frame: %v", err)
+	}
+}
+
+func TestLatencyDelaysWrites(t *testing.T) {
+	srv := newServer(t)
+	n := NewNet(5)
+	cli := dialThrough(t, n, "slow", srv)
+	n.SetProfile("slow", Profile{Latency: 30 * time.Millisecond})
+	start := time.Now()
+	if err := cli.Ping(); err != nil {
+		t.Fatalf("ping on slow link: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("ping returned in %v, want >= 30ms injected latency", d)
+	}
+	if n.Stats().WritesDelayed == 0 {
+		t.Fatalf("WritesDelayed = 0, stats %+v", n.Stats())
+	}
+}
+
+// TestDeterministicFaultSchedule replays the same draw sequence on two nets
+// with the same seed and expects identical fault decisions; a third net with
+// a different seed must diverge somewhere.
+func TestDeterministicFaultSchedule(t *testing.T) {
+	p := Profile{Latency: time.Millisecond, Jitter: 5 * time.Millisecond, DropRate: 0.3, TruncRate: 0.3}
+	type fault struct {
+		delay   time.Duration
+		drop    bool
+		truncAt int
+	}
+	schedule := func(seed int64) []fault {
+		n := NewNet(seed)
+		n.SetProfile("l", p)
+		c := &Link{net: n, name: "l"}
+		out := make([]fault, 200)
+		for i := range out {
+			d, dr, tr := c.draw(100)
+			out[i] = fault{d, dr, tr}
+		}
+		return out
+	}
+	a, b, c := schedule(42), schedule(42), schedule(43)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical 200-draw schedules")
+	}
+}
+
+func TestDialAfterCloseOfSeveredLinkDoesNotDoubleCount(t *testing.T) {
+	srv := newServer(t)
+	n := NewNet(6)
+	cli := dialThrough(t, n, "x", srv)
+	n.Partition("x")
+	waitConnFailure(t, cli)
+	before := n.Stats().ConnsSevered
+	cli.Close() // already severed by the partition sweep: must not re-count
+	if got := n.Stats().ConnsSevered; got != before {
+		t.Fatalf("ConnsSevered moved from %d to %d on Close of severed conn", before, got)
+	}
+}
+
+func waitConnFailure(t *testing.T, cli *transport.Client) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if err := cli.Ping(); transport.IsConnFailure(err) {
+			return
+		} else if err == nil {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		} else if !errors.Is(err, transport.ErrClosed) {
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	}
+	t.Fatal("connection never failed")
+}

@@ -185,6 +185,14 @@ func (s *aggSink) addBuffer(b *aggBuffer) {
 			break
 		}
 	}
+	s.seed(b)
+}
+
+// seed marks every group the aggregate currently holds dirty toward one
+// peer buffer: the full-state replay used when a peer joins late and when a
+// link heals (the peer may have restarted and lost this node's partials —
+// re-sending them is idempotent either way).
+func (s *aggSink) seed(b *aggBuffer) {
 	s.mu.Lock()
 	state := s.eng.Output()
 	seed := make([]string, 0, len(state))
@@ -257,9 +265,20 @@ func (b *aggBuffer) run() {
 				return // closing: don't spin on a dead peer
 			}
 			b.markDirty(keys)
-			select {
-			case <-n.stopCh:
-			case <-time.After(aggRetryBackoff):
+			if transport.IsConnFailure(err) {
+				// The link is down: park until it heals instead of
+				// burning a fast-fail every backoff tick. The groups stay
+				// dirty, so the first sync after heal carries the whole
+				// catch-up delta in one idempotent RPC.
+				select {
+				case <-n.stopCh:
+				case <-b.p.client.UpChan():
+				}
+			} else {
+				select {
+				case <-n.stopCh:
+				case <-time.After(aggRetryBackoff):
+				}
 			}
 			continue
 		}

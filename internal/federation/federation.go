@@ -87,6 +87,20 @@ type PeerConfig struct {
 	MaxBatch int
 	// CallTimeout bounds each RPC round trip. Default 10s.
 	CallTimeout time.Duration
+	// Dialer substitutes the transport dial function (chaos harnesses
+	// inject faults here). Default plain TCP.
+	Dialer transport.Dialer
+	// HeartbeatInterval is the link's idle-probe period. Default 1s.
+	HeartbeatInterval time.Duration
+	// ReconnectBackoff / ReconnectBackoffMax bound the capped exponential
+	// redial backoff. Defaults 50ms / 2s.
+	ReconnectBackoff    time.Duration
+	ReconnectBackoffMax time.Duration
+	// PartitionedAfter is how many consecutive connection failures mark
+	// the peer partitioned (vs merely degraded). Default 3.
+	PartitionedAfter int
+	// Seed makes the reconnect jitter sequence deterministic.
+	Seed int64
 }
 
 func (c PeerConfig) withDefaults() PeerConfig {
@@ -154,49 +168,79 @@ type Stats struct {
 	// no interaction (no consuming grouped context, or its handler lacks
 	// a Combiner).
 	AggSyncsUnrouted uint64
+	// PeersUp/PeersDegraded/PeersPartitioned are the current peer-link
+	// health gauges (they sum to the number of added peers).
+	PeersUp          uint64
+	PeersDegraded    uint64
+	PeersPartitioned uint64
+	// PeerReconnects counts successful peer-link reconnections;
+	// HeartbeatMisses counts failed heartbeat probes across all peers.
+	PeerReconnects  uint64
+	HeartbeatMisses uint64
+	// ForwardRetries counts event_batch bursts that were spooled through a
+	// peer outage and replayed after the link healed (each retry keeps its
+	// readings' budget units held — that is the retry-queue bound).
+	ForwardRetries uint64
+	// PeerRestartsSeen counts boot-epoch changes observed in registry
+	// syncs: the peer process restarted, so cached generations were
+	// discarded and its mirror set rebuilt from scratch. An ordinary
+	// partition/heal never increments this — reconnect catch-up is pure
+	// delta replay.
+	PeerRestartsSeen uint64
+	// EventDupsSuppressed counts replayed event_batch RPCs this node
+	// answered from the replay-protection cache instead of re-ingesting:
+	// the sender lost the response mid-partition and retried a batch that
+	// had already landed.
+	EventDupsSuppressed uint64
 }
 
 type statCounters struct {
-	syncRounds         atomic.Uint64
-	syncErrors         atomic.Uint64
-	kindsScanned       atomic.Uint64
-	mirrorsAdded       atomic.Uint64
-	mirrorsUpdated     atomic.Uint64
-	mirrorsRemoved     atomic.Uint64
-	mirrorsLive        atomic.Uint64
-	eventsForwarded    atomic.Uint64
-	eventBatchesSent   atomic.Uint64
-	forwardBudgetDrops atomic.Uint64
-	forwardSendDrops   atomic.Uint64
-	forwardUnrouted    atomic.Uint64
-	exportedHosted     atomic.Uint64
-	exporterReconciles atomic.Uint64
-	aggSyncsSent       atomic.Uint64
-	aggGroupsSent      atomic.Uint64
-	aggSyncErrors      atomic.Uint64
-	aggSyncsUnrouted   atomic.Uint64
+	syncRounds          atomic.Uint64
+	syncErrors          atomic.Uint64
+	kindsScanned        atomic.Uint64
+	mirrorsAdded        atomic.Uint64
+	mirrorsUpdated      atomic.Uint64
+	mirrorsRemoved      atomic.Uint64
+	mirrorsLive         atomic.Uint64
+	eventsForwarded     atomic.Uint64
+	eventBatchesSent    atomic.Uint64
+	forwardBudgetDrops  atomic.Uint64
+	forwardSendDrops    atomic.Uint64
+	forwardUnrouted     atomic.Uint64
+	exportedHosted      atomic.Uint64
+	exporterReconciles  atomic.Uint64
+	aggSyncsSent        atomic.Uint64
+	aggGroupsSent       atomic.Uint64
+	aggSyncErrors       atomic.Uint64
+	aggSyncsUnrouted    atomic.Uint64
+	forwardRetries      atomic.Uint64
+	peerRestartsSeen    atomic.Uint64
+	eventDupsSuppressed atomic.Uint64
 }
 
 func (c *statCounters) snapshot() Stats {
 	return Stats{
-		SyncRounds:         c.syncRounds.Load(),
-		SyncErrors:         c.syncErrors.Load(),
-		KindsScanned:       c.kindsScanned.Load(),
-		MirrorsAdded:       c.mirrorsAdded.Load(),
-		MirrorsUpdated:     c.mirrorsUpdated.Load(),
-		MirrorsRemoved:     c.mirrorsRemoved.Load(),
-		MirrorsLive:        c.mirrorsLive.Load(),
-		EventsForwarded:    c.eventsForwarded.Load(),
-		EventBatchesSent:   c.eventBatchesSent.Load(),
-		ForwardBudgetDrops: c.forwardBudgetDrops.Load(),
-		ForwardSendDrops:   c.forwardSendDrops.Load(),
-		ForwardUnrouted:    c.forwardUnrouted.Load(),
-		ExportedHosted:     c.exportedHosted.Load(),
-		ExporterReconciles: c.exporterReconciles.Load(),
-		AggSyncsSent:       c.aggSyncsSent.Load(),
-		AggGroupsSent:      c.aggGroupsSent.Load(),
-		AggSyncErrors:      c.aggSyncErrors.Load(),
-		AggSyncsUnrouted:   c.aggSyncsUnrouted.Load(),
+		SyncRounds:          c.syncRounds.Load(),
+		SyncErrors:          c.syncErrors.Load(),
+		KindsScanned:        c.kindsScanned.Load(),
+		MirrorsAdded:        c.mirrorsAdded.Load(),
+		MirrorsUpdated:      c.mirrorsUpdated.Load(),
+		MirrorsRemoved:      c.mirrorsRemoved.Load(),
+		MirrorsLive:         c.mirrorsLive.Load(),
+		EventsForwarded:     c.eventsForwarded.Load(),
+		EventBatchesSent:    c.eventBatchesSent.Load(),
+		ForwardBudgetDrops:  c.forwardBudgetDrops.Load(),
+		ForwardSendDrops:    c.forwardSendDrops.Load(),
+		ForwardUnrouted:     c.forwardUnrouted.Load(),
+		ExportedHosted:      c.exportedHosted.Load(),
+		ExporterReconciles:  c.exporterReconciles.Load(),
+		AggSyncsSent:        c.aggSyncsSent.Load(),
+		AggGroupsSent:       c.aggGroupsSent.Load(),
+		AggSyncErrors:       c.aggSyncErrors.Load(),
+		AggSyncsUnrouted:    c.aggSyncsUnrouted.Load(),
+		ForwardRetries:      c.forwardRetries.Load(),
+		PeerRestartsSeen:    c.peerRestartsSeen.Load(),
+		EventDupsSuppressed: c.eventDupsSuppressed.Load(),
 	}
 }
 
@@ -230,6 +274,13 @@ type Node struct {
 
 	exporters []*exporter
 	watchers  []*registry.Watcher
+
+	// dedup holds per-sender-stream replay protection for event_batch:
+	// one (seq, accepted) pair per stream suffices because each stream is
+	// a single ordered flusher. Entries are tiny and bounded by the number
+	// of peer forward buffers that ever talked to this node.
+	dedupMu sync.Mutex
+	dedup   map[uint64]*streamState
 
 	stats statCounters
 }
@@ -290,6 +341,7 @@ func New(cfg Config) (*Node, error) {
 		peers:      make(map[string]*peer),
 		sinks:      make(map[string]exportSink),
 		hostCounts: make(map[string]int),
+		dedup:      make(map[uint64]*streamState),
 		stopCh:     make(chan struct{}),
 	}
 	srv.ServeFederation(nodeHandler{n})
@@ -320,8 +372,41 @@ func (n *Node) Name() string { return n.name }
 // Addr returns the node's transport address — what peers pass to AddPeer.
 func (n *Node) Addr() string { return n.srv.Addr() }
 
-// Stats returns a snapshot of the node's federation counters.
-func (n *Node) Stats() Stats { return n.stats.snapshot() }
+// Stats returns a snapshot of the node's federation counters, including the
+// current peer-link health gauges.
+func (n *Node) Stats() Stats {
+	s := n.stats.snapshot()
+	n.mu.Lock()
+	peers := make([]*peer, 0, len(n.peers))
+	for _, p := range n.peers {
+		peers = append(peers, p)
+	}
+	n.mu.Unlock()
+	for _, p := range peers {
+		switch p.client.Health() {
+		case transport.HealthUp:
+			s.PeersUp++
+		case transport.HealthDegraded:
+			s.PeersDegraded++
+		case transport.HealthPartitioned:
+			s.PeersPartitioned++
+		}
+		s.PeerReconnects += p.client.Reconnects()
+		s.HeartbeatMisses += p.client.HeartbeatMisses()
+	}
+	return s
+}
+
+// PeerHealth reports the named peer link's current health state.
+func (n *Node) PeerHealth(peerName string) (transport.Health, bool) {
+	n.mu.Lock()
+	p := n.peers[peerName]
+	n.mu.Unlock()
+	if p == nil {
+		return 0, false
+	}
+	return p.client.Health(), true
+}
 
 func exportKey(kind, source string) string { return kind + "\x00" + source }
 
@@ -372,21 +457,34 @@ func (n *Node) AddPeer(cfg PeerConfig) error {
 	if cfg.Name == "" || cfg.Addr == "" {
 		return errors.New("federation: peer needs a name and an address")
 	}
-	cli, err := transport.Dial(cfg.Addr, transport.WithCallTimeout(cfg.CallTimeout))
-	if err != nil {
-		return err
-	}
 	p := &peer{
 		n:          n,
 		name:       cfg.Name,
 		cfg:        cfg,
-		client:     cli,
 		budget:     qos.NewBudget(cfg.ForwardBudget),
 		gens:       make(map[string]uint64),
 		mirrors:    make(map[string]map[registry.ID]mirrorEntry),
 		buffers:    make(map[string]*fwdBuffer),
 		aggBuffers: make(map[string]*aggBuffer),
 	}
+	// The OnUp hook can only fire after a disconnect, i.e. well after
+	// p.client below is set: the initial managed dial is synchronous and
+	// never reports up.
+	cli, err := transport.DialManaged(transport.ManagedConfig{
+		Addr:              cfg.Addr,
+		Dialer:            cfg.Dialer,
+		CallTimeout:       cfg.CallTimeout,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		BackoffBase:       cfg.ReconnectBackoff,
+		BackoffMax:        cfg.ReconnectBackoffMax,
+		PartitionedAfter:  cfg.PartitionedAfter,
+		Seed:              cfg.Seed,
+		OnUp:              func() { p.onUp() },
+	})
+	if err != nil {
+		return err
+	}
+	p.client = cli
 	n.mu.Lock()
 	if n.closed {
 		n.mu.Unlock()
@@ -501,15 +599,42 @@ func (n *Node) syncPeer(p *peer) error {
 		gens[i] = p.gens[k]
 	}
 	p.mu.Unlock()
-	deltas, err := p.client.SyncRegistry(kinds, gens)
+	deltas, boot, err := p.client.SyncRegistry(kinds, gens)
 	if err != nil {
 		return err
 	}
+	p.mu.Lock()
+	prevBoot := p.lastBoot
+	p.lastBoot = boot
+	restarted := prevBoot != 0 && boot != 0 && boot != prevBoot
+	if restarted {
+		// The answering server is a new incarnation: its generation
+		// counters restarted, so the generations this node cached against
+		// the dead incarnation are meaningless (and could coincide with
+		// fresh ones, silently masking changes).
+		p.gens = make(map[string]uint64)
+	}
+	p.mu.Unlock()
+	if restarted {
+		n.stats.peerRestartsSeen.Add(1)
+		deltas, _, err = p.client.SyncRegistry(kinds, make([]uint64, len(kinds)))
+		if err != nil {
+			return err
+		}
+	}
 	for _, d := range deltas {
-		if !d.Changed {
+		// After a detected restart every delta is authoritative, even an
+		// "unchanged" one (generation 0 = the new incarnation never
+		// registered this kind): stale mirrors of the dead incarnation
+		// must go. On the ordinary path unchanged kinds are skipped — heal
+		// catch-up costs only the kinds that actually changed, never a
+		// full resync.
+		if !d.Changed && !restarted {
 			continue
 		}
-		n.stats.kindsScanned.Add(1)
+		if d.Changed {
+			n.stats.kindsScanned.Add(1)
+		}
 		n.applyDelta(p, d)
 	}
 	return nil
@@ -702,7 +827,7 @@ type peer struct {
 	n      *Node
 	name   string
 	cfg    PeerConfig
-	client *transport.Client
+	client *transport.ManagedClient
 	budget *qos.Budget
 
 	mu         sync.Mutex
@@ -711,6 +836,29 @@ type peer struct {
 	buffers    map[string]*fwdBuffer
 	aggBuffers map[string]*aggBuffer
 	stopped    bool
+	// lastBoot is the peer server's boot epoch as of the last registry
+	// sync; a change means the peer process restarted and its generation
+	// counters reset, so cached generations must be discarded.
+	lastBoot uint64
+}
+
+// onUp runs on each successful reconnect: every aggregate export re-marks
+// its full group set dirty toward this peer. The agg_sync protocol is
+// idempotent (each sync replaces the sender's previous partials group by
+// group), so the replay is safe against a peer that merely blinked and
+// necessary against one that restarted and lost this node's partials.
+// Spooled event_batch bursts need no action here — their flushers block on
+// the client's UpChan and wake on the same transition.
+func (p *peer) onUp() {
+	p.mu.Lock()
+	bufs := make([]*aggBuffer, 0, len(p.aggBuffers))
+	for _, b := range p.aggBuffers {
+		bufs = append(bufs, b)
+	}
+	p.mu.Unlock()
+	for _, b := range bufs {
+		b.sink.seed(b)
+	}
 }
 
 // nodeHandler adapts a Node to the transport.FederationHandler interface
@@ -761,9 +909,52 @@ func (h nodeHandler) SyncKinds(kinds []string, gens []uint64) []transport.SyncDe
 
 // IngestEventBatch implements transport.FederationHandler: forwarded
 // readings land in the runtime's ingestion shards as if their devices had
-// pushed locally.
-func (h nodeHandler) IngestEventBatch(kind, source string, readings []device.Reading) int {
-	return h.n.rt.RemoteIngest(kind, source, readings)
+// pushed locally. A batch replayed under a (stream, seq) the node already
+// ingested — the sender lost the response when the connection died mid-RPC
+// and spooled the chunk for replay — is suppressed instead of re-ingested:
+// each sender stream is one ordered flusher, so its sequence numbers only
+// move forward and any seq at or below the last ingested one is a replay.
+// The per-stream mutex serializes ingestion within a stream because a dying
+// connection's buffered request can race the retry arriving on the fresh
+// connection — without it both copies could pass the check before either
+// records the seq.
+func (h nodeHandler) IngestEventBatch(stream, seq uint64, kind, source string, readings []device.Reading) int {
+	n := h.n
+	if stream == 0 {
+		return n.rt.RemoteIngest(kind, source, readings)
+	}
+	n.dedupMu.Lock()
+	st, ok := n.dedup[stream]
+	if !ok {
+		st = &streamState{}
+		n.dedup[stream] = st
+	}
+	n.dedupMu.Unlock()
+
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if seq <= st.seq {
+		n.stats.eventDupsSuppressed.Add(1)
+		if seq == st.seq {
+			return st.accepted
+		}
+		// An even older chunk surfacing from a dead connection's buffer:
+		// its response goes nowhere (the sender has long moved on), so the
+		// count only needs to not double-ingest.
+		return 0
+	}
+	accepted := n.rt.RemoteIngest(kind, source, readings)
+	st.seq, st.accepted = seq, accepted
+	return accepted
+}
+
+// streamState is the replay-protection state of one sender stream: the last
+// sequence number ingested and the admission count it was answered with.
+// Stream flushers send one chunk at a time in order, so one entry suffices.
+type streamState struct {
+	mu       sync.Mutex
+	seq      uint64
+	accepted int
 }
 
 // IngestAggSync implements transport.FederationHandler: a peer's

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/device"
 	"repro/internal/registry"
+	"repro/internal/transport"
 )
 
 // This file implements the outbound half of a federation node: tracking the
@@ -352,7 +354,7 @@ func (p *peer) bufferFor(kind, source string) *fwdBuffer {
 	if b, ok := p.buffers[key]; ok {
 		return b
 	}
-	b := &fwdBuffer{p: p, kind: kind, source: source}
+	b := &fwdBuffer{p: p, kind: kind, source: source, stream: newStreamID()}
 	b.notEmpty.L = &b.mu
 	if p.stopped {
 		// The node is closing: create the buffer pre-stopped with no
@@ -397,10 +399,29 @@ type fwdBuffer struct {
 	kind   string
 	source string
 
+	// stream identifies this buffer's ordered chunk sequence to the
+	// receiver's replay-protection cache; seq (flusher-owned) numbers the
+	// chunks. A chunk retried after a mid-RPC connection loss replays
+	// under its original (stream, seq), so the receiver can answer from
+	// cache instead of ingesting twice.
+	stream uint64
+	seq    uint64
+
 	mu       sync.Mutex
 	notEmpty sync.Cond
 	buf      []device.Reading
 	stopped  bool
+}
+
+// streamSeq disambiguates buffer streams created close together in time.
+var streamSeq atomic.Uint64
+
+// newStreamID returns a process-lifetime-unique stream identity: a counter
+// in the low bits (unique within the process, so two buffers created in the
+// same instant never collide) under a wall-clock stamp in the high bits (so
+// a restarted sender process is never mistaken for the dead one's stream).
+func newStreamID() uint64 {
+	return uint64(time.Now().UnixNano())<<20 | (streamSeq.Add(1) & 0xFFFFF)
 }
 
 // push admits one reading against the peer's in-flight budget.
@@ -443,24 +464,52 @@ func (b *fwdBuffer) run() {
 }
 
 // flush ships one swapped-out burst in MaxBatch chunks and returns the
-// admitted units to the peer budget. Readings on a failed RPC are counted
-// as send drops so end-to-end accounting stays exact.
+// admitted units to the peer budget. A chunk that dies on a connection-level
+// failure is spooled: the flusher parks on the managed client's UpChan and
+// replays the chunk when the link heals, keeping its readings' budget units
+// held the whole time — the in-flight budget IS the retry-queue bound, so a
+// long partition fills it and new readings drop (accounted) at the intake
+// while nothing already admitted is lost. Application-level RPC errors keep
+// the old semantics: the chunk is dropped and counted, accounting stays
+// exact.
 func (b *fwdBuffer) flush(batch []device.Reading) {
 	p := b.p
 	n := p.n
-	for lo := 0; lo < len(batch); lo += p.cfg.MaxBatch {
+	for lo := 0; lo < len(batch); {
 		hi := lo + p.cfg.MaxBatch
 		if hi > len(batch) {
 			hi = len(batch)
 		}
 		chunk := batch[lo:hi]
-		accepted, err := p.client.PublishEventBatch(b.kind, b.source, chunk)
-		n.stats.eventBatchesSent.Add(1)
-		if err != nil {
+		lo = hi
+		// One sequence number per chunk, held across retries: the receiver
+		// recognizes a replay of a chunk it already ingested (the response
+		// was lost mid-RPC) and answers the original count — exactly-once.
+		b.seq++
+		for {
+			accepted, err := p.client.PublishEventBatch(b.kind, b.source, b.stream, b.seq, chunk)
+			n.stats.eventBatchesSent.Add(1)
+			if err == nil {
+				n.stats.eventsForwarded.Add(uint64(accepted))
+				break
+			}
+			if transport.IsConnFailure(err) {
+				select {
+				case <-n.stopCh:
+					// Closing: no heal is coming, fall through to drop.
+				default:
+					n.stats.forwardRetries.Add(1)
+					select {
+					case <-p.client.UpChan():
+						continue // link healed: replay this chunk
+					case <-n.stopCh:
+						// Closing mid-outage: fall through to drop.
+					}
+				}
+			}
 			n.stats.forwardSendDrops.Add(uint64(len(chunk)))
-			continue
+			break
 		}
-		n.stats.eventsForwarded.Add(uint64(accepted))
 	}
 	p.budget.Release(len(batch))
 	// Drop payload references so recycled capacity does not retain

@@ -1,0 +1,287 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Failure-path coverage: every way a call can die without a server verdict
+// must produce a typed error promptly — never a hang. The fakes below stand
+// in for misbehaving peers: listeners that accept but never speak the
+// protocol, or that cut the wire mid-call.
+
+// stallListener accepts connections and then reads nothing and writes
+// nothing — the pathological peer for deadline tests.
+type stallListener struct {
+	ln    net.Listener
+	mu    sync.Mutex
+	conns []net.Conn
+	wg    sync.WaitGroup
+}
+
+func newStallListener(t *testing.T) *stallListener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stallListener{ln: ln}
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			s.conns = append(s.conns, conn)
+			s.mu.Unlock()
+		}
+	}()
+	t.Cleanup(s.close)
+	return s
+}
+
+func (s *stallListener) addr() string { return s.ln.Addr().String() }
+
+func (s *stallListener) close() {
+	_ = s.ln.Close()
+	s.mu.Lock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = nil
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// closeAll severs every accepted connection (mid-call loss injection).
+func (s *stallListener) closeAll() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, c := range s.conns {
+		_ = c.Close()
+	}
+	s.conns = nil
+}
+
+// A peer that accepts but never answers must expire the per-op deadline
+// with ErrTimeout, not hang the caller.
+func TestCallDeadlineExpiry(t *testing.T) {
+	stall := newStallListener(t)
+	cli, err := Dial(stall.addr(), WithCallTimeout(100*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	start := time.Now()
+	_, err = cli.Query("dev", "state")
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("got %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("timeout took %v — deadline not enforced", elapsed)
+	}
+}
+
+// Dialing an address nobody listens on must fail fast with ErrDial.
+func TestDialFailureTyped(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close() // port now free: dialing it must be refused
+
+	_, err = Dial(addr, WithCallTimeout(time.Second))
+	if !errors.Is(err, ErrDial) {
+		t.Fatalf("got %v, want ErrDial", err)
+	}
+}
+
+// A connection cut while a call is in flight must fail that call with
+// ErrConnLost (typed — callers distinguish wire death from a server "no").
+func TestMidCallConnectionLoss(t *testing.T) {
+	stall := newStallListener(t)
+	cli, err := Dial(stall.addr(), WithCallTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := cli.Query("dev", "state")
+		errCh <- err
+	}()
+	// Let the request frame leave, then cut the wire under the call.
+	time.Sleep(50 * time.Millisecond)
+	stall.closeAll()
+
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, ErrConnLost) {
+			t.Fatalf("got %v, want ErrConnLost", err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("call hung after connection loss")
+	}
+}
+
+// A peer that accepts the TCP connection but never drains its socket must
+// not wedge the writer forever: the write deadline converts the stalled
+// send into a connection failure. Large payloads force the socket buffer to
+// fill so the Write actually blocks.
+func TestStalledPeerWriteDeadline(t *testing.T) {
+	stall := newStallListener(t)
+	cli, err := Dial(stall.addr(), WithCallTimeout(200*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	big := make([]any, 0, 4096)
+	for i := 0; i < 4096; i++ {
+		big = append(big, "padding-padding-padding-padding-padding-padding")
+	}
+	deadline := time.After(10 * time.Second)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		// Each call either times out waiting for a reply or fails its
+		// write once the socket buffer is full; both are acceptable —
+		// what is not acceptable is blocking forever.
+		for i := 0; i < 32; i++ {
+			if err := cli.Invoke("dev", "act", big...); err == nil {
+				return
+			} else if errors.Is(err, ErrClosed) || errors.Is(err, ErrConnLost) {
+				return
+			}
+		}
+	}()
+	select {
+	case <-done:
+	case <-deadline:
+		t.Fatal("writes to a stalled peer wedged the client")
+	}
+}
+
+// Regression for the shutdown race: conns accepted while Close runs must
+// either land in Close's snapshot or be refused by the registration
+// closed-flag check — never slip through and outlive the server. Hammer
+// dial/close concurrently under -race.
+func TestServerCloseConcurrentDialRace(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		srv, err := NewServer("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addr := srv.Addr()
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					conn, err := net.Dial("tcp", addr)
+					if err != nil {
+						return
+					}
+					// Push one frame so serveConn actually spins up.
+					fw := newFrameWriter(conn)
+					_ = fw.send(&request{ID: 1, Op: "ping"})
+					_, _ = io.Copy(io.Discard, conn)
+					_ = conn.Close()
+				}
+			}()
+		}
+		time.Sleep(time.Millisecond)
+		// Close must return with every conn goroutine drained (its wg.Wait
+		// covers them), even while dials keep arriving.
+		srvDone := make(chan struct{})
+		go func() {
+			srv.Close()
+			close(srvDone)
+		}()
+		select {
+		case <-srvDone:
+		case <-time.After(10 * time.Second):
+			t.Fatal("Server.Close wedged during concurrent dials")
+		}
+		close(stop)
+		wg.Wait()
+
+		srv.mu.Lock()
+		leaked := len(srv.conns)
+		srv.mu.Unlock()
+		if leaked != 0 {
+			t.Fatalf("round %d: %d conns survived Close", round, leaked)
+		}
+	}
+}
+
+// Frame validation: a peer announcing an absurd frame length must be cut
+// off before any allocation, with a typed error.
+func TestOversizedFrameRejected(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// uvarint(1<<40): far past MaxFrameBytes.
+	if _, err := conn.Write([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must hang up rather than wait for a petabyte.
+	_ = conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("server kept the connection after an oversized frame header")
+	}
+}
+
+// The client-side decoder applies the same bound.
+func TestClientRejectsOversizedFrame(t *testing.T) {
+	fs := newFrameStream(bytes.NewReader([]byte{0x80, 0x80, 0x80, 0x80, 0x80, 0x20}))
+	_, err := fs.Read(make([]byte, 1))
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("got %v, want ErrFrameTooBig", err)
+	}
+}
+
+// A frame cut off mid-payload must surface as a malformed-frame error, not
+// a silent EOF that the decoder could misread as a clean close.
+func TestTruncatedFrameDetected(t *testing.T) {
+	var sink bytes.Buffer
+	fw := newFrameWriter(&sink)
+	if err := fw.send(&request{ID: 1, Op: "ping"}); err != nil {
+		t.Fatal(err)
+	}
+	payload := sink.Bytes()
+	cut := payload[:len(payload)-3]
+	fs := newFrameStream(bytes.NewReader(cut))
+	_, err := io.ReadAll(fs)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("got %v, want ErrBadFrame", err)
+	}
+}

@@ -37,7 +37,7 @@ func (f *fakeFed) SyncKinds(kinds []string, gens []uint64) []SyncDelta {
 	return f.deltas
 }
 
-func (f *fakeFed) IngestEventBatch(kind, source string, readings []device.Reading) int {
+func (f *fakeFed) IngestEventBatch(stream, seq uint64, kind, source string, readings []device.Reading) int {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.gotKind, f.gotSource = kind, source
@@ -71,9 +71,12 @@ func TestRegistrySyncRoundTrip(t *testing.T) {
 	}}
 	srv.ServeFederation(fed)
 
-	deltas, err := cli.SyncRegistry([]string{"Sensor", "Panel"}, []uint64{0, 7})
+	deltas, boot, err := cli.SyncRegistry([]string{"Sensor", "Panel"}, []uint64{0, 7})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if boot == 0 {
+		t.Fatal("sync response carries no boot epoch")
 	}
 	if len(deltas) != 2 {
 		t.Fatalf("got %d deltas, want 2", len(deltas))
@@ -98,7 +101,7 @@ func TestRegistrySyncRoundTrip(t *testing.T) {
 // Kinds/gens length mismatches must fail client-side before any wire work.
 func TestRegistrySyncLengthMismatch(t *testing.T) {
 	_, cli := newServerAndClient(t)
-	if _, err := cli.SyncRegistry([]string{"a"}, nil); err == nil {
+	if _, _, err := cli.SyncRegistry([]string{"a"}, nil); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
 }
@@ -116,7 +119,7 @@ func TestEventBatchRoundTrip(t *testing.T) {
 		{DeviceID: "s2", Source: "presence", Value: false, Time: at},
 		{DeviceID: "s3", Source: "presence", Value: true, Time: at},
 	}
-	accepted, err := cli.PublishEventBatch("Sensor", "presence", batch)
+	accepted, err := cli.PublishEventBatch("Sensor", "presence", 0, 0, batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +136,7 @@ func TestEventBatchRoundTrip(t *testing.T) {
 	}
 
 	// Empty batches never touch the wire.
-	if n, err := cli.PublishEventBatch("Sensor", "presence", nil); err != nil || n != 0 {
+	if n, err := cli.PublishEventBatch("Sensor", "presence", 0, 0, nil); err != nil || n != 0 {
 		t.Fatalf("empty batch: n=%d err=%v", n, err)
 	}
 }
@@ -182,17 +185,17 @@ func TestAggSyncRoundTrip(t *testing.T) {
 // later must start serving.
 func TestFederationOpsWithoutHandler(t *testing.T) {
 	srv, cli := newServerAndClient(t)
-	if _, err := cli.SyncRegistry([]string{"Sensor"}, []uint64{0}); err == nil {
+	if _, _, err := cli.SyncRegistry([]string{"Sensor"}, []uint64{0}); err == nil {
 		t.Fatal("registry_sync served without a handler")
 	}
-	if _, err := cli.PublishEventBatch("Sensor", "presence", []device.Reading{{DeviceID: "x"}}); err == nil {
+	if _, err := cli.PublishEventBatch("Sensor", "presence", 0, 0, []device.Reading{{DeviceID: "x"}}); err == nil {
 		t.Fatal("event_batch served without a handler")
 	}
 	if _, err := cli.PublishAggSync("Sensor", "presence", "edge", []GroupPartial{{Group: "g"}}); err == nil {
 		t.Fatal("agg_sync served without a handler")
 	}
 	srv.ServeFederation(&fakeFed{})
-	if _, err := cli.SyncRegistry([]string{"Sensor"}, []uint64{0}); err != nil {
+	if _, _, err := cli.SyncRegistry([]string{"Sensor"}, []uint64{0}); err != nil {
 		t.Fatal(err)
 	}
 }

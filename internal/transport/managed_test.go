@@ -1,0 +1,190 @@
+package transport
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func waitCond(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// The full managed-link life cycle: up → server dies → fast-fail + health
+// ladder down to partitioned → server returns at the same address →
+// automatic reconnect, OnUp fires, health back to up, calls flow again.
+func TestManagedClientReconnectLifecycle(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	hostedSensor(srv, "d1")
+
+	var upCalls atomic.Int64
+	m, err := DialManaged(ManagedConfig{
+		Addr:              addr,
+		CallTimeout:       300 * time.Millisecond,
+		HeartbeatInterval: 25 * time.Millisecond,
+		BackoffBase:       10 * time.Millisecond,
+		BackoffMax:        50 * time.Millisecond,
+		PartitionedAfter:  2,
+		Seed:              1,
+		OnUp:              func() { upCalls.Add(1) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	if got := m.Health(); got != HealthUp {
+		t.Fatalf("fresh link health = %v, want up", got)
+	}
+	if _, err := m.Query("d1", "presence"); err != nil {
+		t.Fatalf("query over healthy link: %v", err)
+	}
+
+	// Kill the server. The heartbeat (or next call) must notice and walk
+	// the health ladder down to partitioned as reconnects keep failing.
+	srv.Close()
+	waitCond(t, 5*time.Second, "health to leave up", func() bool {
+		return m.Health() != HealthUp
+	})
+	waitCond(t, 5*time.Second, "health to reach partitioned", func() bool {
+		return m.Health() == HealthPartitioned
+	})
+
+	// While dark, calls fail fast with ErrPeerDown — no dial-timeout burn.
+	start := time.Now()
+	_, err = m.Query("d1", "presence")
+	if !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("call while dark: %v, want ErrPeerDown", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("fast-fail took %v", elapsed)
+	}
+	if m.FastFails() == 0 {
+		t.Fatal("fast-fail not counted")
+	}
+
+	// Resurrect the server at the same address (node restart).
+	srv2, err := NewServer(addr)
+	if err != nil {
+		t.Fatalf("restart listener on %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	hostedSensor(srv2, "d1")
+
+	waitCond(t, 10*time.Second, "reconnect", func() bool {
+		return m.Health() == HealthUp && m.Connected()
+	})
+	if m.Reconnects() == 0 {
+		t.Fatal("reconnect not counted")
+	}
+	if upCalls.Load() == 0 {
+		t.Fatal("OnUp hook never fired")
+	}
+	if _, err := m.Query("d1", "presence"); err != nil {
+		t.Fatalf("query after heal: %v", err)
+	}
+}
+
+// UpChan must swap atomically with the link state: a channel observed while
+// the link is down is closed exactly when the link comes back.
+func TestManagedClientUpChanSignalsHeal(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	m, err := DialManaged(ManagedConfig{
+		Addr:              addr,
+		CallTimeout:       200 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		BackoffBase:       10 * time.Millisecond,
+		BackoffMax:        40 * time.Millisecond,
+		Seed:              7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// Up: the current channel is already closed.
+	select {
+	case <-m.UpChan():
+	default:
+		t.Fatal("UpChan open while link is up")
+	}
+
+	srv.Close()
+	waitCond(t, 5*time.Second, "link down", func() bool { return !m.Connected() })
+	ch := m.UpChan()
+	select {
+	case <-ch:
+		t.Fatal("UpChan closed while link is down")
+	default:
+	}
+
+	srv2, err := NewServer(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	select {
+	case <-ch:
+	case <-time.After(10 * time.Second):
+		t.Fatal("UpChan never signalled the heal")
+	}
+	if m.Health() != HealthUp {
+		t.Fatalf("health after heal = %v", m.Health())
+	}
+}
+
+// Closing a managed client while it is mid-reconnect must not leak the
+// reconnect goroutine or deadlock.
+func TestManagedClientCloseWhileReconnecting(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	m, err := DialManaged(ManagedConfig{
+		Addr:              addr,
+		CallTimeout:       100 * time.Millisecond,
+		HeartbeatInterval: 20 * time.Millisecond,
+		BackoffBase:       20 * time.Millisecond,
+		BackoffMax:        100 * time.Millisecond,
+		Seed:              3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Close() // never comes back: reconnect loops forever
+	waitCond(t, 5*time.Second, "link down", func() bool { return !m.Connected() })
+
+	done := make(chan struct{})
+	go func() {
+		m.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close wedged during reconnect")
+	}
+	if err := m.Ping(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ping after close: %v, want ErrClosed", err)
+	}
+}

@@ -42,7 +42,7 @@ func ensureBasicTypes() {
 
 type request struct {
 	ID      uint64
-	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "agg_sync"
+	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "agg_sync", "ping"
 	Device  string
 	Devices []string // for "query_batch"/"command_batch": the devices to answer for
 	Facet   string
@@ -56,6 +56,8 @@ type request struct {
 	Readings []device.Reading // "event_batch": the forwarded readings
 	Origin   string           // "agg_sync": name of the aggregating node
 	Groups   []GroupPartial   // "agg_sync": the per-group partial aggregates
+	Stream   uint64           // "event_batch": sender stream identity (0 = no replay protection)
+	Seq      uint64           // "event_batch": per-stream sequence number
 }
 
 type response struct {
@@ -71,6 +73,7 @@ type response struct {
 
 	Deltas   []SyncDelta // "registry_sync" answer
 	Accepted int         // "event_batch": readings admitted by the receiver
+	Boot     uint64      // "registry_sync": the answering server's boot epoch
 }
 
 // GroupPartial is one group's node-local partial aggregate in an
@@ -107,23 +110,54 @@ type FederationHandler interface {
 	SyncKinds(kinds []string, gens []uint64) []SyncDelta
 	// IngestEventBatch lands one forwarded event batch and reports how
 	// many readings were admitted (the rest were dropped by the
-	// receiver's admission budget and are accounted there).
-	IngestEventBatch(kind, source string, readings []device.Reading) int
+	// receiver's admission budget and are accounted there). stream/seq
+	// identify the batch for replay protection: a sender that lost the
+	// response to a batch the receiver already ingested (the connection
+	// died mid-RPC) retries it under the same (stream, seq), and the
+	// implementation must answer the original admission count without
+	// ingesting twice — exactly-once delivery is what keeps the
+	// federation's delivered+dropped accounting exact across partitions.
+	// stream 0 disables replay protection.
+	IngestEventBatch(stream, seq uint64, kind, source string, readings []device.Reading) int
 	// IngestAggSync merges one peer's node-local per-group partial
 	// aggregates for (kind, source) and reports how many consuming
 	// interactions merged them (0 = unrouted).
 	IngestAggSync(kind, source, origin string, groups []GroupPartial) int
 }
 
-// Errors returned by transport operations.
+// Errors returned by transport operations. ErrTimeout, ErrConnLost, and
+// ErrClosed are the three ways a call can die without a server verdict;
+// reconnect logic (ManagedClient) treats all three as connection failures,
+// while server-reported errors pass through verbatim and never trigger a
+// reconnect.
 var (
-	ErrClosed  = errors.New("transport: closed")
-	ErrTimeout = errors.New("transport: call timeout")
+	ErrClosed   = errors.New("transport: closed")
+	ErrTimeout  = errors.New("transport: call timeout")
+	ErrConnLost = errors.New("transport: connection lost")
+	ErrDial     = errors.New("transport: dial failed")
+	ErrPeerDown = errors.New("transport: peer down")
 )
+
+// Dialer opens the raw connection underneath a Client. The default is plain
+// net.Dial over TCP; chaos harnesses substitute a fault-injecting dialer.
+type Dialer func(addr string) (net.Conn, error)
+
+func tcpDialer(addr string) (net.Conn, error) { return net.Dial("tcp", addr) }
+
+// bootSeq disambiguates servers started within the same nanosecond so a
+// boot epoch is unique per Server instance within a process too.
+var bootSeq atomic.Uint64
 
 // Server exposes a set of local drivers over TCP.
 type Server struct {
 	ln net.Listener
+
+	// boot identifies this Server instance. It rides every registry_sync
+	// response so a peer that cached generations against a previous
+	// incarnation (the node was killed and restarted, resetting generation
+	// counters) can detect the restart and rebuild its mirror from scratch
+	// instead of trusting a coincidentally-matching generation.
+	boot uint64
 
 	mu      sync.Mutex
 	drivers map[string]device.Driver
@@ -147,6 +181,7 @@ func NewServer(addr string) (*Server, error) {
 	}
 	s := &Server{
 		ln:      ln,
+		boot:    uint64(time.Now().UnixNano()) + bootSeq.Add(1),
 		drivers: make(map[string]device.Driver),
 		conns:   make(map[net.Conn]struct{}),
 	}
@@ -219,17 +254,28 @@ func (s *Server) acceptLoop() {
 		if err != nil {
 			return
 		}
-		s.mu.Lock()
-		if s.closed {
-			s.mu.Unlock()
+		if !s.register(conn) {
 			_ = conn.Close()
 			return
 		}
-		s.conns[conn] = struct{}{}
-		s.wg.Add(1)
-		s.mu.Unlock()
 		go s.serveConn(conn)
 	}
+}
+
+// register adds conn to the live set unless the server is already closing.
+// The closed-flag check, the map insert, and the wg.Add happen under one
+// lock hold: Close either sees the conn in its snapshot or register refuses
+// it — a conn accepted mid-shutdown can never slip past Close's snapshot
+// and outlive the server.
+func (s *Server) register(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	return true
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -241,7 +287,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		_ = conn.Close()
 	}()
 
-	dec := gob.NewDecoder(conn)
+	dec := newFrameDecoder(conn)
 	out := make(chan response, 64)
 	done := make(chan struct{})
 
@@ -249,11 +295,11 @@ func (s *Server) serveConn(conn net.Conn) {
 	writeWG.Add(1)
 	go func() {
 		defer writeWG.Done()
-		enc := gob.NewEncoder(conn)
+		fw := newFrameWriter(conn)
 		for {
 			select {
 			case resp := <-out:
-				if err := enc.Encode(&resp); err != nil {
+				if err := fw.send(&resp); err != nil {
 					return
 				}
 			case <-done:
@@ -261,7 +307,7 @@ func (s *Server) serveConn(conn net.Conn) {
 				for {
 					select {
 					case resp := <-out:
-						if err := enc.Encode(&resp); err != nil {
+						if err := fw.send(&resp); err != nil {
 							return
 						}
 					default:
@@ -304,10 +350,19 @@ func (s *Server) serveConn(conn net.Conn) {
 
 	for {
 		var req request
-		if err := dec.Decode(&req); err != nil {
-			return // EOF or broken conn
+		if err := dec.decode(&req); err != nil {
+			// EOF, broken conn, or a malformed/oversized/truncated frame:
+			// all of them poison the stream, so the connection ends here.
+			// The deferred cleanup cancels live subscriptions and closes
+			// the conn; the serve loop itself never panics or hangs on
+			// hostile bytes.
+			return
 		}
 		switch req.Op {
+		case "ping":
+			// Heartbeat: proves the full request/response path (socket,
+			// framing, both codec directions) is alive.
+			send(response{ID: req.ID})
 		case "query":
 			drv := s.lookup(req.Device)
 			if drv == nil {
@@ -362,14 +417,14 @@ func (s *Server) serveConn(conn net.Conn) {
 				send(response{ID: req.ID, Err: "federation not served here"})
 				continue
 			}
-			send(response{ID: req.ID, Deltas: fed.SyncKinds(req.Kinds, req.Gens)})
+			send(response{ID: req.ID, Deltas: fed.SyncKinds(req.Kinds, req.Gens), Boot: s.boot})
 		case "event_batch":
 			fed := s.federation()
 			if fed == nil {
 				send(response{ID: req.ID, Err: "federation not served here"})
 				continue
 			}
-			n := fed.IngestEventBatch(req.Kind, req.Facet, req.Readings)
+			n := fed.IngestEventBatch(req.Stream, req.Seq, req.Kind, req.Facet, req.Readings)
 			send(response{ID: req.ID, Accepted: n})
 		case "agg_sync":
 			fed := s.federation()
@@ -451,19 +506,28 @@ func errString(err error) string {
 	return err.Error()
 }
 
+// callResult is one call's outcome as delivered to its waiter: either a
+// server response or a connection-level error (typed, so callers can
+// distinguish "the peer said no" from "the wire died").
+type callResult struct {
+	resp response
+	err  error
+}
+
 // Client is a connection to one Server, multiplexing calls and subscription
 // streams.
 type Client struct {
 	conn net.Conn
-	enc  *gob.Encoder
+	fw   *frameWriter
 
 	mu      sync.Mutex
 	nextID  uint64
-	pending map[uint64]chan response
+	pending map[uint64]chan callResult
 	subs    map[uint64]*clientSub
 	closed  bool
 
 	timeout time.Duration
+	dialer  Dialer
 	wg      sync.WaitGroup
 
 	bytesSent atomic.Uint64
@@ -499,28 +563,38 @@ func (c countingConn) Write(p []byte) (int, error) {
 // ClientOption configures a Client.
 type ClientOption func(*Client)
 
-// WithCallTimeout bounds each call round trip. Default 5s.
+// WithCallTimeout bounds each call round trip. Default 5s. The timeout also
+// caps how long a single frame write may stall (via the connection's write
+// deadline), so a peer that stops draining its socket cannot wedge callers.
 func WithCallTimeout(d time.Duration) ClientOption {
 	return func(c *Client) { c.timeout = d }
 }
 
-// Dial connects to a server address.
+// WithDialer substitutes the function that opens the underlying connection.
+// Chaos harnesses use it to interpose fault-injecting links on the dial
+// path; the default is plain TCP.
+func WithDialer(d Dialer) ClientOption {
+	return func(c *Client) { c.dialer = d }
+}
+
+// Dial connects to a server address. Failures wrap ErrDial.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	ensureBasicTypes()
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
-	}
 	c := &Client{
-		pending: make(map[uint64]chan response),
+		pending: make(map[uint64]chan callResult),
 		subs:    make(map[uint64]*clientSub),
 		timeout: 5 * time.Second,
+		dialer:  tcpDialer,
 	}
-	c.conn = countingConn{Conn: conn, sent: &c.bytesSent, recv: &c.bytesRecv}
-	c.enc = gob.NewEncoder(c.conn)
 	for _, o := range opts {
 		o(c)
 	}
+	conn, err := c.dialer(addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s: %v", ErrDial, addr, err)
+	}
+	c.conn = countingConn{Conn: conn, sent: &c.bytesSent, recv: &c.bytesRecv}
+	c.fw = newFrameWriter(c.conn)
 	c.wg.Add(1)
 	go c.readLoop()
 	return c, nil
@@ -543,10 +617,10 @@ func (c *Client) Close() {
 
 func (c *Client) readLoop() {
 	defer c.wg.Done()
-	dec := gob.NewDecoder(c.conn)
+	dec := newFrameDecoder(c.conn)
 	for {
 		var resp response
-		if err := dec.Decode(&resp); err != nil {
+		if err := dec.decode(&resp); err != nil {
 			c.failAll(err)
 			return
 		}
@@ -584,18 +658,20 @@ func (c *Client) readLoop() {
 		delete(c.pending, resp.ID)
 		c.mu.Unlock()
 		if ch != nil {
-			ch <- resp
+			ch <- callResult{resp: resp}
 		}
 	}
 }
 
+// failAll ends every outstanding call and subscription with a typed
+// connection-loss error. It runs once, when the read loop dies.
 func (c *Client) failAll(err error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.closed = true
 	for id, ch := range c.pending {
 		delete(c.pending, id)
-		ch <- response{Err: fmt.Sprintf("connection lost: %v", err)}
+		ch <- callResult{err: fmt.Errorf("%w: %v", ErrConnLost, err)}
 	}
 	for id, sub := range c.subs {
 		delete(c.subs, id)
@@ -611,28 +687,48 @@ func (c *Client) call(req request) (response, error) {
 	}
 	c.nextID++
 	req.ID = c.nextID
-	ch := make(chan response, 1)
+	ch := make(chan callResult, 1)
 	c.pending[req.ID] = ch
-	err := c.enc.Encode(&req)
+	// The write deadline bounds how long one frame may take to drain into
+	// the socket: a peer that accepted the connection but stopped reading
+	// (or a chaos link that blackholes bytes) fails the write instead of
+	// blocking every caller behind c.mu forever.
+	_ = c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	err := c.fw.send(&req)
 	c.mu.Unlock()
 	if err != nil {
+		// A partially-written frame poisons the stream for the peer, and a
+		// failed gob encode poisons the local encoder state: either way
+		// this connection is done. Closing it wakes the read loop, which
+		// fails the remaining pending calls with ErrConnLost.
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return response{}, fmt.Errorf("transport: send: %w", err)
+		_ = c.conn.Close()
+		return response{}, fmt.Errorf("%w: send %s: %v", ErrConnLost, req.Op, err)
 	}
 	select {
-	case resp := <-ch:
-		if resp.Err != "" {
-			return resp, errors.New(resp.Err)
+	case res := <-ch:
+		if res.err != nil {
+			return response{}, res.err
 		}
-		return resp, nil
+		if res.resp.Err != "" {
+			return res.resp, errors.New(res.resp.Err)
+		}
+		return res.resp, nil
 	case <-time.After(c.timeout):
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
 		return response{}, fmt.Errorf("%w after %v (%s %s.%s)", ErrTimeout, c.timeout, req.Op, req.Device, req.Facet)
 	}
+}
+
+// Ping performs one empty round trip — the heartbeat probe ManagedClient
+// uses to detect a dead peer between real calls.
+func (c *Client) Ping() error {
+	_, err := c.call(request{Op: "ping"})
+	return err
 }
 
 // Query performs a remote query-driven read.
@@ -685,27 +781,34 @@ func (c *Client) CommandBatch(deviceIDs []string, action string, args ...any) ([
 // SyncRegistry performs one registry delta-sync round trip against the
 // server's federation handler: for each kind, gens carries the generation
 // observed by the previous sync (0 for the first). Unchanged kinds come
-// back with Changed=false and no entities.
-func (c *Client) SyncRegistry(kinds []string, gens []uint64) ([]SyncDelta, error) {
+// back with Changed=false and no entities. The returned boot value is the
+// answering server's boot epoch: a peer that compares it against the epoch
+// of its previous sync can tell a reconnect to the same incarnation (cached
+// generations stay valid — delta catch-up) from a restarted one (generation
+// counters reset — the mirror must be rebuilt from generation zero).
+func (c *Client) SyncRegistry(kinds []string, gens []uint64) (deltas []SyncDelta, boot uint64, err error) {
 	if len(kinds) != len(gens) {
-		return nil, fmt.Errorf("transport: sync kinds/gens length mismatch: %d vs %d", len(kinds), len(gens))
+		return nil, 0, fmt.Errorf("transport: sync kinds/gens length mismatch: %d vs %d", len(kinds), len(gens))
 	}
 	resp, err := c.call(request{Op: "registry_sync", Kinds: kinds, Gens: gens})
 	if err != nil {
-		return nil, err
+		return nil, 0, err
 	}
-	return resp.Deltas, nil
+	return resp.Deltas, resp.Boot, nil
 }
 
 // PublishEventBatch forwards one coalesced batch of device readings (all of
 // one kind and source) to the server's federation handler and reports how
 // many the receiver admitted; the remainder was dropped by its admission
-// budget and is accounted on the receiving node.
-func (c *Client) PublishEventBatch(kind, source string, readings []device.Reading) (accepted int, err error) {
+// budget and is accounted on the receiving node. stream/seq make a retried
+// batch idempotent: replaying the same (stream, seq) after a mid-RPC
+// connection loss returns the original admission count instead of
+// ingesting twice (stream 0 opts out).
+func (c *Client) PublishEventBatch(kind, source string, stream, seq uint64, readings []device.Reading) (accepted int, err error) {
 	if len(readings) == 0 {
 		return 0, nil
 	}
-	resp, err := c.call(request{Op: "event_batch", Kind: kind, Facet: source, Readings: readings})
+	resp, err := c.call(request{Op: "event_batch", Kind: kind, Facet: source, Stream: stream, Seq: seq, Readings: readings})
 	if err != nil {
 		return 0, err
 	}
