@@ -6,9 +6,13 @@
 // churn continue, then healed: its spooled readings replay under
 // replay-protected streams and its mirrors catch up by generation-keyed
 // delta sync — never a full resync. After the partition rounds one edge
-// node is killed outright and restarted at the same address with a fresh
-// fleet; the hub must detect the new boot epoch, rebuild that peer's
-// mirrors from scratch, and converge the aggregate on the new ground truth.
+// node is power-failed mid-stream (chaos.Net.Kill crashes its WAL store and
+// severs its links) and a replacement boots at the same address from the
+// same persistence directory. Durable recovery means the replacement
+// re-advertises the restored boot epoch and generations and reclaims its
+// fleet without moving a counter, so the hub must NOT see a restart: its
+// cached sync cursors stay valid and catch-up costs the generation gap —
+// a few handshake bytes — not a full mirror rebuild.
 //
 // Throughout, two invariants are cross-checked exactly, not approximately:
 // every reading accepted from an attached sensor is either delivered to the
@@ -25,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +38,7 @@ import (
 	"repro/internal/devsim/chaos"
 	"repro/internal/dsl"
 	"repro/internal/federation"
+	"repro/internal/persist"
 	"repro/internal/runtime"
 	"repro/internal/simclock"
 	"repro/internal/transport"
@@ -114,14 +120,15 @@ type edge struct {
 // counters of any node incarnations that have since been killed (their
 // accepted readings stay part of the accounting forever).
 type world struct {
-	net     *chaos.Net
-	vc      *simclock.Virtual
-	hubRT   *runtime.Runtime
-	hub     *federation.Node
-	agg     *vacancy
-	edges   []*edge
-	seed    int64
-	retired uint64
+	net         *chaos.Net
+	vc          *simclock.Virtual
+	hubRT       *runtime.Runtime
+	hub         *federation.Node
+	agg         *vacancy
+	edges       []*edge
+	seed        int64
+	retired     uint64
+	persistRoot string // per-edge WAL+snapshot dirs live under here
 }
 
 func syncLink(name string) string    { return "hub->" + name }
@@ -154,6 +161,13 @@ func main() {
 
 func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jitter time.Duration, drop float64) error {
 	w := &world{net: chaos.NewNet(seed), vc: simclock.NewVirtual(time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)), seed: seed}
+
+	persistRoot, err := os.MkdirTemp("", "chaosstorm-persist-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(persistRoot)
+	w.persistRoot = persistRoot
 
 	w.agg = &vacancy{}
 	hubModel, err := dsl.Load(hubDesign)
@@ -209,6 +223,10 @@ func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jit
 	if err := w.syncMirrors("initial mirror sync", nil); err != nil {
 		return err
 	}
+	// The byte cost of building edge0's mirror set from nothing — the
+	// full-rebuild comparator for the post-restart catch-up bound.
+	initSent, initRecv := w.hub.PeerBytes(w.edges[0].name)
+	fullSyncBytes := initSent + initRecv
 	w.stormAll()
 	if err := w.waitAccounted("baseline accounting"); err != nil {
 		return err
@@ -273,22 +291,38 @@ func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jit
 		return fmt.Errorf("partition/heal cycles triggered %d full resyncs — catch-up must be delta replay", restarts)
 	}
 
-	// Kill/restart: edge0 dies for good and a new process takes over its
-	// address with a fresh fleet. The hub must notice the boot-epoch change,
-	// discard its cached sync generations, rebuild the peer's mirrors, and
-	// converge the aggregate on the new ground truth.
+	// Kill/restart: edge0 is power-failed — chaos.Net.Kill crashes its
+	// durability store (unflushed state is discarded, nothing further
+	// reaches disk) and severs both of its links in the same stroke — and a
+	// replacement process boots at the same address from the same
+	// persistence dir. Recovery replays the WAL, restores the fleet, the
+	// generation counters and the boot epoch, and reclaims every sensor
+	// without moving a counter, so the hub must treat the reborn node as
+	// the same incarnation: no full mirror rebuild, catch-up traffic
+	// bounded by the generation gap rather than the fleet size.
 	victim := w.edges[0]
 	wall := time.Now()
 	if err := w.waitAccounted("pre-restart drain"); err != nil {
 		return err
 	}
+	// The hub's sync rounds barrier the victim's WAL before answering, so
+	// one last round makes everything the hub has mirrored durable at the
+	// victim too — the crash then loses nothing the hub will miss.
+	if err := w.syncMirrors("pre-restart mirror sync", nil); err != nil {
+		return err
+	}
+	sentBefore, recvBefore := w.hub.PeerBytes(victim.name)
 	st := victim.node.Stats()
 	w.retired += st.ForwardBudgetDrops + st.ForwardSendDrops + st.ForwardUnrouted
 	acceptedBefore := victim.accepted
+	liveBefore := victim.churn.LiveCount()
 	victimAddr := victim.node.Addr()
+	w.net.Kill(victim.rt.Persistence(), syncLink(victim.name), forwardLink(victim.name))
 	victim.node.Close()
 	victim.rt.Stop()
-	reborn, err := w.newEdge(victim.name, victimAddr, sensors, w.seed+1000)
+	w.net.Heal(syncLink(victim.name))
+	w.net.Heal(forwardLink(victim.name))
+	reborn, err := w.newEdge(victim.name, victimAddr, sensors, w.seed)
 	if err != nil {
 		return fmt.Errorf("restart %s: %w", victim.name, err)
 	}
@@ -298,20 +332,29 @@ func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jit
 		reborn.node.Close()
 		reborn.rt.Stop()
 	}()
-	if err := waitFor(reborn.name+" reborn fleet settles", 30*time.Second, reborn.churn.Settled); err != nil {
+	if got := reborn.churn.LiveCount(); got != liveBefore {
+		return fmt.Errorf("recovery rebound %d sensors, want the %d live at the crash", got, liveBefore)
+	}
+	if err := waitFor(reborn.name+" recovered fleet settles", 30*time.Second, reborn.churn.Settled); err != nil {
 		return err
 	}
-	// The reborn fleet may repopulate the same sensor IDs, so a matching
-	// mirror count alone proves nothing — require the hub to have actually
-	// observed the new boot epoch in a successful sync round.
-	if err := waitFor("hub notices the new boot epoch", 30*time.Second, func() bool {
-		_ = w.hub.SyncPeers()
-		return w.restartsSeen() > 0
-	}); err != nil {
+	if err := w.waitHealth(reborn, transport.HealthUp); err != nil {
 		return err
 	}
-	if err := w.syncMirrors("post-restart mirror rebuild", nil); err != nil {
+	if err := w.syncMirrors("post-restart catch-up", nil); err != nil {
 		return err
+	}
+	// The durable rejoin must be invisible to restart detection…
+	if restarts := w.restartsSeen(); restarts != 0 {
+		return fmt.Errorf("durable restart tripped %d full resync(s) — the reborn node must rejoin with its restored boot epoch", restarts)
+	}
+	// …and cheap: the generation gap is zero here (every registration
+	// reclaimed identically), so catch-up is a few handshake rounds —
+	// nowhere near the byte cost of rebuilding the mirror set from scratch.
+	sentAfter, recvAfter := w.hub.PeerBytes(reborn.name)
+	catchup := (sentAfter - sentBefore) + (recvAfter - recvBefore)
+	if catchup*4 > fullSyncBytes {
+		return fmt.Errorf("post-restart catch-up cost %d sync bytes, more than ¼ of the %d-byte full mirror build — rejoin must be gap-proportional", catchup, fullSyncBytes)
 	}
 	w.stormAll()
 	if err := w.waitAccounted("post-restart accounting"); err != nil {
@@ -320,8 +363,8 @@ func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jit
 	if err := w.converge("post-restart aggregate"); err != nil {
 		return err
 	}
-	fmt.Printf("restart: %s killed and reborn at %s in %v — %d restart(s) detected, mirrors rebuilt, aggregate exact\n",
-		victim.name, reborn.node.Addr(), time.Since(wall).Round(time.Millisecond), w.restartsSeen())
+	fmt.Printf("restart: %s power-failed and recovered at %s in %v — 0 full resyncs, %d sensors reclaimed, catch-up %d bytes vs %d-byte full build\n",
+		victim.name, reborn.node.Addr(), time.Since(wall).Round(time.Millisecond), liveBefore, catchup, fullSyncBytes)
 
 	var retries, reconnects, budgetDrops, dups uint64
 	for _, e := range w.edges {
@@ -343,17 +386,20 @@ func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jit
 	return nil
 }
 
-// newEdge builds one device-owner node. A non-empty addr pins the listen
-// address (the restart case: the reborn node must be reachable where the
-// dead one was); binding retries briefly since the dead listener's port can
-// linger.
+// newEdge builds one device-owner node backed by a WAL+snapshot store under
+// the world's persistence root, keyed by node name — so rebuilding an edge
+// under the same name is a durable restart that recovers the dead
+// incarnation's fleet. A non-empty addr pins the listen address (the restart
+// case: the reborn node must be reachable where the dead one was); binding
+// retries briefly since the dead listener's port can linger.
 func (w *world) newEdge(name, addr string, sensors int, seed int64) (*edge, error) {
 	model, err := dsl.Load(edgeDesign)
 	if err != nil {
 		return nil, err
 	}
 	e := &edge{name: name}
-	e.rt = runtime.New(model, runtime.WithClock(w.vc))
+	e.rt = runtime.New(model, runtime.WithClock(w.vc),
+		runtime.WithPersistence(filepath.Join(w.persistRoot, name), persist.Options{}))
 	if err := e.rt.Start(); err != nil {
 		return nil, err
 	}
@@ -399,7 +445,21 @@ func (w *world) newEdge(name, addr string, sensors int, seed int64) (*edge, erro
 		e.rt.Stop()
 		return nil, err
 	}
-	if err := e.churn.BindAll(); err != nil {
+	// A first boot binds the whole population. A reborn node instead
+	// re-binds exactly the registrations its durable state recovered: the
+	// Bind hook goes through registry reclaim, which recognizes identical
+	// content and refreshes the binding without moving any generation
+	// counter — the peer-visible no-op that keeps the hub's cursors valid.
+	if rec := e.rt.Persistence().Recovered(); rec != nil && len(rec.Entities) > 0 {
+		restored := make(map[string]bool, len(rec.Entities))
+		for _, re := range rec.Entities {
+			restored[string(re.Entity.ID)] = true
+		}
+		err = e.churn.RebindMatching(func(s *devsim.SwarmSensor) bool { return restored[s.ID()] })
+	} else {
+		err = e.churn.BindAll()
+	}
+	if err != nil {
 		e.node.Close()
 		e.rt.Stop()
 		return nil, err

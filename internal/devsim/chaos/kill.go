@@ -1,0 +1,74 @@
+package chaos
+
+// This file is the crash-at-any-point hook: where the rest of the package
+// mutilates what crosses the network, Kill and Fuse mutilate a node itself —
+// a power failure that discards everything not yet durable and drops every
+// conversation the node was holding. persist.Store.Crash satisfies Killable,
+// so killing a node's store models exactly what its WAL+snapshot recovery
+// must survive.
+
+// Killable is a component that can be forced to fail as if its host lost
+// power: in-memory state vanishes, nothing further reaches stable storage,
+// and whatever was already durable is all a replacement gets.
+type Killable interface {
+	Crash()
+}
+
+// Kill power-fails k and partitions the named links in the same stroke: the
+// node's unflushed state is discarded and its in-flight conversations die
+// with it, exactly as when a machine loses power mid-write. Heal the links
+// once a replacement is listening.
+func (n *Net) Kill(k Killable, links ...string) {
+	k.Crash()
+	for _, l := range links {
+		n.Partition(l)
+	}
+}
+
+// Fuse schedules a kill at a seeded-random future instant. A test loop arms
+// one over the interesting boundaries of a workload (after each record,
+// each batch, each snapshot) and calls Tick at every boundary; the fuse
+// picks which one is fatal. Because the draw comes from the Net's seeded
+// source, the same seed always detonates at the same point — a failing
+// crash schedule replays exactly.
+type Fuse struct {
+	net       *Net
+	k         Killable
+	links     []string
+	remaining int
+	fired     bool
+}
+
+// NewFuse arms k to be killed after a seeded-random number of ticks in
+// [min, max] (inclusive; both must be ≥ 1). The listed links are partitioned
+// when it fires, as with Kill.
+func (n *Net) NewFuse(k Killable, min, max int, links ...string) *Fuse {
+	if min < 1 {
+		min = 1
+	}
+	if max < min {
+		max = min
+	}
+	n.mu.Lock()
+	ticks := min + n.rng.Intn(max-min+1)
+	n.mu.Unlock()
+	return &Fuse{net: n, k: k, links: links, remaining: ticks}
+}
+
+// Tick burns one unit of the fuse and reports whether it just fired. Once
+// fired, further ticks are no-ops returning false; check Fired for state.
+func (f *Fuse) Tick() bool {
+	if f.fired {
+		return false
+	}
+	f.remaining--
+	if f.remaining > 0 {
+		return false
+	}
+	f.fired = true
+	f.net.Kill(f.k, f.links...)
+	return true
+}
+
+// Fired reports whether the fuse has detonated.
+func (f *Fuse) Fired() bool { return f.fired }

@@ -83,6 +83,40 @@ func (c *ChurnSwarm) AdoptAll() {
 	c.deadIdx = c.deadIdx[:0]
 }
 
+// RebindMatching binds exactly the sensors keep selects and marks the rest
+// dead — the restart path: a reborn node re-binds the registrations its
+// durable state says were live, through a Bind hook that reclaims rather
+// than re-registers. It applies only to an unpopulated swarm (nothing live
+// yet); the previous incarnation's bind order is not preserved — sensors
+// rebind in population order.
+func (c *ChurnSwarm) RebindMatching(keep func(*SwarmSensor) bool) error {
+	c.mu.Lock()
+	if len(c.liveIdx) != 0 {
+		c.mu.Unlock()
+		return errors.New("devsim: RebindMatching on a populated churn swarm")
+	}
+	c.deadIdx = c.deadIdx[:0]
+	var bind []int
+	for idx := range c.live {
+		if keep(c.swarm.sensors[idx]) {
+			c.live[idx] = true
+			c.liveIdx = append(c.liveIdx, idx)
+			c.churnedIn++
+			bind = append(bind, idx)
+		} else {
+			c.live[idx] = false
+			c.deadIdx = append(c.deadIdx, idx)
+		}
+	}
+	c.mu.Unlock()
+	for _, idx := range bind {
+		if err := c.hooks.Bind(c.swarm.sensors[idx]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // ChurnIn binds up to n currently-dead sensors (oldest death first) and
 // returns how many were bound.
 func (c *ChurnSwarm) ChurnIn(n int) error {

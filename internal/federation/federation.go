@@ -32,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/device"
+	"repro/internal/persist"
 	"repro/internal/qos"
 	"repro/internal/registry"
 	"repro/internal/runtime"
@@ -254,6 +255,11 @@ type Node struct {
 	reg     *registry.Registry
 	srv     *transport.Server
 	exports []Export
+	// store is the runtime's durability backend (nil without persistence):
+	// the boot epoch is restored from (or recorded into) it, peer sync
+	// cursors are journaled through it, and SyncKinds barriers it so every
+	// advertised generation is durable before a peer can cache it.
+	store *persist.Store
 
 	mu     sync.Mutex
 	peers  map[string]*peer
@@ -328,9 +334,23 @@ func New(cfg Config) (*Node, error) {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	srv, err := transport.NewServer(addr)
+	// A durable node that recovered a boot epoch reuses it, so peers treat
+	// the reborn process as the same incarnation (catch-up stays a delta
+	// sync); a fresh one records its epoch before any peer can observe it.
+	store := cfg.Runtime.Persistence()
+	var srvOpts []transport.ServerOption
+	if store != nil {
+		srvOpts = append(srvOpts, transport.WithBoot(store.Boot()))
+	}
+	srv, err := transport.NewServer(addr, srvOpts...)
 	if err != nil {
 		return nil, err
+	}
+	if store != nil && store.Boot() == 0 {
+		if err := store.SetBoot(srv.Boot()); err != nil {
+			srv.Close()
+			return nil, fmt.Errorf("federation: persist boot epoch: %w", err)
+		}
 	}
 	n := &Node{
 		name:       cfg.Name,
@@ -338,6 +358,7 @@ func New(cfg Config) (*Node, error) {
 		reg:        cfg.Runtime.Registry(),
 		srv:        srv,
 		exports:    cfg.Exports,
+		store:      store,
 		peers:      make(map[string]*peer),
 		sinks:      make(map[string]exportSink),
 		hostCounts: make(map[string]int),
@@ -467,6 +488,7 @@ func (n *Node) AddPeer(cfg PeerConfig) error {
 		buffers:    make(map[string]*fwdBuffer),
 		aggBuffers: make(map[string]*aggBuffer),
 	}
+	n.restorePeerState(p)
 	// The OnUp hook can only fire after a disconnect, i.e. well after
 	// p.client below is set: the initial managed dial is synchronous and
 	// never reports up.
@@ -513,6 +535,48 @@ func (n *Node) AddPeer(cfg PeerConfig) error {
 		}
 	}
 	return nil
+}
+
+// restorePeerState rebuilds a re-added peer's sync state from the durable
+// store: the cursor (generations + boot epoch) journaled by the previous
+// incarnation, and the mirror bookkeeping for the peer's entities that
+// recovery re-registered (mirror registrations are journaled like any other
+// mutation). With both restored, the next sync round requests only the
+// generation gap accumulated while this node was down — the owner answers
+// with the changed kinds, not a full mirror rebuild.
+func (n *Node) restorePeerState(p *peer) {
+	if n.store == nil {
+		return
+	}
+	rec := n.store.Recovered()
+	if rec == nil {
+		return
+	}
+	if ps, ok := rec.Peers[p.name]; ok {
+		p.lastBoot = ps.Boot
+		for k, v := range ps.Gens {
+			p.gens[k] = v
+		}
+	}
+	adopted := 0
+	for _, kind := range p.cfg.Import {
+		n.reg.Scan(registry.Query{Kind: kind}, func(e registry.Entity) bool {
+			if e.Origin != p.name {
+				return true
+			}
+			m := p.mirrors[kind]
+			if m == nil {
+				m = make(map[registry.ID]mirrorEntry)
+				p.mirrors[kind] = m
+			}
+			if _, dup := m[e.ID]; !dup {
+				m[e.ID] = mirrorEntry{endpoint: e.Endpoint, attrs: e.Attrs.Clone()}
+				adopted++
+			}
+			return true
+		})
+	}
+	n.stats.mirrorsLive.Add(uint64(adopted))
 }
 
 // PeerBytes reports the total bytes sent to and received from the named
@@ -636,6 +700,20 @@ func (n *Node) syncPeer(p *peer) error {
 			n.stats.kindsScanned.Add(1)
 		}
 		n.applyDelta(p, d)
+	}
+	// Journal the cursor this round ended on (applyDelta only advances
+	// p.gens for fully applied kinds, so a crash replays exactly the
+	// unfinished ones). Flushed on the store's background cadence — losing
+	// the tail costs a restarted node a slightly wider gap, never a stale
+	// mirror taken for current.
+	if n.store != nil {
+		p.mu.Lock()
+		ps := persist.PeerState{Boot: p.lastBoot, Gens: make(map[string]uint64, len(p.gens))}
+		for k, v := range p.gens {
+			ps.Gens[k] = v
+		}
+		p.mu.Unlock()
+		n.store.SavePeer(p.name, ps)
 	}
 	return nil
 }
@@ -872,6 +950,19 @@ type nodeHandler struct{ n *Node }
 func (h nodeHandler) SyncKinds(kinds []string, gens []uint64) []transport.SyncDelta {
 	n := h.n
 	out := make([]transport.SyncDelta, len(kinds))
+	if n.store != nil {
+		if err := n.store.Barrier(); err != nil {
+			// The store cannot promise durability (crashed or closing): a
+			// generation advertised now might not survive a restart, and a
+			// peer that cached it would silently skip the lost mutations
+			// after recovery. Answer "unchanged" for every kind instead —
+			// peers keep their cursors and retry next round.
+			for i, kind := range kinds {
+				out[i] = transport.SyncDelta{Kind: kind}
+			}
+			return out
+		}
+	}
 	addr := n.srv.Addr()
 	for i, kind := range kinds {
 		if !n.exportedKind(kind) {

@@ -1,0 +1,121 @@
+package mapreduce
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// This file gives the incremental engine a durability surface: Checkpoint
+// serializes the retained per-group state — every input's contributions,
+// the combiner partials, the dirty set and the persistent output map — and
+// Restore rebuilds an equivalent engine from it, so a crashed node resumes
+// aggregation from its last checkpoint instead of re-ingesting the fleet.
+//
+// Serialization is gob. The map/reduce/combine functions are code, not
+// state: Restore must be called on an engine built with the same phases
+// (NewIncremental with the same design interaction) as the one that
+// checkpointed. Values of interface type follow gob's registration rules;
+// the runtime registers its design value types via transport.RegisterType.
+
+// ckptMember mirrors incMember for encoding.
+type ckptMember[V any] struct {
+	Values []V
+	Lift   V
+	LiftOK bool
+}
+
+// ckptGroup mirrors incGroup for encoding.
+type ckptGroup[K comparable, V any] struct {
+	Members   map[string]ckptMember[V]
+	Partial   V
+	PartialOK bool
+	Emitted   []K
+}
+
+// ckptState is the complete serialized engine state.
+type ckptState[K comparable, V any] struct {
+	Inputs map[string][]K
+	Groups map[K]ckptGroup[K, V]
+	Dirty  []K
+	Out    map[K]V
+}
+
+// Inputs calls fn for every contributing input id with the group keys it
+// emitted. Restore-time reconciliation uses it to retract inputs whose
+// originating devices did not survive recovery.
+func (inc *Incremental[K, V]) Inputs(fn func(id string, keys []K)) {
+	for id, keys := range inc.inputs {
+		fn(id, keys)
+	}
+}
+
+// Checkpoint writes the engine's full retained state to w. The engine must
+// be quiescent for the duration of the call (callers hold whatever lock
+// serializes Upsert/Flush).
+func (inc *Incremental[K, V]) Checkpoint(w io.Writer) error {
+	st := ckptState[K, V]{
+		Inputs: inc.inputs,
+		Groups: make(map[K]ckptGroup[K, V], len(inc.groups)),
+		Dirty:  make([]K, 0, len(inc.dirty)),
+		Out:    inc.out,
+	}
+	for k, g := range inc.groups {
+		cg := ckptGroup[K, V]{
+			Members:   make(map[string]ckptMember[V], len(g.members)),
+			Partial:   g.partial,
+			PartialOK: g.partialOK,
+			Emitted:   g.emitted,
+		}
+		for id, mem := range g.members {
+			cg.Members[id] = ckptMember[V]{Values: mem.values, Lift: mem.lift, LiftOK: mem.liftOK}
+		}
+		st.Groups[k] = cg
+	}
+	for k := range inc.dirty {
+		st.Dirty = append(st.Dirty, k)
+	}
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("mapreduce: checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore replaces the engine's state with a checkpoint previously written
+// by Checkpoint on an engine with the same map/reduce/combine phases. On
+// error the engine is reset empty.
+func (inc *Incremental[K, V]) Restore(r io.Reader) error {
+	var st ckptState[K, V]
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		inc.Reset()
+		return fmt.Errorf("mapreduce: restore: %w", err)
+	}
+	inc.Reset()
+	if st.Inputs != nil {
+		inc.inputs = st.Inputs
+	}
+	for k, cg := range st.Groups {
+		g := &incGroup[K, V]{
+			members:   make(map[string]*incMember[V], len(cg.Members)),
+			partial:   cg.Partial,
+			partialOK: cg.PartialOK,
+			emitted:   cg.Emitted,
+		}
+		// A combiner-less engine never uses partials; a combiner engine
+		// re-folds any group whose checkpointed partial was invalid.
+		if inc.combine == nil {
+			g.partialOK = false
+		}
+		for id, cm := range cg.Members {
+			g.members[id] = &incMember[V]{values: cm.Values, lift: cm.Lift, liftOK: cm.LiftOK}
+		}
+		inc.groups[k] = g
+	}
+	for _, k := range st.Dirty {
+		inc.dirty[k] = struct{}{}
+	}
+	if st.Out != nil {
+		inc.out = st.Out
+	}
+	return nil
+}

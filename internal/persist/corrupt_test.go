@@ -1,0 +1,314 @@
+package persist
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// corruptFixture is a persisted directory with a known history: twelve
+// registrations split across two snapshots and a WAL tail, crash-stopped so
+// nothing was sealed. Layout after build (S is the boot segment, pruned):
+//
+//	snap#1  state after sensors 0-5,  replays from segment S+1
+//	snap#2  state after sensors 6-8,  replays from segment S+2
+//	S+1     registrations 6,7,8
+//	S+2     registrations 9,10,11
+//
+// genAll[k] / genKind[k] record the registry generation sums after the k-th
+// registration (1-based), so corruption cases can assert that a recovery
+// stopping at prefix k restores exactly that generation state.
+type corruptFixture struct {
+	dir     string
+	genAll  []uint64
+	genKind []uint64
+}
+
+func buildCorruptFixture(t *testing.T) *corruptFixture {
+	t.Helper()
+	fx := &corruptFixture{dir: t.TempDir(), genAll: []uint64{0}, genKind: []uint64{0}}
+	s, err := Open(fx.dir, Options{SyncEvery: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	reg := newJournaledRegistry(t, s)
+	for i := 0; i < 12; i++ {
+		if err := reg.Register(ent(i, "A")); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+		fx.genAll = append(fx.genAll, reg.Generation(""))
+		fx.genKind = append(fx.genKind, reg.Generation("PresenceSensor"))
+		if i == 5 || i == 8 {
+			if err := s.Snapshot(); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+		}
+	}
+	s.Crash()
+	reg.Close()
+	return fx
+}
+
+// lastSegments returns the fixture's segment paths, ascending.
+func (fx *corruptFixture) segments(t *testing.T) []string {
+	t.Helper()
+	segs, err := listSegments(fx.dir)
+	if err != nil {
+		t.Fatalf("listSegments: %v", err)
+	}
+	paths := make([]string, len(segs))
+	for i, seg := range segs {
+		paths[i] = filepath.Join(fx.dir, segName(seg))
+	}
+	return paths
+}
+
+// newestSnapshot returns the path of the highest-sequence snapshot file.
+func (fx *corruptFixture) newestSnapshot(t *testing.T) string {
+	t.Helper()
+	snaps, err := listSnapshots(fx.dir)
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("listSnapshots: %v (%d)", err, len(snaps))
+	}
+	sn := snaps[len(snaps)-1]
+	return filepath.Join(fx.dir, snapName(sn.seq, sn.firstSeg))
+}
+
+// frameEnds parses a segment file and returns the end offset of every
+// well-formed frame, starting after the magic.
+func frameEnds(t *testing.T, path string) []int64 {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	if len(data) < len(walMagic) || string(data[:len(walMagic)]) != walMagic {
+		t.Fatalf("segment %s has no magic", path)
+	}
+	var ends []int64
+	off := int64(len(walMagic))
+	rest := data[off:]
+	for len(rest) >= frameHdr {
+		n := binary.LittleEndian.Uint32(rest)
+		if n == 0 || int(n) > len(rest)-frameHdr {
+			break
+		}
+		off += int64(frameHdr + int(n))
+		ends = append(ends, off)
+		rest = rest[frameHdr+int(n):]
+	}
+	return ends
+}
+
+// flipByteIn flips one payload byte inside the i-th frame (0-based) of the
+// segment at path, guaranteeing a CRC mismatch on that record.
+func flipByteIn(t *testing.T, path string, frame int) {
+	t.Helper()
+	ends := frameEnds(t, path)
+	if frame >= len(ends) {
+		t.Fatalf("segment has %d frames, cannot flip frame %d", len(ends), frame)
+	}
+	start := int64(len(walMagic))
+	if frame > 0 {
+		start = ends[frame-1]
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	// Flip a byte well inside the record body (past the length+crc header).
+	pos := start + frameHdr + 2
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, pos); err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b, pos); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+}
+
+// checkRecovery opens the fixture, asserts the recovered prefix (entity
+// count and generation sums of registration k), verifies the repair is
+// durable — a clean close and a third open recover identical state plus any
+// post-recovery append — and returns nothing on success.
+func (fx *corruptFixture) checkRecovery(t *testing.T, k int) {
+	t.Helper()
+	s, err := Open(fx.dir, Options{SyncEvery: true})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	rec := s.Recovered()
+	if rec == nil {
+		t.Fatalf("no recovered state")
+	}
+	if got := len(rec.Entities); got != k {
+		t.Fatalf("recovered %d entities, want prefix %d", got, k)
+	}
+	if rec.GenAll != fx.genAll[k] || rec.Gens["PresenceSensor"] != fx.genKind[k] {
+		t.Fatalf("recovered gens %d/%d, want %d/%d",
+			rec.GenAll, rec.Gens["PresenceSensor"], fx.genAll[k], fx.genKind[k])
+	}
+	// The surviving prefix is exactly registrations 0..k-1, in order.
+	for i := 0; i < k; i++ {
+		want := fmt.Sprintf("sensor-%04d", i)
+		if got := string(rec.Entities[i].Entity.ID); got != want {
+			t.Fatalf("recovered entity %d = %s, want %s", i, got, want)
+		}
+	}
+
+	// Recovery must also repair: the next incarnation appends behind a clean
+	// prefix and recovers everything, including its own new registration.
+	reg := newJournaledRegistry(t, s)
+	if err := reg.Register(ent(100, "Z")); err != nil {
+		t.Fatalf("post-recovery Register: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	reg.Close()
+	s3, err := Open(fx.dir, Options{})
+	if err != nil {
+		t.Fatalf("third open: %v", err)
+	}
+	defer s3.Close()
+	if got := len(s3.Recovered().Entities); got != k+1 {
+		t.Fatalf("third incarnation recovered %d entities, want %d", got, k+1)
+	}
+}
+
+// TestCorruptionRecovery is the satellite table: every single-fault damage
+// pattern — torn tail record, CRC mismatch mid-segment, empty / partial /
+// garbage snapshot — recovers to the last consistent prefix of the history,
+// with exact generation sums, and repairs the log for the next incarnation.
+func TestCorruptionRecovery(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, fx *corruptFixture)
+		prefix  int // registrations surviving recovery
+	}{
+		{
+			// Crash mid-append: the final record lost its tail bytes.
+			name: "torn tail record",
+			corrupt: func(t *testing.T, fx *corruptFixture) {
+				segs := fx.segments(t)
+				last := segs[len(segs)-1]
+				info, err := os.Stat(last)
+				if err != nil {
+					t.Fatalf("stat: %v", err)
+				}
+				if err := os.Truncate(last, info.Size()-3); err != nil {
+					t.Fatalf("truncate: %v", err)
+				}
+			},
+			prefix: 11,
+		},
+		{
+			// Bit rot inside the tail segment: replay must stop at the
+			// record before the flip even though later records are intact.
+			name: "crc mismatch mid tail segment",
+			corrupt: func(t *testing.T, fx *corruptFixture) {
+				segs := fx.segments(t)
+				flipByteIn(t, segs[len(segs)-1], 1) // second of records 9,10,11
+			},
+			prefix: 10,
+		},
+		{
+			// The newest snapshot is damaged AND an earlier WAL segment has
+			// a flipped record: recovery falls back to the older snapshot,
+			// replays up to the flip, and discards the segments behind it —
+			// the last consistent prefix, never a gappy reconstruction.
+			name: "dead snapshot with mid-segment corruption",
+			corrupt: func(t *testing.T, fx *corruptFixture) {
+				if err := os.Truncate(fx.newestSnapshot(t), 0); err != nil {
+					t.Fatalf("truncate snapshot: %v", err)
+				}
+				segs := fx.segments(t)
+				flipByteIn(t, segs[0], 1) // second of records 6,7,8
+			},
+			prefix: 7,
+		},
+		{
+			// A zero-length snapshot file: fall back and replay the WAL.
+			name: "empty snapshot",
+			corrupt: func(t *testing.T, fx *corruptFixture) {
+				if err := os.Truncate(fx.newestSnapshot(t), 0); err != nil {
+					t.Fatalf("truncate snapshot: %v", err)
+				}
+			},
+			prefix: 12,
+		},
+		{
+			// A snapshot cut mid-body: the CRC frame rejects it.
+			name: "partial snapshot",
+			corrupt: func(t *testing.T, fx *corruptFixture) {
+				path := fx.newestSnapshot(t)
+				info, err := os.Stat(path)
+				if err != nil {
+					t.Fatalf("stat: %v", err)
+				}
+				if err := os.Truncate(path, info.Size()/2); err != nil {
+					t.Fatalf("truncate snapshot: %v", err)
+				}
+			},
+			prefix: 12,
+		},
+		{
+			// Same-length garbage: magic intact, body CRC wrong.
+			name: "snapshot body rot",
+			corrupt: func(t *testing.T, fx *corruptFixture) {
+				path := fx.newestSnapshot(t)
+				data, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("read snapshot: %v", err)
+				}
+				for i := len(snapMagic) + frameHdr; i < len(data); i += 7 {
+					data[i] ^= 0x5A
+				}
+				if err := os.WriteFile(path, data, 0o644); err != nil {
+					t.Fatalf("write snapshot: %v", err)
+				}
+			},
+			prefix: 12,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fx := buildCorruptFixture(t)
+			tc.corrupt(t, fx)
+			fx.checkRecovery(t, tc.prefix)
+		})
+	}
+}
+
+// TestCorruptionDiscardsSegmentsPastDamage: a mid-segment CRC failure must
+// remove the later, now-unreachable segments from disk — replaying them
+// after the gap would reorder history.
+func TestCorruptionDiscardsSegmentsPastDamage(t *testing.T) {
+	fx := buildCorruptFixture(t)
+	if err := os.Truncate(fx.newestSnapshot(t), 0); err != nil {
+		t.Fatalf("truncate snapshot: %v", err)
+	}
+	segs := fx.segments(t)
+	if len(segs) < 2 {
+		t.Fatalf("fixture has %d segments, want ≥ 2", len(segs))
+	}
+	flipByteIn(t, segs[0], 0)
+
+	s, err := Open(fx.dir, Options{})
+	if err != nil {
+		t.Fatalf("recovery open: %v", err)
+	}
+	defer s.Close()
+	// Only snapshot #1's six registrations survive: the first tail record is
+	// dead, and the segment after the damaged one must be gone.
+	if got := len(s.Recovered().Entities); got != 6 {
+		t.Fatalf("recovered %d entities, want 6", got)
+	}
+	if _, err := os.Stat(segs[1]); !os.IsNotExist(err) {
+		t.Fatalf("segment past the damage survived recovery: %v", err)
+	}
+}

@@ -1,0 +1,286 @@
+package registry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/simclock"
+)
+
+func persistEntity(i int, lot string) Entity {
+	return Entity{
+		ID:    ID(fmt.Sprintf("dev-%03d", i)),
+		Kind:  "PresenceSensor",
+		Kinds: []string{"PresenceSensor", "Sensor"},
+		Attrs: Attributes{"lot": lot},
+	}
+}
+
+// TestJournalOrdering: every mutation reaches the journal with the shard
+// counters the mutation is about to publish, before those counters are
+// observable — the write-ahead property behind LSN==generation.
+func TestJournalOrdering(t *testing.T) {
+	r := New(WithShards(4))
+	defer r.Close()
+	var muts []Mutation
+	r.SetJournal(func(m Mutation) {
+		// The journal runs before the bump: the shard's visible counter
+		// must still be one behind the journaled value.
+		if got := r.Generation(""); got >= sumJournaled(muts)+m.GenAll {
+			t.Errorf("generation %d visible before journal of shard gen %d returned", got, m.GenAll)
+		}
+		cp := m
+		cp.Entity = &Entity{}
+		*cp.Entity = *m.Entity
+		cp.KindGens = append([]KindGen(nil), m.KindGens...)
+		muts = append(muts, cp)
+	})
+	if err := r.Register(persistEntity(1, "A")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if err := r.Update("dev-001", Attributes{"lot": "B"}, ""); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if err := r.Unregister("dev-001"); err != nil {
+		t.Fatalf("Unregister: %v", err)
+	}
+	if len(muts) != 3 {
+		t.Fatalf("journaled %d mutations, want 3", len(muts))
+	}
+	wantTypes := []ChangeType{Added, Updated, Removed}
+	for i, m := range muts {
+		if m.Type != wantTypes[i] {
+			t.Fatalf("mutation %d type = %v, want %v", i, m.Type, wantTypes[i])
+		}
+		if len(m.KindGens) != 2 {
+			t.Fatalf("mutation %d carries %d kind gens, want 2", i, len(m.KindGens))
+		}
+	}
+	// One entity, one shard: its GenAll must be exactly 1,2,3.
+	for i, m := range muts {
+		if m.GenAll != uint64(i+1) {
+			t.Fatalf("mutation %d shard genAll = %d, want %d", i, m.GenAll, i+1)
+		}
+	}
+}
+
+func sumJournaled(muts []Mutation) uint64 {
+	if len(muts) == 0 {
+		return 0
+	}
+	return muts[len(muts)-1].GenAll
+}
+
+// TestRestoreGenerationsMonotonic: generation sums restored as a base keep
+// Generation monotonic across the simulated restart even though the new
+// process's shard counters start at zero.
+func TestRestoreGenerationsMonotonic(t *testing.T) {
+	r := New(WithShards(4))
+	defer r.Close()
+	r.RestoreGenerations(120, map[string]uint64{"PresenceSensor": 80})
+	if got := r.Generation(""); got != 120 {
+		t.Fatalf("restored all-gen = %d, want 120", got)
+	}
+	if got := r.Generation("PresenceSensor"); got != 80 {
+		t.Fatalf("restored kind gen = %d, want 80", got)
+	}
+	if err := r.Register(persistEntity(1, "A")); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if got := r.Generation(""); got != 121 {
+		t.Fatalf("post-restore all-gen = %d, want 121", got)
+	}
+	if got := r.Generation("PresenceSensor"); got != 81 {
+		t.Fatalf("post-restore kind gen = %d, want 81", got)
+	}
+}
+
+// TestLeaseRelativeRestore is the satellite regression test: a lease written
+// 30s before the crash must not instantly expire on boot — it resumes with
+// the time it had left, measured from the restart instant.
+func TestLeaseRelativeRestore(t *testing.T) {
+	epoch := time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+	vc := simclock.NewVirtual(epoch)
+	r := New(WithClock(vc))
+	defer r.Close()
+
+	// The crashed incarnation held a 2-minute lease with 90s left. The new
+	// process boots much later in wall time — relative restore must anchor
+	// at the boot clock, not the original expiry.
+	vc.Advance(48 * time.Hour)
+	if err := r.RestoreEntity(persistEntity(1, "A"), 90*time.Second); err != nil {
+		t.Fatalf("RestoreEntity: %v", err)
+	}
+	if _, ok := r.Get("dev-001"); !ok {
+		t.Fatalf("restored entity expired instantly on boot")
+	}
+	// Still alive just before the remaining lease runs out…
+	vc.Advance(89 * time.Second)
+	if _, ok := r.Get("dev-001"); !ok {
+		t.Fatalf("restored lease expired %v early", time.Second)
+	}
+	// …and gone after it.
+	vc.Advance(2 * time.Second)
+	if _, ok := r.Get("dev-001"); ok {
+		t.Fatalf("restored lease did not expire after its remaining time")
+	}
+}
+
+// TestJournalLeaseRemaining: journaled mutations carry the lease time left
+// at commit, so replay restores relative — not absolute — deadlines.
+func TestJournalLeaseRemaining(t *testing.T) {
+	epoch := time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+	vc := simclock.NewVirtual(epoch)
+	r := New(WithClock(vc))
+	defer r.Close()
+	var last Mutation
+	r.SetJournal(func(m Mutation) { last = m })
+	if err := r.Register(persistEntity(1, "A"), WithTTL(2*time.Minute)); err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if last.LeaseRemaining != 2*time.Minute {
+		t.Fatalf("journaled lease remaining = %v, want 2m", last.LeaseRemaining)
+	}
+	vc.Advance(30 * time.Second)
+	if err := r.Update("dev-001", Attributes{"lot": "B"}, ""); err != nil {
+		t.Fatalf("Update: %v", err)
+	}
+	if last.LeaseRemaining != 90*time.Second {
+		t.Fatalf("journaled lease remaining after 30s = %v, want 90s", last.LeaseRemaining)
+	}
+}
+
+// TestReclaimIdenticalKeepsGenerations: re-binding a recovered registration
+// with identical content refreshes the lease and notifies watchers but moves
+// no generation counter — the peer-visible no-op a clean restart needs.
+func TestReclaimIdenticalKeepsGenerations(t *testing.T) {
+	epoch := time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+	vc := simclock.NewVirtual(epoch)
+	r := New(WithClock(vc))
+	defer r.Close()
+	journaled := 0
+	r.SetJournal(func(Mutation) { journaled++ })
+
+	if err := r.RestoreEntity(persistEntity(1, "A"), 0); err != nil {
+		t.Fatalf("RestoreEntity: %v", err)
+	}
+	r.RestoreGenerations(10, map[string]uint64{"PresenceSensor": 10})
+	w, err := r.Watch(Query{}, 8)
+	if err != nil {
+		t.Fatalf("Watch: %v", err)
+	}
+	defer w.Cancel()
+
+	if err := r.Reclaim(persistEntity(1, "A"), WithTTL(time.Minute)); err != nil {
+		t.Fatalf("Reclaim: %v", err)
+	}
+	if journaled != 0 {
+		t.Fatalf("identical reclaim journaled %d mutations, want 0", journaled)
+	}
+	if got := r.Generation("PresenceSensor"); got != 10 {
+		t.Fatalf("identical reclaim moved generation to %d, want 10", got)
+	}
+	select {
+	case c := <-w.C():
+		if c.Type != Updated || c.Entity.ID != "dev-001" {
+			t.Fatalf("watcher saw %v %s, want Updated dev-001", c.Type, c.Entity.ID)
+		}
+	default:
+		t.Fatalf("identical reclaim did not notify watchers")
+	}
+	// The reclaim's lease is live: it expires if never renewed.
+	vc.Advance(2 * time.Minute)
+	if _, ok := r.Get("dev-001"); ok {
+		t.Fatalf("reclaimed lease did not expire")
+	}
+}
+
+// TestReclaimChangedContent: content drift across the crash is a real,
+// journaled, generation-bumping update.
+func TestReclaimChangedContent(t *testing.T) {
+	r := New()
+	defer r.Close()
+	journaled := 0
+	r.SetJournal(func(Mutation) { journaled++ })
+	if err := r.RestoreEntity(persistEntity(1, "A"), 0); err != nil {
+		t.Fatalf("RestoreEntity: %v", err)
+	}
+	r.RestoreGenerations(10, map[string]uint64{"PresenceSensor": 10})
+
+	if err := r.Reclaim(persistEntity(1, "B")); err != nil {
+		t.Fatalf("Reclaim: %v", err)
+	}
+	if journaled != 1 {
+		t.Fatalf("changed reclaim journaled %d mutations, want 1", journaled)
+	}
+	if got := r.Generation("PresenceSensor"); got != 11 {
+		t.Fatalf("changed reclaim generation = %d, want 11", got)
+	}
+	e, ok := r.Get("dev-001")
+	if !ok || e.Attrs["lot"] != "B" {
+		t.Fatalf("changed reclaim content = %+v ok=%v", e, ok)
+	}
+}
+
+// TestReclaimMissing: a registration that never made it to disk registers
+// fresh, journaled and counted.
+func TestReclaimMissing(t *testing.T) {
+	r := New()
+	defer r.Close()
+	journaled := 0
+	r.SetJournal(func(Mutation) { journaled++ })
+	if err := r.Reclaim(persistEntity(1, "A")); err != nil {
+		t.Fatalf("Reclaim: %v", err)
+	}
+	if journaled != 1 {
+		t.Fatalf("missing reclaim journaled %d mutations, want 1", journaled)
+	}
+	if _, ok := r.Get("dev-001"); !ok {
+		t.Fatalf("missing reclaim did not register")
+	}
+}
+
+// TestCaptureStateConsistency: the capture walk reports every live entity
+// exactly once with its shard's counters, and sweeps expired leases first.
+func TestCaptureStateConsistency(t *testing.T) {
+	epoch := time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)
+	vc := simclock.NewVirtual(epoch)
+	r := New(WithClock(vc), WithShards(4))
+	defer r.Close()
+	for i := 0; i < 50; i++ {
+		if err := r.Register(persistEntity(i, "A")); err != nil {
+			t.Fatalf("Register: %v", err)
+		}
+	}
+	if err := r.Register(persistEntity(50, "A"), WithTTL(time.Second)); err != nil {
+		t.Fatalf("Register leased: %v", err)
+	}
+	vc.Advance(time.Minute) // the leased entity is expired but not yet swept
+
+	seen := make(map[ID]bool)
+	var genAll uint64
+	var leases int
+	r.CaptureState(
+		func(idx int, all uint64, kinds map[string]uint64) { genAll += all },
+		func(e Entity, rem time.Duration) {
+			if seen[e.ID] {
+				t.Fatalf("entity %s captured twice", e.ID)
+			}
+			seen[e.ID] = true
+			if rem != 0 {
+				leases++
+			}
+		},
+	)
+	if len(seen) != 50 {
+		t.Fatalf("captured %d entities, want 50 (expired lease swept)", len(seen))
+	}
+	if leases != 0 {
+		t.Fatalf("captured %d leased entities, want 0", leases)
+	}
+	// 50 registers + 1 leased register + 1 expiry = 52 counter moves.
+	if genAll != 52 {
+		t.Fatalf("captured generation sum = %d, want 52", genAll)
+	}
+}

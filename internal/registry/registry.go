@@ -165,6 +165,9 @@ var (
 	ErrNotFound  = errors.New("registry: entity not found")
 	ErrDuplicate = errors.New("registry: entity already registered")
 	ErrClosed    = errors.New("registry: closed")
+
+	errEmptyID   = errors.New("registry: empty entity ID")
+	errEmptyKind = errors.New("registry: empty entity kind")
 )
 
 type record struct {
@@ -190,11 +193,17 @@ type Registry struct {
 	watchMu    sync.Mutex
 	watchers   map[*Watcher]struct{}
 	watchCount atomic.Int64 // len(watchers), readable without watchMu
+
+	// journal streams committed mutations to a write-ahead log and base is
+	// the generation floor restored after a crash; see persist.go.
+	journal atomic.Pointer[Journal]
+	base    atomic.Pointer[genBase]
 }
 
 // regShard is one independent lock domain holding a subset of the entities
 // plus the kind and attribute indexes for exactly that subset.
 type regShard struct {
+	idx      int // position in Registry.shards, stamped at construction
 	mu       sync.Mutex
 	entities map[ID]*record
 	byKind   map[string]map[ID]struct{}
@@ -283,6 +292,7 @@ func New(opts ...Option) *Registry {
 	}
 	for i := range r.shards {
 		sh := &r.shards[i]
+		sh.idx = i
 		sh.entities = make(map[ID]*record)
 		sh.byKind = make(map[string]map[ID]struct{})
 		sh.byAttr = make(map[string]map[ID]struct{})
@@ -312,14 +322,8 @@ func WithTTL(d time.Duration) RegisterOption {
 // Register adds e to the registry. It fails with ErrDuplicate if the ID is
 // already present (and not expired).
 func (r *Registry) Register(e Entity, opts ...RegisterOption) error {
-	if e.ID == "" {
-		return errors.New("registry: empty entity ID")
-	}
-	if e.Kind == "" {
-		return errors.New("registry: empty entity kind")
-	}
-	if len(e.Kinds) == 0 {
-		e.Kinds = []string{e.Kind}
+	if err := normalizeEntity(&e); err != nil {
+		return err
 	}
 	e.Attrs = e.Attrs.Clone()
 	var cfg registerConfig
@@ -347,6 +351,7 @@ func (r *Registry) Register(e Entity, opts ...RegisterOption) error {
 	}
 	sh.entities[e.ID] = rec
 	indexLocked(sh, &rec.entity)
+	r.journalLocked(sh, Added, rec, now)
 	sh.bumpLocked(&rec.entity)
 	r.notify(Change{Type: Added, Entity: rec.entity})
 	sh.mu.Unlock()
@@ -356,13 +361,14 @@ func (r *Registry) Register(e Entity, opts ...RegisterOption) error {
 // Update replaces the attributes and endpoint of an existing entity. The
 // kind and lease are unchanged.
 func (r *Registry) Update(id ID, attrs Attributes, endpoint string) error {
+	now := r.clock.Now()
 	sh := r.shard(id)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	if r.closed.Load() {
 		return ErrClosed
 	}
-	r.sweepShardLocked(sh, r.clock.Now())
+	r.sweepShardLocked(sh, now)
 	rec, ok := sh.entities[id]
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, id)
@@ -371,6 +377,7 @@ func (r *Registry) Update(id ID, attrs Attributes, endpoint string) error {
 	rec.entity.Attrs = attrs.Clone()
 	rec.entity.Endpoint = endpoint
 	indexLocked(sh, &rec.entity)
+	r.journalLocked(sh, Updated, rec, now)
 	sh.bumpLocked(&rec.entity)
 	r.notify(Change{Type: Updated, Entity: rec.entity})
 	return nil
@@ -517,7 +524,9 @@ func (r *Registry) Count() int {
 // scanning anything.
 func (r *Registry) Generation(kind string) uint64 {
 	var now time.Time
-	var sum uint64
+	// Start from the restored floor (zero unless RestoreGenerations ran) so
+	// generations stay monotonic across a crash and restart.
+	sum := r.baseFor(kind)
 	for i := range r.shards {
 		sh := &r.shards[i]
 		if next := sh.nextExpiry.Load(); next != 0 {
@@ -695,6 +704,7 @@ func (r *Registry) removeLocked(sh *regShard, rec *record, why ChangeType) {
 	if !rec.expires.IsZero() {
 		sh.leased--
 	}
+	r.journalLocked(sh, why, rec, time.Time{})
 	sh.bumpLocked(&rec.entity)
 	r.notify(Change{Type: why, Entity: rec.entity})
 }

@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"fmt"
+	"io"
+	"strings"
 	"sync"
 	"time"
 
@@ -102,6 +104,22 @@ func (c *aggCore) flush() (reduced map[string]any, grouped map[string][]any) {
 	return nil, c.grouped
 }
 
+// restore loads a persisted checkpoint into the engine and rebuilds the
+// raw-grouped mirror from the restored output.
+func (c *aggCore) restore(r io.Reader) error {
+	if err := c.eng.Restore(r); err != nil {
+		return err
+	}
+	out, dirty := c.eng.Flush(c.dirtyBuf[:0])
+	c.dirtyBuf = dirty
+	if c.grouped != nil {
+		for k, v := range out {
+			c.grouped[k] = v.([]any)
+		}
+	}
+	return nil
+}
+
 // reset drops all engine state (the periodic path resets on snapshot
 // rebuild and re-feeds the full fleet).
 func (c *aggCore) reset() {
@@ -184,6 +202,10 @@ func (rt *Runtime) newProvAgg(ctx *check.Context, idx int, in *check.Interaction
 	rt.mu.Lock()
 	rt.watchers = append(rt.watchers, w)
 	rt.mu.Unlock()
+	// A recovered checkpoint is loaded before the seed scan, so the resync
+	// retracts restored contributions of devices that did not survive
+	// recovery instead of leaving them in the aggregate forever.
+	rt.restoreAggState(pa)
 	pa.resync()
 	rt.wg.Add(1)
 	go pa.watch(w)
@@ -355,6 +377,24 @@ func (pa *provAgg) resync() {
 	}
 	for id, group := range live {
 		if pa.trackLocked(id, group) {
+			changed = true
+		}
+	}
+	// Retract engine members the cache never tracked — contributions
+	// restored from a checkpoint whose devices are gone. Federation
+	// partials (NUL-prefixed synthetic ids) are remote state and stay.
+	var stale []string
+	pa.core.eng.Inputs(func(id string, _ []string) {
+		if strings.HasPrefix(id, aggPartialPrefix) {
+			return
+		}
+		if _, ok := live[id]; !ok {
+			stale = append(stale, id)
+		}
+	})
+	for _, id := range stale {
+		if pa.core.eng.Has(id) {
+			pa.core.eng.Remove(id)
 			changed = true
 		}
 	}

@@ -1,0 +1,133 @@
+package runtime
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"time"
+
+	"repro/internal/persist"
+	"repro/internal/transport"
+)
+
+// This file wires the durability subsystem (internal/persist) into the
+// runtime: WithPersistence opens (or recovers) a store in New, restored
+// registrations and generation sums are installed before any component
+// observes the registry, every subsequent mutation is journaled write-ahead,
+// and the incremental aggregation engines contribute checkpoint blobs to
+// snapshots and restore them at wiring time — so a restarted node resumes
+// with its fleet, its generations and its per-group aggregates instead of
+// an empty world.
+
+// WithPersistence attaches a write-ahead log + snapshot store rooted at dir.
+// New recovers the previous incarnation's state from it; an open or recovery
+// failure is reported by Start (the functional Option cannot return one).
+// Requires the runtime-owned registry (the default): a shared registry's
+// lifecycle is not the runtime's to journal.
+func WithPersistence(dir string, opts persist.Options) Option {
+	return func(rt *Runtime) {
+		rt.persistDir = dir
+		rt.persistOpts = opts
+	}
+}
+
+// Persistence returns the attached store, nil when WithPersistence was not
+// used (or its directory failed to open). The federation tier uses it to
+// restore its boot epoch and peer cursors and to barrier before advertising
+// generations.
+func (rt *Runtime) Persistence() *persist.Store { return rt.store }
+
+// openPersistence runs inside New, after the registry exists and before any
+// caller can mutate it.
+func (rt *Runtime) openPersistence() {
+	// Aggregate checkpoints gob-encode design values of interface type; the
+	// wire codec's basic registrations cover the common shapes. Identical
+	// re-registration is a no-op, so this composes with transport use.
+	transport.RegisterType(time.Time{})
+	transport.RegisterType([]any(nil))
+	transport.RegisterType(map[string]any(nil))
+
+	store, err := persist.Open(rt.persistDir, rt.persistOpts)
+	if err != nil {
+		rt.persistErr = fmt.Errorf("runtime: open persistence in %s: %w", rt.persistDir, err)
+		return
+	}
+	if rec := store.Recovered(); rec != nil {
+		for _, re := range rec.Entities {
+			if err := rt.reg.RestoreEntity(re.Entity, re.LeaseRemaining); err != nil {
+				// Only structurally invalid recovered data fails here; detach
+				// without writing (a clean Close would snapshot the partially
+				// restored registry over the good on-disk state).
+				store.Crash()
+				store.Close()
+				rt.persistErr = fmt.Errorf("runtime: restore entity %s: %w", re.Entity.ID, err)
+				return
+			}
+		}
+		rt.reg.RestoreGenerations(rec.GenAll, rec.Gens)
+		rt.aggRestore = rec.Aggs
+	}
+	rt.store = store
+	rt.reg.SetJournal(store.Journal())
+	store.SetRegistry(rt.reg)
+	store.AddSource(rt.captureAggCheckpoints)
+}
+
+// closePersistence seals the store on Stop: a final snapshot and a sealed
+// WAL — or, after a Crash hook fired, nothing at all (the directory must
+// stay exactly as the crash instant left it).
+func (rt *Runtime) closePersistence() {
+	if rt.store == nil {
+		return
+	}
+	if err := rt.store.Close(); err != nil && err != persist.ErrClosed && err != persist.ErrCrashed {
+		rt.reportError("persist", err)
+	}
+}
+
+// aggKey is the stable snapshot key of one grouped interaction's engine.
+func (pa *provAgg) aggKey() string {
+	return pa.ctx.Name + "#" + strconv.Itoa(pa.idx)
+}
+
+// captureAggCheckpoints contributes every provided-grouped engine's
+// checkpoint to a snapshot. Each engine is captured under its own mutex;
+// snapshots never hold the store mutex here, so the engines' normal lock
+// order (pa.mu → registry shard → store.mu) cannot deadlock against it.
+func (rt *Runtime) captureAggCheckpoints(add func(key string, blob []byte)) {
+	rt.mu.Lock()
+	pas := make([]*provAgg, 0, len(rt.aggByKey))
+	for _, list := range rt.aggByKey {
+		pas = append(pas, list...)
+	}
+	rt.mu.Unlock()
+	var buf bytes.Buffer
+	for _, pa := range pas {
+		buf.Reset()
+		pa.mu.Lock()
+		err := pa.core.eng.Checkpoint(&buf)
+		pa.mu.Unlock()
+		if err != nil {
+			rt.reportError(pa.ctx.Name, fmt.Errorf("aggregate checkpoint: %w", err))
+			continue
+		}
+		add(pa.aggKey(), append([]byte(nil), buf.Bytes()...))
+	}
+}
+
+// restoreAggState loads one interaction's recovered checkpoint into its
+// freshly built engine. Runs at wiring time, before the interaction's
+// registry resync — so contributions of devices that did not survive
+// recovery are retracted by the resync that follows.
+func (rt *Runtime) restoreAggState(pa *provAgg) {
+	blob := rt.aggRestore[pa.aggKey()]
+	if len(blob) == 0 {
+		return
+	}
+	pa.mu.Lock()
+	err := pa.core.restore(bytes.NewReader(blob))
+	pa.mu.Unlock()
+	if err != nil {
+		rt.reportError(pa.ctx.Name, fmt.Errorf("aggregate restore: %w", err))
+	}
+}

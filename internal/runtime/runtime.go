@@ -34,6 +34,7 @@ import (
 	"repro/internal/dsl/check"
 	"repro/internal/eventbus"
 	"repro/internal/mapreduce"
+	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/simclock"
 	"repro/internal/transport"
@@ -241,6 +242,14 @@ type Runtime struct {
 	onError     func(ComponentError)
 	ownRegistry bool
 
+	// Durability (see persist.go). store/persistErr are written in New and
+	// read-only afterwards; aggRestore is consumed at wiring time in Start.
+	store       *persist.Store
+	persistDir  string
+	persistOpts persist.Options
+	persistErr  error
+	aggRestore  map[string][]byte
+
 	mu          sync.Mutex
 	started     bool
 	stopped     bool
@@ -383,6 +392,9 @@ func New(model *check.Model, opts ...Option) *Runtime {
 		controllers: map[string]ControllerHandler{},
 	})
 	rt.bus = eventbus.New()
+	if rt.persistDir != "" {
+		rt.openPersistence()
+	}
 	return rt
 }
 
@@ -453,7 +465,15 @@ func (rt *Runtime) BindDevice(drv device.Driver, opts ...BindOption) error {
 	if cfg.ttl > 0 {
 		ropts = append(ropts, registry.WithTTL(cfg.ttl))
 	}
-	if err := rt.reg.Register(entity, ropts...); err != nil {
+	register := rt.reg.Register
+	if rt.store != nil {
+		// A reborn node re-binds drivers for registrations recovered from
+		// disk: Reclaim re-attaches without a duplicate error — and without
+		// bumping generations when the content is unchanged, so federation
+		// peers see no delta from a clean restart.
+		register = rt.reg.Reclaim
+	}
+	if err := register(entity, ropts...); err != nil {
 		rt.mu.Lock()
 		if had {
 			rt.devices[drv.ID()] = prev
@@ -619,6 +639,9 @@ func needsMapReduce(ctx *check.Context) bool {
 // subscriptions (current and future, via registry watches) for device
 // sources, and pollers for periodic interactions.
 func (rt *Runtime) Start() error {
+	if rt.persistErr != nil {
+		return rt.persistErr
+	}
 	rt.mu.Lock()
 	if rt.started {
 		rt.mu.Unlock()
@@ -669,8 +692,12 @@ func (rt *Runtime) Start() error {
 func (rt *Runtime) Stop() {
 	rt.mu.Lock()
 	if rt.stopped || !rt.started {
+		sealStore := !rt.stopped
 		rt.stopped = true
 		rt.mu.Unlock()
+		if sealStore {
+			rt.closePersistence()
+		}
 		return
 	}
 	rt.stopped = true
@@ -705,6 +732,9 @@ func (rt *Runtime) Stop() {
 	for _, c := range clients {
 		c.Close()
 	}
+	// The store's final snapshot captures the registry, so it must be sealed
+	// before the registry closes (after Crash this writes nothing).
+	rt.closePersistence()
 	if rt.ownRegistry {
 		rt.reg.Close()
 	}

@@ -171,9 +171,24 @@ type Server struct {
 // fedBox wraps the handler so the atomic pointer has a concrete type.
 type fedBox struct{ h FederationHandler }
 
+// ServerOption configures a Server.
+type ServerOption func(*Server)
+
+// WithBoot overrides the server's boot epoch. A node restarting with durably
+// recovered state reuses its previous incarnation's epoch so peers treat it
+// as the same incarnation: cached generations stay valid and catch-up is a
+// delta sync instead of a full mirror rebuild.
+func WithBoot(epoch uint64) ServerOption {
+	return func(s *Server) {
+		if epoch != 0 {
+			s.boot = epoch
+		}
+	}
+}
+
 // NewServer starts a server listening on addr ("127.0.0.1:0" for an
 // ephemeral port).
-func NewServer(addr string) (*Server, error) {
+func NewServer(addr string, opts ...ServerOption) (*Server, error) {
 	ensureBasicTypes()
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -185,6 +200,9 @@ func NewServer(addr string) (*Server, error) {
 		drivers: make(map[string]device.Driver),
 		conns:   make(map[net.Conn]struct{}),
 	}
+	for _, o := range opts {
+		o(s)
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -193,6 +211,10 @@ func NewServer(addr string) (*Server, error) {
 // Addr returns the server's listen address, suitable for registry Endpoint
 // fields.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Boot returns the server's boot epoch (constant after NewServer). A
+// durable node persists it so its next incarnation can reuse it.
+func (s *Server) Boot() uint64 { return s.boot }
 
 // Host makes drv callable by remote clients.
 func (s *Server) Host(drv device.Driver) {
