@@ -1,0 +1,120 @@
+package repro_test
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/devsim"
+	"repro/internal/runtime"
+	"repro/internal/simclock"
+)
+
+// hostTenantDesign is one tenant app of the multi-tenant benchmark: an
+// event-driven context over the tenant's own device kind, internal state
+// only, so the measured path is shared fleet → per-tenant ingestion →
+// shared bus → handler.
+func hostTenantDesign(kind string) string {
+	return fmt.Sprintf(`
+device %[1]s {
+	attribute lot as String;
+	source presence as Boolean;
+}
+
+context Occupancy as Boolean {
+	when provided presence from %[1]s
+	no publish;
+}
+`, kind)
+}
+
+type hostBenchCounter struct {
+	n atomic.Uint64
+}
+
+func (c *hostBenchCounter) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
+	c.n.Add(1)
+	return nil, false, nil
+}
+
+// BenchmarkHost_TenantStorm measures multi-tenant event throughput: N
+// apps on one Host, each tenant storming its own slice of the shared
+// fleet, one reported op = one delivered event across all tenants.
+func BenchmarkHost_TenantStorm(b *testing.B) {
+	const tenants = 8
+	const sensorsPer = 32
+	vc := simclock.NewVirtual(time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC))
+	host, err := runtime.NewHost(runtime.SubstrateConfig{Clock: vc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer host.Close()
+
+	counters := make([]*hostBenchCounter, tenants)
+	swarms := make([]*devsim.ChurnSwarm, tenants)
+	for i := 0; i < tenants; i++ {
+		kind := fmt.Sprintf("PresenceSensor_t%d", i)
+		counters[i] = &hostBenchCounter{}
+		if _, err := host.DeploySource(fmt.Sprintf("t%d", i), hostTenantDesign(kind), runtime.AppConfig{
+			Contexts: map[string]runtime.ContextHandler{"Occupancy": counters[i]},
+			Ingest:   runtime.IngestConfig{Shards: 2},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		swarm := devsim.NewSwarm(devsim.SwarmConfig{
+			Sensors:   sensorsPer,
+			Lots:      []string{fmt.Sprintf("t%d-L0", i)},
+			Kind:      kind,
+			GroupAttr: "lot",
+			Seed:      int64(i + 1),
+		}, vc)
+		cs, err := devsim.NewChurnSwarm(swarm, devsim.ChurnHooks{
+			Bind:   func(s *devsim.SwarmSensor) error { return host.BindDevice(s) },
+			Unbind: host.UnbindDevice,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cs.BindAll(); err != nil {
+			b.Fatal(err)
+		}
+		swarms[i] = cs
+	}
+	for _, cs := range swarms {
+		deadline := time.Now().Add(30 * time.Second)
+		for !cs.Settled() {
+			if time.Now().After(deadline) {
+				b.Fatal("attachments did not settle")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+
+	b.ResetTimer()
+	sent := 0
+	for sent < b.N {
+		for i := 0; i < tenants && sent < b.N; i++ {
+			sent += swarms[i].StormLive(sensorsPer)
+		}
+	}
+	want := uint64(0)
+	for _, cs := range swarms {
+		want += cs.Expected()
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		got := uint64(0)
+		for _, c := range counters {
+			got += c.n.Load()
+		}
+		if got == want {
+			break
+		}
+		if time.Now().After(deadline) {
+			b.Fatalf("delivered %d of %d", got, want)
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	b.StopTimer()
+}

@@ -1,0 +1,213 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"sort"
+	"strings"
+	"syscall"
+
+	"repro/internal/runtime"
+	"repro/internal/transport"
+)
+
+// The host subcommands are the runtime-lifecycle half of the CLI (the
+// compiler half is parse/check/gen): `host serve` runs a multi-tenant
+// runtime.Host with its admin plane on a transport server, and
+// deploy/list/stats/remove drive a running one over the wire — so designs
+// hot-deploy into a live fleet without a process restart.
+func cmdHost(args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: diaspecc host <serve|deploy|list|stats|remove> …")
+	}
+	switch args[0] {
+	case "serve":
+		return cmdHostServe(args[1:])
+	case "deploy":
+		return cmdHostDeploy(args[1:])
+	case "list":
+		return cmdHostList(args[1:])
+	case "stats":
+		return cmdHostStats(args[1:])
+	case "remove":
+		return cmdHostRemove(args[1:])
+	default:
+		return fmt.Errorf("unknown host subcommand %q", args[0])
+	}
+}
+
+// appIDFor derives a deployable app ID from a design path: the file base
+// name without extension ("designs/parking.diaspec" → "parking").
+func appIDFor(path string) string {
+	base := filepath.Base(path)
+	return strings.TrimSuffix(base, filepath.Ext(base))
+}
+
+func cmdHostServe(args []string) error {
+	fs := flag.NewFlagSet("host serve", flag.ContinueOnError)
+	listen := fs.String("listen", "127.0.0.1:7707", "admin/transport listen address")
+	persistDir := fs.String("persist", "", "durability directory (empty = none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	host, err := runtime.NewHost(runtime.SubstrateConfig{
+		PersistDir: *persistDir,
+		OnError: func(ce runtime.ComponentError) {
+			fmt.Fprintf(os.Stderr, "host: %v\n", ce)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer host.Close()
+	// Initial designs deploy with the interpreted dispatch path — the same
+	// path remote `host deploy` uses — under their file base names.
+	for _, path := range fs.Args() {
+		src, err := readDesign(path)
+		if err != nil {
+			return err
+		}
+		id := appIDFor(path)
+		if _, err := host.DeploySource(id, src, runtime.AppConfig{AutoImplement: true}); err != nil {
+			return err
+		}
+		fmt.Printf("deployed %s\n", id)
+	}
+	var srvOpts []transport.ServerOption
+	if store := host.Persistence(); store != nil {
+		srvOpts = append(srvOpts, transport.WithBoot(store.Boot()))
+	}
+	srv, err := transport.NewServer(*listen, srvOpts...)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	srv.ServeAdmin(host.Admin())
+	fmt.Printf("host serving %d app(s) on %s\n", len(host.Apps()), srv.Addr())
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("host: shutting down")
+	return nil
+}
+
+func dialAdmin(addr string) (*transport.Client, error) {
+	cli, err := transport.Dial(addr)
+	if err != nil {
+		return nil, fmt.Errorf("dial host %s: %w", addr, err)
+	}
+	return cli, nil
+}
+
+func cmdHostDeploy(args []string) error {
+	fs := flag.NewFlagSet("host deploy", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7707", "host admin address")
+	app := fs.String("app", "", "app ID (default: design file base name)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: diaspecc host deploy [-addr HOST] [-app ID] <design>")
+	}
+	src, err := readDesign(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	id := *app
+	if id == "" {
+		id = appIDFor(fs.Arg(0))
+	}
+	cli, err := dialAdmin(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if err := cli.HostDeploy(id, src); err != nil {
+		return err
+	}
+	fmt.Printf("deployed %s\n", id)
+	return nil
+}
+
+func cmdHostRemove(args []string) error {
+	fs := flag.NewFlagSet("host remove", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7707", "host admin address")
+	app := fs.String("app", "", "app ID")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("usage: diaspecc host remove [-addr HOST] -app ID")
+	}
+	cli, err := dialAdmin(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if err := cli.HostRemove(*app); err != nil {
+		return err
+	}
+	fmt.Printf("removed %s\n", *app)
+	return nil
+}
+
+func cmdHostList(args []string) error {
+	fs := flag.NewFlagSet("host list", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7707", "host admin address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cli, err := dialAdmin(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	apps, err := cli.HostList()
+	if err != nil {
+		return err
+	}
+	if len(apps) == 0 {
+		fmt.Println("no apps deployed")
+		return nil
+	}
+	for _, a := range apps {
+		fmt.Printf("%-20s contexts=%v controllers=%v\n", a.ID, a.Contexts, a.Controllers)
+	}
+	return nil
+}
+
+func cmdHostStats(args []string) error {
+	fs := flag.NewFlagSet("host stats", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7707", "host admin address")
+	all := fs.Bool("all", false, "print zero counters too")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cli, err := dialAdmin(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	recs, err := cli.HostStats()
+	if err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		fmt.Printf("%s:\n", rec.App)
+		names := make([]string, 0, len(rec.Counters))
+		for name, v := range rec.Counters {
+			if v == 0 && !*all {
+				continue
+			}
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("  %-28s %d\n", name, rec.Counters[name])
+		}
+	}
+	return nil
+}

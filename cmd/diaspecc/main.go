@@ -9,6 +9,7 @@
 //	diaspecc fmt    <design.diaspec>            # print the canonical form
 //	diaspecc requirements <design.diaspec>      # infrastructure demand (paper §VI)
 //	diaspecc builtin <cooker|parking|avionics>  # print a built-in design
+//	diaspecc host   <serve|deploy|list|stats|remove> …  # multi-tenant host
 //
 // The gen subcommand emits the customized programming framework the paper's
 // §V describes; stats reproduces the "generated code may represent up to
@@ -55,6 +56,8 @@ func run(args []string) error {
 		return cmdRequirements(args[1:])
 	case "builtin":
 		return cmdBuiltin(args[1:])
+	case "host":
+		return cmdHost(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -54,14 +54,42 @@ type Export struct {
 	Aggregate *Aggregate
 }
 
+// Endpoint is the surface a federation node needs from its process-local
+// orchestration tier. Both *runtime.Runtime (one app) and *runtime.Host
+// (N apps over one substrate) implement it; with a Host, RemoteIngest and
+// RemoteAggregate route per app, so each tenant's federation accounting
+// stays exact.
+type Endpoint interface {
+	// Registry is the entity registry the node syncs mirrors into.
+	Registry() *registry.Registry
+	// Persistence is the durability backend, nil without persistence.
+	Persistence() *persist.Store
+	// LocalDriver resolves a locally bound device driver.
+	LocalDriver(id string) (device.Driver, bool)
+	// ReportError sinks a federation failure into the endpoint's error
+	// accounting.
+	ReportError(component string, err error)
+	// RemoteIngest lands a peer-forwarded reading batch; see
+	// runtime.Runtime.RemoteIngest for the accounting contract.
+	RemoteIngest(kind, source string, readings []device.Reading) int
+	// RemoteAggregate merges peer partial aggregates; see
+	// runtime.Runtime.RemoteAggregate.
+	RemoteAggregate(kind, source, origin string, partials []transport.GroupPartial) int
+}
+
 // Config configures a Node.
 type Config struct {
 	// Name identifies the node; mirrors of its entities carry it as
 	// Entity.Origin. Required.
 	Name string
-	// Runtime is the node's orchestration runtime. Required. The node
-	// does not own it: stop the runtime separately.
+	// Runtime is the node's orchestration runtime. One of Runtime or
+	// Endpoint is required. The node does not own it: stop the runtime
+	// separately.
 	Runtime *runtime.Runtime
+	// Endpoint generalizes Runtime: any orchestration tier implementing
+	// the Endpoint surface (notably *runtime.Host) can back the node.
+	// When both are set, Endpoint wins.
+	Endpoint Endpoint
 	// ListenAddr is the transport listen address. Default "127.0.0.1:0".
 	ListenAddr string
 	// Exports lists the device kinds (and event sources) this node offers.
@@ -195,6 +223,42 @@ type Stats struct {
 	EventDupsSuppressed uint64
 }
 
+// Counters flattens the snapshot into a name → value map — the gauge form
+// runtime.Host.AddGauges ingests, so a multi-tenant host's Stats() carries
+// its federation tier's counters without an import cycle:
+//
+//	host.AddGauges("federation", func() map[string]uint64 { return node.Stats().Counters() })
+func (s Stats) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"sync_rounds":           s.SyncRounds,
+		"sync_errors":           s.SyncErrors,
+		"kinds_scanned":         s.KindsScanned,
+		"mirrors_added":         s.MirrorsAdded,
+		"mirrors_updated":       s.MirrorsUpdated,
+		"mirrors_removed":       s.MirrorsRemoved,
+		"mirrors_live":          s.MirrorsLive,
+		"events_forwarded":      s.EventsForwarded,
+		"event_batches_sent":    s.EventBatchesSent,
+		"forward_budget_drops":  s.ForwardBudgetDrops,
+		"forward_send_drops":    s.ForwardSendDrops,
+		"forward_unrouted":      s.ForwardUnrouted,
+		"exported_hosted":       s.ExportedHosted,
+		"exporter_reconciles":   s.ExporterReconciles,
+		"agg_syncs_sent":        s.AggSyncsSent,
+		"agg_groups_sent":       s.AggGroupsSent,
+		"agg_sync_errors":       s.AggSyncErrors,
+		"agg_syncs_unrouted":    s.AggSyncsUnrouted,
+		"peers_up":              s.PeersUp,
+		"peers_degraded":        s.PeersDegraded,
+		"peers_partitioned":     s.PeersPartitioned,
+		"peer_reconnects":       s.PeerReconnects,
+		"heartbeat_misses":      s.HeartbeatMisses,
+		"forward_retries":       s.ForwardRetries,
+		"peer_restarts_seen":    s.PeerRestartsSeen,
+		"event_dups_suppressed": s.EventDupsSuppressed,
+	}
+}
+
 type statCounters struct {
 	syncRounds          atomic.Uint64
 	syncErrors          atomic.Uint64
@@ -251,7 +315,7 @@ func (c *statCounters) snapshot() Stats {
 // sync with SyncPeers (or Run), and Close when done.
 type Node struct {
 	name    string
-	rt      *runtime.Runtime
+	rt      Endpoint
 	reg     *registry.Registry
 	srv     *transport.Server
 	exports []Export
@@ -298,8 +362,12 @@ func New(cfg Config) (*Node, error) {
 	if cfg.Name == "" {
 		return nil, errors.New("federation: node needs a name")
 	}
-	if cfg.Runtime == nil {
-		return nil, errors.New("federation: node needs a runtime")
+	endpoint := cfg.Endpoint
+	if endpoint == nil {
+		if cfg.Runtime == nil {
+			return nil, errors.New("federation: node needs a runtime or endpoint")
+		}
+		endpoint = cfg.Runtime
 	}
 	type exportID struct{ kind, source string }
 	seen := make(map[exportID]struct{}, len(cfg.Exports))
@@ -337,7 +405,7 @@ func New(cfg Config) (*Node, error) {
 	// A durable node that recovered a boot epoch reuses it, so peers treat
 	// the reborn process as the same incarnation (catch-up stays a delta
 	// sync); a fresh one records its epoch before any peer can observe it.
-	store := cfg.Runtime.Persistence()
+	store := endpoint.Persistence()
 	var srvOpts []transport.ServerOption
 	if store != nil {
 		srvOpts = append(srvOpts, transport.WithBoot(store.Boot()))
@@ -354,8 +422,8 @@ func New(cfg Config) (*Node, error) {
 	}
 	n := &Node{
 		name:       cfg.Name,
-		rt:         cfg.Runtime,
-		reg:        cfg.Runtime.Registry(),
+		rt:         endpoint,
+		reg:        endpoint.Registry(),
 		srv:        srv,
 		exports:    cfg.Exports,
 		store:      store,

@@ -13,7 +13,7 @@ import (
 // wireController subscribes one `when provided <Context>` controller clause
 // to the context's publications.
 func (rt *Runtime) wireController(ctrl *check.Controller, w *check.ControllerWhen) error {
-	_, err := rt.bus.Subscribe(contextTopic(w.Context.Name), func(ev eventbus.Event) {
+	err := rt.subscribe(rt.contextTopic(w.Context.Name), func(ev eventbus.Event) {
 		rt.stats.controllerTriggers.Add(1)
 		h := rt.controllerHandler(ctrl.Name)
 		if h == nil {

@@ -32,12 +32,12 @@ type periodicBatch struct {
 	at       time.Time
 }
 
-func sourceTopic(ctxName string, idx int) string {
-	return fmt.Sprintf("source/%s/%d", ctxName, idx)
+func (rt *Runtime) sourceTopic(ctxName string, idx int) string {
+	return fmt.Sprintf("%ssource/%s/%d", rt.topicPrefix, ctxName, idx)
 }
 
-func periodicTopic(ctxName string, idx int) string {
-	return fmt.Sprintf("periodic/%s/%d", ctxName, idx)
+func (rt *Runtime) periodicTopic(ctxName string, idx int) string {
+	return fmt.Sprintf("%speriodic/%s/%d", rt.topicPrefix, ctxName, idx)
 }
 
 // wireProvided wires one `when provided` interaction: a bus subscription for
@@ -47,7 +47,7 @@ func periodicTopic(ctxName string, idx int) string {
 // (agg.go) so the handler sees a continuously maintained per-group state.
 func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interaction) error {
 	if in.TriggerKind == check.FromContext {
-		_, err := rt.bus.Subscribe(contextTopic(in.TriggerCtx.Name), func(ev eventbus.Event) {
+		err := rt.subscribe(rt.contextTopic(in.TriggerCtx.Name), func(ev eventbus.Event) {
 			rt.dispatchContext(ctx, in, &ContextCall{
 				ContextName:      ctx.Name,
 				Interaction:      in,
@@ -81,11 +81,11 @@ func (rt *Runtime) wireProvided(ctx *check.Context, idx int, in *check.Interacti
 		}
 	}
 
-	topic := sourceTopic(ctx.Name, idx)
+	topic := rt.sourceTopic(ctx.Name, idx)
 	// The ingestion workers publish whole bursts; a deeper queue lets them
 	// run ahead of the handler within the interaction's qos budget instead
 	// of blocking after the default 64 events.
-	if _, err := rt.bus.Subscribe(topic, onEvent, eventbus.WithQueue(sourceTopicQueue)); err != nil {
+	if err := rt.subscribe(topic, onEvent, eventbus.WithQueue(sourceTopicQueue)); err != nil {
 		return err
 	}
 	ing := rt.newIngestor(topic)
@@ -177,7 +177,7 @@ func (rt *Runtime) startPoller(ctx *check.Context, idx int, in *check.Interactio
 	// Deliver batches through the bus so handler invocations for this
 	// interaction are serialized like every other delivery. dispatch fully
 	// copies the batch out, so the readings buffer is recycled afterwards.
-	if _, err := rt.bus.Subscribe(periodicTopic(ctx.Name, idx), func(ev eventbus.Event) {
+	if err := rt.subscribe(rt.periodicTopic(ctx.Name, idx), func(ev eventbus.Event) {
 		switch batch := ev.Payload.(type) {
 		case periodicBatch:
 			p.dispatch(batch)
@@ -230,7 +230,7 @@ func (p *poller) flushWindow() {
 	batch := periodicBatch{readings: p.window, at: p.rt.clock.Now()}
 	p.window = nil
 	p.ticksInWin = 0
-	if err := p.rt.bus.Publish(periodicTopic(p.ctx.Name, p.idx), batch, batch.at); err != nil {
+	if err := p.rt.bus.Publish(p.rt.periodicTopic(p.ctx.Name, p.idx), batch, batch.at); err != nil {
 		p.putReadings(batch.readings)
 	}
 }
@@ -330,7 +330,7 @@ func (p *poller) poll(at time.Time) {
 		p.ticksInWin = 0
 	}
 	batch := periodicBatch{readings: readings, at: at}
-	if err := p.rt.bus.Publish(periodicTopic(p.ctx.Name, p.idx), batch, at); err != nil {
+	if err := p.rt.bus.Publish(p.rt.periodicTopic(p.ctx.Name, p.idx), batch, at); err != nil {
 		p.putReadings(readings)
 		return
 	}
@@ -441,7 +441,7 @@ func (p *poller) publishDelta(at time.Time, snap *pollSnapshot) {
 		}
 	}
 	batch := aggDelta{upserts: ups, removals: removals, reset: reset, at: at}
-	if err := p.rt.bus.Publish(periodicTopic(p.ctx.Name, p.idx), batch, at); err != nil {
+	if err := p.rt.bus.Publish(p.rt.periodicTopic(p.ctx.Name, p.idx), batch, at); err != nil {
 		p.putReadings(ups)
 	}
 }
@@ -558,11 +558,11 @@ func (p *poller) rebuild(gen uint64) {
 	snap := &pollSnapshot{gen: gen}
 	source := p.in.TriggerSource.Name
 	drvs := make([]device.Driver, len(items))
-	p.rt.mu.Lock()
+	ids := make([]string, len(items))
 	for i := range items {
-		drvs[i] = p.rt.devices[items[i].id]
+		ids[i] = items[i].id
 	}
-	p.rt.mu.Unlock()
+	p.rt.fleet.resolve(ids, drvs)
 
 	var remoteIdx map[string]int // endpoint -> snap.remotes index
 	for i := range items {

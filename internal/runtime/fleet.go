@@ -1,0 +1,105 @@
+package runtime
+
+import (
+	"sync"
+
+	"repro/internal/device"
+	"repro/internal/registry"
+)
+
+// deviceTable is the local-driver table of one substrate: device ID → bound
+// driver. A single-tenant Runtime owns its own table; a Host shares one
+// table across every deployed app, so a device bound once is resolvable by
+// all tenants (the "one fleet, N apps" model). The table carries its own
+// mutex — never a Runtime's — because bindings outlive any one app.
+type deviceTable struct {
+	mu sync.Mutex
+	m  map[string]device.Driver
+}
+
+func newDeviceTable() *deviceTable {
+	return &deviceTable{m: make(map[string]device.Driver)}
+}
+
+// get resolves one driver.
+func (t *deviceTable) get(id string) (device.Driver, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	drv, ok := t.m[id]
+	return drv, ok
+}
+
+// install optimistically claims the slot before registration, returning what
+// it displaced so a failed Register can roll back (see rollback).
+func (t *deviceTable) install(drv device.Driver) (prev device.Driver, had bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	prev, had = t.m[drv.ID()]
+	t.m[drv.ID()] = drv
+	return prev, had
+}
+
+// rollback undoes an optimistic install after a failed registration.
+func (t *deviceTable) rollback(id string, prev device.Driver, had bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if had {
+		t.m[id] = prev
+	} else {
+		delete(t.m, id)
+	}
+}
+
+// reassert re-stores the driver after a successful registration, winning any
+// race against a janitor reap that fired between install and Register.
+func (t *deviceTable) reassert(drv device.Driver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.m[drv.ID()] = drv
+}
+
+// remove drops one binding.
+func (t *deviceTable) remove(id string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.m, id)
+}
+
+// reapExpired releases the driver slot of an expired binding. The
+// registry-absence check and the delete share one lock hold, and BindDevice
+// reasserts its driver entry after a successful registration, so a stale
+// expiry notification can never strip a concurrently re-bound device of its
+// driver.
+func (t *deviceTable) reapExpired(id string, reg *registry.Registry) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.m[id]; !ok {
+		return
+	}
+	if _, ok := reg.Get(registry.ID(id)); ok {
+		return // re-registered since the notification was queued
+	}
+	delete(t.m, id)
+}
+
+// ids snapshots the bound device IDs (the janitor's overflow fallback
+// rechecks each against the registry).
+func (t *deviceTable) ids() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.m))
+	for id := range t.m {
+		out = append(out, id)
+	}
+	return out
+}
+
+// resolve fills out[i] with the driver bound for ids[i] (nil when unbound)
+// under one lock acquisition — the poll-snapshot rebuild path.
+func (t *deviceTable) resolve(ids []string, out []device.Driver) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, id := range ids {
+		out[i] = t.m[id]
+	}
+}

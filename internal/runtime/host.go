@@ -1,0 +1,755 @@
+package runtime
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/device"
+	"repro/internal/dsl"
+	"repro/internal/dsl/check"
+	"repro/internal/eventbus"
+	"repro/internal/mapreduce"
+	"repro/internal/persist"
+	"repro/internal/registry"
+	"repro/internal/simclock"
+	"repro/internal/transport"
+)
+
+// This file is the multi-tenant host: N independently authored DiaSpec apps
+// share one registry, one event bus, one device fleet and one store, each
+// with its own qos budgets, pollers, stats and namespaced topics. The
+// paper's premise is one orchestration app over a sensor fleet; the ROADMAP
+// north star ("millions of users") means thousands of such apps sharing the
+// fleet — the Host is the process shape that serves them.
+
+// Typed deploy errors. Callers branch with errors.Is.
+var (
+	// ErrAppExists reports a Deploy under an app ID already deployed.
+	ErrAppExists = errors.New("app already deployed")
+	// ErrCheckFailed reports a design that failed to parse, check, or bind
+	// (including missing or mistyped handler implementations).
+	ErrCheckFailed = errors.New("design check failed")
+	// ErrDraining reports a Deploy against an app ID still tearing down, or
+	// against a host that is closing.
+	ErrDraining = errors.New("draining")
+	// ErrUnknownApp reports an Undeploy of an app ID never deployed.
+	ErrUnknownApp = errors.New("unknown app")
+)
+
+// SubstrateConfig configures the shared infrastructure of a Host — what all
+// tenants see: the time source, the entity registry, durability, and the
+// substrate-level error sink. App-level tunables live in AppConfig.
+type SubstrateConfig struct {
+	// Clock is the time source. Default: real time.
+	Clock simclock.Clock
+	// Registry shares an externally owned registry. Default: the host
+	// creates and owns one.
+	Registry *registry.Registry
+	// PersistDir attaches a write-ahead log + snapshot store rooted there;
+	// NewHost recovers the previous incarnation's fleet, generations and
+	// per-app aggregate checkpoints from it. Requires the host-owned
+	// registry.
+	PersistDir  string
+	PersistOpts persist.Options
+	// OnError receives substrate-level failures and every hosted app's
+	// component errors that the app does not sink itself
+	// (AppConfig.OnError overrides per app).
+	OnError func(ComponentError)
+}
+
+// AppConfig configures one deployed app — the per-tenant half of the split:
+// handlers, ingestion qos, poll-pool and processing tunables. Every zero
+// field selects its default, so AppConfig{AutoImplement: true} deploys any
+// checked design.
+type AppConfig struct {
+	// Contexts and Controllers install the app's component
+	// implementations by declared name.
+	Contexts    map[string]ContextHandler
+	Controllers map[string]ControllerHandler
+	// AutoImplement fills every declared component left unimplemented
+	// with the interpreted dispatch path (interp.go), making deploy cheap:
+	// a bare .diaspec design runs without generated or hand-written code.
+	AutoImplement bool
+	// Ingest tunes the app's event-ingestion pipelines (shards, batching,
+	// in-flight budget, deadline). The budget is per tenant: a noisy app
+	// exhausts only its own admission, never another tenant's.
+	Ingest IngestConfig
+	// PollWorkers bounds each periodic poller's query pool. Zero or
+	// negative selects the default.
+	PollWorkers int
+	// MapReduce tunes the `with map … reduce …` processing engine.
+	MapReduce mapreduce.Config
+	// BatchAggregation re-runs full batch MapReduce every round instead of
+	// incremental maintenance (the ablation baseline).
+	BatchAggregation bool
+	// OnError sinks this app's component errors, overriding the
+	// substrate's OnError.
+	OnError func(ComponentError)
+}
+
+// Host runs N independent DiaSpec apps over one shared substrate. Deploy
+// and Undeploy are safe under live traffic: tenants are isolated by
+// namespaced bus topics and per-tenant qos budgets, so installing or
+// draining one app never drops another app's events.
+type Host struct {
+	clock       simclock.Clock
+	reg         *registry.Registry
+	bus         *eventbus.Bus
+	fleet       *deviceTable
+	onError     func(ComponentError)
+	ownRegistry bool
+
+	store      *persist.Store
+	aggRestore map[string][]byte
+
+	mu        sync.Mutex
+	apps      map[string]*Runtime // nil value = Deploy in flight (slot reserved)
+	draining  map[string]bool     // Undeploy in flight
+	closed    bool
+	janitorOn bool
+	watchers  []*registry.Watcher
+	gauges    map[string]func() map[string]uint64
+	wg        sync.WaitGroup
+
+	fedUnrouted atomic.Uint64 // forwarded readings no app consumed
+	errs        atomic.Uint64
+}
+
+// NewHost creates a host from substrate configuration. With PersistDir set
+// it recovers the previous incarnation's registry and per-app aggregate
+// checkpoints before any app deploys.
+func NewHost(cfg SubstrateConfig) (*Host, error) {
+	h := &Host{
+		clock:    cfg.Clock,
+		onError:  cfg.OnError,
+		fleet:    newDeviceTable(),
+		bus:      eventbus.New(),
+		apps:     make(map[string]*Runtime),
+		draining: make(map[string]bool),
+		gauges:   make(map[string]func() map[string]uint64),
+	}
+	if h.clock == nil {
+		h.clock = simclock.Real{}
+	}
+	if cfg.Registry != nil {
+		h.reg = cfg.Registry
+	} else {
+		h.reg = registry.New(registry.WithClock(h.clock))
+		h.ownRegistry = true
+	}
+	if cfg.PersistDir != "" {
+		if !h.ownRegistry {
+			h.bus.Close()
+			return nil, errors.New("host: persistence requires the host-owned registry")
+		}
+		if err := h.openPersistence(cfg.PersistDir, cfg.PersistOpts); err != nil {
+			h.bus.Close()
+			h.reg.Close()
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// openPersistence mirrors the single-tenant runtime's recovery sequence,
+// with one difference: the store's aggregate-checkpoint source iterates the
+// live app set, and restored blobs are handed to each app at Deploy (keys
+// are appID-namespaced, see aggSnapKey).
+func (h *Host) openPersistence(dir string, opts persist.Options) error {
+	transport.RegisterType(time.Time{})
+	transport.RegisterType([]any(nil))
+	transport.RegisterType(map[string]any(nil))
+
+	store, err := persist.Open(dir, opts)
+	if err != nil {
+		return fmt.Errorf("host: open persistence in %s: %w", dir, err)
+	}
+	if rec := store.Recovered(); rec != nil {
+		for _, re := range rec.Entities {
+			if err := h.reg.RestoreEntity(re.Entity, re.LeaseRemaining); err != nil {
+				store.Crash()
+				store.Close()
+				return fmt.Errorf("host: restore entity %s: %w", re.Entity.ID, err)
+			}
+		}
+		h.reg.RestoreGenerations(rec.GenAll, rec.Gens)
+		h.aggRestore = rec.Aggs
+	}
+	h.store = store
+	h.reg.SetJournal(store.Journal())
+	store.SetRegistry(h.reg)
+	store.AddSource(func(add func(key string, blob []byte)) {
+		for _, rt := range h.snapshotApps() {
+			rt.captureAggCheckpoints(add)
+		}
+	})
+	return nil
+}
+
+// validAppID rejects IDs that would collide in topic or snapshot
+// namespaces: the topic prefix is "app/<id>/" and agg snapshot keys join on
+// NUL, so both characters are reserved.
+func validAppID(id string) error {
+	if id == "" {
+		return fmt.Errorf("host: empty app ID: %w", ErrCheckFailed)
+	}
+	if strings.ContainsAny(id, "/\x00") {
+		return fmt.Errorf("host: app ID %q contains a reserved character: %w", id, ErrCheckFailed)
+	}
+	return nil
+}
+
+// Deploy checks appID, binds the model's interactions into the live
+// substrate under the app's own topic namespace and qos budgets, and
+// starts the app. It is safe under live traffic: existing apps' deliveries
+// are untouched (their subscriptions, budgets and pollers are disjoint by
+// construction). The returned Runtime is the app's handle — its Stats,
+// LastPublished and Implement* surface work exactly as in single-tenant
+// use.
+func (h *Host) Deploy(appID string, model *check.Model, cfg AppConfig) (*Runtime, error) {
+	if err := validAppID(appID); err != nil {
+		return nil, err
+	}
+	if model == nil {
+		return nil, fmt.Errorf("host: deploy %s: nil model: %w", appID, ErrCheckFailed)
+	}
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("host: deploy %s: host closing: %w", appID, ErrDraining)
+	}
+	if h.draining[appID] {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("host: deploy %s: %w", appID, ErrDraining)
+	}
+	if _, ok := h.apps[appID]; ok {
+		h.mu.Unlock()
+		return nil, fmt.Errorf("host: deploy %s: %w", appID, ErrAppExists)
+	}
+	// Reserve the slot with a placeholder so a concurrent Deploy of the
+	// same ID fails fast while this one wires without holding h.mu.
+	h.apps[appID] = nil
+	h.mu.Unlock()
+
+	fail := func(err error) (*Runtime, error) {
+		h.mu.Lock()
+		delete(h.apps, appID)
+		h.mu.Unlock()
+		return nil, err
+	}
+
+	rt := newAppRuntime(model)
+	rt.appID = appID
+	rt.topicPrefix = "app/" + appID + "/"
+	rt.clock = h.clock
+	rt.reg = h.reg
+	rt.bus = h.bus
+	rt.fleet = h.fleet
+	rt.store = h.store
+	rt.aggRestore = h.aggRestore
+	rt.ingestCfg = cfg.Ingest
+	rt.pollWorkers = cfg.PollWorkers
+	rt.mrCfg = cfg.MapReduce
+	rt.batchAgg = cfg.BatchAggregation
+	rt.onError = cfg.OnError
+	if rt.onError == nil {
+		rt.onError = h.onError
+	}
+	rt.normalize()
+
+	for name, ch := range cfg.Contexts {
+		if err := rt.ImplementContext(name, ch); err != nil {
+			return fail(fmt.Errorf("host: deploy %s: %v: %w", appID, err, ErrCheckFailed))
+		}
+	}
+	for name, ch := range cfg.Controllers {
+		if err := rt.ImplementController(name, ch); err != nil {
+			return fail(fmt.Errorf("host: deploy %s: %v: %w", appID, err, ErrCheckFailed))
+		}
+	}
+	if cfg.AutoImplement {
+		if err := rt.autoImplement(model); err != nil {
+			return fail(fmt.Errorf("host: deploy %s: %v: %w", appID, err, ErrCheckFailed))
+		}
+	}
+	if err := rt.Start(); err != nil {
+		rt.Stop()
+		return fail(fmt.Errorf("host: deploy %s: %v: %w", appID, err, ErrCheckFailed))
+	}
+
+	h.mu.Lock()
+	if h.closed {
+		// Close ran between the reservation and here; it skipped the
+		// placeholder, so this app must tear itself down.
+		delete(h.apps, appID)
+		h.mu.Unlock()
+		rt.Stop()
+		return nil, fmt.Errorf("host: deploy %s: host closing: %w", appID, ErrDraining)
+	}
+	h.apps[appID] = rt
+	h.mu.Unlock()
+	return rt, nil
+}
+
+// DeploySource parses + checks a .diaspec design source and deploys it —
+// the hot-deploy entry `diaspecc host deploy` ships a design file through.
+func (h *Host) DeploySource(appID, source string, cfg AppConfig) (*Runtime, error) {
+	model, err := dsl.Load(source)
+	if err != nil {
+		return nil, fmt.Errorf("host: deploy %s: %v: %w", appID, err, ErrCheckFailed)
+	}
+	return h.Deploy(appID, model, cfg)
+}
+
+// Undeploy drains one app out of the live host: its subscriptions are
+// cancelled with their queues drained (delivered+dropped accounting stays
+// exact through the teardown), its pollers and ingestion pipelines stop,
+// and the shared substrate is untouched. The ID is redeployable as soon as
+// Undeploy returns.
+func (h *Host) Undeploy(appID string) error {
+	h.mu.Lock()
+	rt, ok := h.apps[appID]
+	if !ok || rt == nil {
+		h.mu.Unlock()
+		return fmt.Errorf("host: undeploy %s: %w", appID, ErrUnknownApp)
+	}
+	delete(h.apps, appID)
+	h.draining[appID] = true
+	h.mu.Unlock()
+	rt.Stop()
+	h.mu.Lock()
+	delete(h.draining, appID)
+	h.mu.Unlock()
+	return nil
+}
+
+// App returns the handle of one deployed app.
+func (h *Host) App(appID string) (*Runtime, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	rt, ok := h.apps[appID]
+	if rt == nil {
+		return nil, false
+	}
+	return rt, ok
+}
+
+// Apps returns the deployed app IDs, sorted.
+func (h *Host) Apps() []string {
+	h.mu.Lock()
+	ids := make([]string, 0, len(h.apps))
+	for id, rt := range h.apps {
+		if rt != nil {
+			ids = append(ids, id)
+		}
+	}
+	h.mu.Unlock()
+	sort.Strings(ids)
+	return ids
+}
+
+// snapshotApps returns the live app handles (in-flight deploys excluded).
+func (h *Host) snapshotApps() []*Runtime {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	apps := make([]*Runtime, 0, len(h.apps))
+	for _, rt := range h.apps {
+		if rt != nil {
+			apps = append(apps, rt)
+		}
+	}
+	return apps
+}
+
+// Registry returns the shared entity registry.
+func (h *Host) Registry() *registry.Registry { return h.reg }
+
+// Persistence returns the substrate store, nil without PersistDir.
+func (h *Host) Persistence() *persist.Store { return h.store }
+
+// Clock returns the substrate time source.
+func (h *Host) Clock() simclock.Clock { return h.clock }
+
+// BindDevice binds a driver into the shared fleet, validating it against
+// the deployed app designs: some app must declare the device kind (its
+// declaration supplies the kind taxonomy, exactly as in single-tenant
+// BindDevice). One binding serves every tenant — that is the "N apps, one
+// fleet" model.
+func (h *Host) BindDevice(drv device.Driver, opts ...BindOption) error {
+	decl := h.kindDecl(drv.Kind())
+	if decl == nil {
+		return fmt.Errorf("host: device kind %s not declared by any deployed app", drv.Kind())
+	}
+	for name := range drv.Attributes() {
+		if _, ok := decl.Attributes[name]; !ok {
+			return fmt.Errorf("host: device %s has undeclared attribute %s", drv.ID(), name)
+		}
+	}
+	var cfg bindConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.ttl > 0 {
+		if err := h.ensureLeaseJanitor(); err != nil {
+			return fmt.Errorf("host: bind device %s: %w", drv.ID(), err)
+		}
+	}
+	prev, had := h.fleet.install(drv)
+	entity := registry.Entity{
+		ID:    registry.ID(drv.ID()),
+		Kind:  drv.Kind(),
+		Kinds: decl.Kinds(),
+		Attrs: drv.Attributes(),
+		Bound: registry.BindRuntime,
+	}
+	var ropts []registry.RegisterOption
+	if cfg.ttl > 0 {
+		ropts = append(ropts, registry.WithTTL(cfg.ttl))
+	}
+	register := h.reg.Register
+	if h.store != nil {
+		register = h.reg.Reclaim
+	}
+	if err := register(entity, ropts...); err != nil {
+		h.fleet.rollback(drv.ID(), prev, had)
+		return fmt.Errorf("host: bind device %s: %w", drv.ID(), err)
+	}
+	h.fleet.reassert(drv)
+	return nil
+}
+
+// kindDecl resolves a device kind declaration across the deployed apps.
+func (h *Host) kindDecl(kind string) *check.Device {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, rt := range h.apps {
+		if rt == nil {
+			continue
+		}
+		if decl, ok := rt.model.Devices[kind]; ok {
+			return decl
+		}
+	}
+	return nil
+}
+
+// ensureLeaseJanitor mirrors the single-tenant janitor on the host's fleet
+// table: expired leases release their driver slots for all tenants at once.
+func (h *Host) ensureLeaseJanitor() error {
+	h.mu.Lock()
+	if h.janitorOn || h.closed {
+		h.mu.Unlock()
+		return nil
+	}
+	h.janitorOn = true
+	h.mu.Unlock()
+	w, err := h.reg.Watch(registry.Query{}, trackerWatchBuf)
+	if err != nil {
+		h.mu.Lock()
+		h.janitorOn = false
+		h.mu.Unlock()
+		return err
+	}
+	h.mu.Lock()
+	h.watchers = append(h.watchers, w)
+	h.mu.Unlock()
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		var lastMissed uint64
+		for c := range w.C() {
+			if c.Type == registry.Expired {
+				h.fleet.reapExpired(string(c.Entity.ID), h.reg)
+			}
+			if m := w.Missed(); m != lastMissed {
+				lastMissed = m
+				for _, id := range h.fleet.ids() {
+					h.fleet.reapExpired(id, h.reg)
+				}
+			}
+		}
+	}()
+	return nil
+}
+
+// UnbindDevice removes a device from the registry and the shared fleet.
+func (h *Host) UnbindDevice(id string) error {
+	err := h.reg.Unregister(registry.ID(id))
+	h.fleet.remove(id)
+	return err
+}
+
+// LocalDriver returns the locally bound driver for id, if any. Part of the
+// federation Endpoint surface.
+func (h *Host) LocalDriver(id string) (device.Driver, bool) {
+	return h.fleet.get(id)
+}
+
+// ReportError feeds a substrate-level failure into the host's accounting.
+// Part of the federation Endpoint surface.
+func (h *Host) ReportError(component string, err error) {
+	h.errs.Add(1)
+	if handler := h.onError; handler != nil {
+		handler(ComponentError{Component: component, Err: err, Time: h.clock.Now()})
+	}
+}
+
+// RemoteIngest routes a peer-forwarded reading batch to every app that
+// consumes the (kind, source) interaction — per-app routing, so a
+// non-consuming tenant is never charged a federation drop for another
+// tenant's traffic. Returns the minimum admitted across consumers (the
+// conservative wire answer); batches no app consumes count against the
+// host's unrouted gauge. Part of the federation Endpoint surface.
+func (h *Host) RemoteIngest(kind, source string, readings []device.Reading) int {
+	if len(readings) == 0 {
+		return 0
+	}
+	minAdmitted := -1
+	for _, rt := range h.snapshotApps() {
+		if !rt.consumesIngest(kind, source) {
+			continue
+		}
+		n := rt.RemoteIngest(kind, source, readings)
+		if minAdmitted < 0 || n < minAdmitted {
+			minAdmitted = n
+		}
+	}
+	if minAdmitted < 0 {
+		h.fedUnrouted.Add(uint64(len(readings)))
+		return 0
+	}
+	return minAdmitted
+}
+
+// RemoteAggregate routes peer partial aggregates to every app with a
+// combinable engine for the (kind, source) interaction; unrouted calls are
+// side-effect free per app, so blanket fan-out is exact. Part of the
+// federation Endpoint surface.
+func (h *Host) RemoteAggregate(kind, source, origin string, partials []transport.GroupPartial) int {
+	applied := 0
+	for _, rt := range h.snapshotApps() {
+		applied += rt.RemoteAggregate(kind, source, origin, partials)
+	}
+	return applied
+}
+
+// HostStats is the typed cross-tenant snapshot: per-app runtime counters,
+// the shared bus, host-level gauges, and any externally registered gauge
+// sources (the federation tier registers its sync gauges here).
+type HostStats struct {
+	// Apps maps deployed app ID to that app's counter snapshot.
+	Apps map[string]Stats
+	// Bus is the shared delivery substrate's snapshot.
+	Bus eventbus.Stats
+	// UnroutedFederationDrops counts peer-forwarded readings no deployed
+	// app consumed.
+	UnroutedFederationDrops uint64
+	// Errors counts substrate-level failures reported through the host.
+	Errors uint64
+	// Gauges holds the snapshots of registered gauge sources by name.
+	Gauges map[string]map[string]uint64
+}
+
+// Stats returns a consistent-enough snapshot of every tenant: counters are
+// atomics, so no app's dispatch path contends with the read.
+func (h *Host) Stats() HostStats {
+	h.mu.Lock()
+	apps := make(map[string]*Runtime, len(h.apps))
+	for id, rt := range h.apps {
+		if rt != nil {
+			apps[id] = rt
+		}
+	}
+	gauges := make(map[string]func() map[string]uint64, len(h.gauges))
+	for name, fn := range h.gauges {
+		gauges[name] = fn
+	}
+	h.mu.Unlock()
+	st := HostStats{
+		Apps:                    make(map[string]Stats, len(apps)),
+		Bus:                     h.bus.Stats(),
+		UnroutedFederationDrops: h.fedUnrouted.Load(),
+		Errors:                  h.errs.Load(),
+		Gauges:                  make(map[string]map[string]uint64, len(gauges)),
+	}
+	for id, rt := range apps {
+		st.Apps[id] = rt.Stats()
+	}
+	for name, fn := range gauges {
+		st.Gauges[name] = fn()
+	}
+	return st
+}
+
+// AddGauges registers a named gauge source sampled by every Stats call —
+// the hook cooperating tiers (federation sync, transport servers) use to
+// surface their counters in the host snapshot without an import cycle.
+func (h *Host) AddGauges(name string, fn func() map[string]uint64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.gauges[name] = fn
+}
+
+// Close drains every app and seals the substrate: bus, store (final
+// snapshot), and registry if host-owned. Idempotent.
+func (h *Host) Close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	apps := make([]*Runtime, 0, len(h.apps))
+	for _, rt := range h.apps {
+		if rt != nil {
+			apps = append(apps, rt)
+		}
+	}
+	watchers := h.watchers
+	h.watchers = nil
+	h.mu.Unlock()
+	for _, rt := range apps {
+		rt.Stop()
+	}
+	for _, w := range watchers {
+		w.Cancel()
+	}
+	h.wg.Wait()
+	h.bus.Close()
+	// The store seals with a final snapshot whose agg-checkpoint source
+	// iterates the deployed apps, so h.apps must stay populated (and the
+	// stopped runtimes must keep their engine state) until Close returns.
+	if h.store != nil {
+		if err := h.store.Close(); err != nil && err != persist.ErrClosed && err != persist.ErrCrashed {
+			h.ReportError("persist", err)
+		}
+	}
+	if h.ownRegistry {
+		h.reg.Close()
+	}
+	h.mu.Lock()
+	h.apps = make(map[string]*Runtime)
+	h.mu.Unlock()
+}
+
+// Admin adapts the host to the transport admin plane: install it with
+// transport.Server.ServeAdmin and the host answers the `diaspecc host`
+// deploy/list/stats/remove wire ops. Remote deploys run the interpreted
+// dispatch path (AutoImplement), which is what makes hot deploy of a bare
+// .diaspec file possible.
+func (h *Host) Admin() transport.AdminHandler { return hostAdmin{h} }
+
+type hostAdmin struct{ h *Host }
+
+func (a hostAdmin) DeployApp(appID, design string) error {
+	_, err := a.h.DeploySource(appID, design, AppConfig{AutoImplement: true})
+	return err
+}
+
+func (a hostAdmin) RemoveApp(appID string) error { return a.h.Undeploy(appID) }
+
+func (a hostAdmin) ListApps() []transport.HostAppInfo {
+	infos := make([]transport.HostAppInfo, 0, 8)
+	for _, id := range a.h.Apps() {
+		rt, ok := a.h.App(id)
+		if !ok {
+			continue // undeployed between Apps() and here
+		}
+		infos = append(infos, transport.HostAppInfo{
+			ID:          id,
+			Contexts:    rt.model.ContextNames(),
+			Controllers: rt.model.ControllerNames(),
+		})
+	}
+	return infos
+}
+
+func (a hostAdmin) AppStats() []transport.AppStatsRecord {
+	st := a.h.Stats()
+	ids := make([]string, 0, len(st.Apps))
+	for id := range st.Apps {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	recs := make([]transport.AppStatsRecord, 0, len(ids)+1+len(st.Gauges))
+	for _, id := range ids {
+		recs = append(recs, transport.AppStatsRecord{App: id, Counters: st.Apps[id].Counters()})
+	}
+	recs = append(recs, transport.AppStatsRecord{App: "host", Counters: map[string]uint64{
+		"unrouted_federation_drops": st.UnroutedFederationDrops,
+		"errors":                    st.Errors,
+		"bus_published":             st.Bus.Published,
+		"bus_delivered":             st.Bus.Delivered,
+		"bus_dropped":               st.Bus.Dropped,
+	}})
+	gnames := make([]string, 0, len(st.Gauges))
+	for name := range st.Gauges {
+		gnames = append(gnames, name)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		recs = append(recs, transport.AppStatsRecord{App: name, Counters: st.Gauges[name]})
+	}
+	return recs
+}
+
+// WithSubstrate adapts SubstrateConfig to the single-tenant constructor:
+// runtime.New(model, runtime.WithSubstrate(sub), runtime.WithTuning(app))
+// is the one-tenant spelling of NewHost + Deploy.
+func WithSubstrate(cfg SubstrateConfig) Option {
+	return func(rt *Runtime) {
+		if cfg.Clock != nil {
+			rt.clock = cfg.Clock
+		}
+		if cfg.Registry != nil {
+			rt.reg = cfg.Registry
+			rt.ownRegistry = false
+		}
+		if cfg.PersistDir != "" {
+			rt.persistDir = cfg.PersistDir
+			rt.persistOpts = cfg.PersistOpts
+		}
+		if cfg.OnError != nil {
+			rt.onError = cfg.OnError
+		}
+	}
+}
+
+// WithTuning adapts AppConfig to the single-tenant constructor. Handler
+// maps install immediately (the model is already bound); an invalid
+// handler surfaces from Start, like a recovery failure would.
+func WithTuning(cfg AppConfig) Option {
+	return func(rt *Runtime) {
+		rt.ingestCfg = cfg.Ingest
+		if cfg.PollWorkers != 0 {
+			rt.pollWorkers = cfg.PollWorkers
+		}
+		rt.mrCfg = cfg.MapReduce
+		if cfg.BatchAggregation {
+			rt.batchAgg = true
+		}
+		if cfg.OnError != nil {
+			rt.onError = cfg.OnError
+		}
+		for name, ch := range cfg.Contexts {
+			if err := rt.ImplementContext(name, ch); err != nil && rt.initErr == nil {
+				rt.initErr = fmt.Errorf("%v: %w", err, ErrCheckFailed)
+			}
+		}
+		for name, ch := range cfg.Controllers {
+			if err := rt.ImplementController(name, ch); err != nil && rt.initErr == nil {
+				rt.initErr = fmt.Errorf("%v: %w", err, ErrCheckFailed)
+			}
+		}
+		if cfg.AutoImplement {
+			if err := rt.autoImplement(rt.model); err != nil && rt.initErr == nil {
+				rt.initErr = fmt.Errorf("%v: %w", err, ErrCheckFailed)
+			}
+		}
+	}
+}

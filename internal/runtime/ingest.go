@@ -211,6 +211,17 @@ func (ing *ingestor) ingestRemote(readings []device.Reading) int {
 // device interaction.
 func ingestKey(kind, source string) string { return kind + "\x00" + source }
 
+// consumesIngest reports whether any live interaction of this runtime
+// consumes the (kind, source) device interaction. The Host uses it to route
+// RemoteIngest only to consuming apps: calling RemoteIngest blindly on every
+// app would charge non-consumers a FederationEventDrops for each forwarded
+// batch.
+func (rt *Runtime) consumesIngest(kind, source string) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.ingestByKey[ingestKey(kind, source)]) > 0
+}
+
 // RemoteIngest lands a batch of device readings forwarded by a federation
 // peer — all of one device kind and source — into every ingestion pipeline
 // consuming that interaction, exactly as if the devices had pushed locally.

@@ -307,9 +307,7 @@ func TestSourceTrackerReleasesOnChurn(t *testing.T) {
 	rt.reg.Sweep()
 	waitUntil(t, "tracker release on expiry", func() bool { return tr.trackedCount() == n/2 })
 	waitUntil(t, "driver slot release on expiry", func() bool {
-		rt.mu.Lock()
-		_, ok := rt.devices["leased-1"]
-		rt.mu.Unlock()
+		_, ok := rt.fleet.get("leased-1")
 		return !ok
 	})
 	// The identity is immediately rebindable.
@@ -372,9 +370,7 @@ func TestChurnSwarmLeaseExpiry(t *testing.T) {
 	})
 	waitUntil(t, "fleet settle after expiry", cs.Settled)
 	waitUntil(t, "driver reap on lease lapse", func() bool {
-		rt.mu.Lock()
-		defer rt.mu.Unlock()
-		return len(rt.devices) == n-churned
+		return len(rt.fleet.ids()) == n-churned
 	})
 	if got := cs.StormDead(churned); got != 0 {
 		t.Fatalf("expired sensors accepted %d readings", got)

@@ -90,6 +90,18 @@ func (pa *provAgg) aggKey() string {
 	return pa.ctx.Name + "#" + strconv.Itoa(pa.idx)
 }
 
+// aggSnapKey namespaces an engine's snapshot key by tenant: hosted apps
+// share one store, and two apps may declare identically named contexts.
+// The NUL separator cannot collide with app IDs (Deploy rejects NUL) or
+// with single-tenant keys (appID "" leaves the legacy key unchanged, so
+// existing on-disk snapshots restore without migration).
+func (rt *Runtime) aggSnapKey(pa *provAgg) string {
+	if rt.appID == "" {
+		return pa.aggKey()
+	}
+	return rt.appID + "\x00" + pa.aggKey()
+}
+
 // captureAggCheckpoints contributes every provided-grouped engine's
 // checkpoint to a snapshot. Each engine is captured under its own mutex;
 // snapshots never hold the store mutex here, so the engines' normal lock
@@ -111,7 +123,7 @@ func (rt *Runtime) captureAggCheckpoints(add func(key string, blob []byte)) {
 			rt.reportError(pa.ctx.Name, fmt.Errorf("aggregate checkpoint: %w", err))
 			continue
 		}
-		add(pa.aggKey(), append([]byte(nil), buf.Bytes()...))
+		add(rt.aggSnapKey(pa), append([]byte(nil), buf.Bytes()...))
 	}
 }
 
@@ -120,7 +132,7 @@ func (rt *Runtime) captureAggCheckpoints(add func(key string, blob []byte)) {
 // registry resync — so contributions of devices that did not survive
 // recovery are retracted by the resync that follows.
 func (rt *Runtime) restoreAggState(pa *provAgg) {
-	blob := rt.aggRestore[pa.aggKey()]
+	blob := rt.aggRestore[rt.aggSnapKey(pa)]
 	if len(blob) == 0 {
 		return
 	}

@@ -168,6 +168,34 @@ type Stats struct {
 	Errors uint64
 }
 
+// Counters flattens the snapshot into a name → value map — the wire form
+// the `diaspecc host stats` admin op ships, so adding a Stats field never
+// changes the transport schema.
+func (s Stats) Counters() map[string]uint64 {
+	return map[string]uint64{
+		"context_triggers":            s.ContextTriggers,
+		"context_publishes":           s.ContextPublishes,
+		"controller_triggers":         s.ControllerTriggers,
+		"periodic_polls":              s.PeriodicPolls,
+		"poll_snapshot_rebuilds":      s.PollSnapshotRebuilds,
+		"ingest_events":               s.IngestEvents,
+		"ingest_batches":              s.IngestBatches,
+		"ingest_budget_drops":         s.IngestBudgetDrops,
+		"ingest_deadline_drops":       s.IngestDeadlineDrops,
+		"tracker_reconciles":          s.TrackerReconciles,
+		"federation_events_in":        s.FederationEventsIn,
+		"federation_event_batches_in": s.FederationEventBatchesIn,
+		"federation_event_drops":      s.FederationEventDrops,
+		"federation_command_chunks":   s.FederationCommandChunks,
+		"federation_agg_partials_in":  s.FederationAggPartialsIn,
+		"groups_dirty":                s.GroupsDirty,
+		"groups_total":                s.GroupsTotal,
+		"agg_reuse":                   s.AggReuse,
+		"actuations":                  s.Actuations,
+		"errors":                      s.Errors,
+	}
+}
+
 // statCounters is the live, lock-free form of Stats: polling rounds and
 // dispatch bump these without touching the runtime mutex.
 type statCounters struct {
@@ -228,32 +256,48 @@ func (c *statCounters) snapshot() Stats {
 	}
 }
 
-// Runtime hosts one application built from a checked design.
+// Runtime hosts one application built from a checked design. A Runtime is
+// either single-tenant (runtime.New: it owns its bus, registry, device table
+// and store) or one app of a multi-tenant Host (Host.Deploy: the substrate
+// is shared and host-owned, topics are namespaced per app, and Stop releases
+// only this app's subscriptions and pipelines).
 type Runtime struct {
 	model       *check.Model
 	reg         *registry.Registry
 	bus         *eventbus.Bus
+	fleet       *deviceTable
 	clock       simclock.Clock
 	mrCfg       mapreduce.Config
 	ingestCfg   IngestConfig
 	pollWorkers int
 	batchAgg    bool
 
+	// Tenancy. appID is "" for a single-tenant runtime; topicPrefix
+	// namespaces every bus topic of a hosted app ("app/<id>/") so N apps
+	// share one bus without topic collisions. The own* flags record which
+	// substrate pieces Stop may tear down.
+	appID       string
+	topicPrefix string
+	ownBus      bool
+	ownStore    bool
+
 	onError     func(ComponentError)
 	ownRegistry bool
 
-	// Durability (see persist.go). store/persistErr are written in New and
-	// read-only afterwards; aggRestore is consumed at wiring time in Start.
+	// Durability (see persist.go). store/persistErr are written in New (or
+	// by Host.Deploy) and read-only afterwards; aggRestore is consumed at
+	// wiring time in Start.
 	store       *persist.Store
 	persistDir  string
 	persistOpts persist.Options
 	persistErr  error
+	initErr     error // deferred Option-time failure, surfaced by Start
 	aggRestore  map[string][]byte
 
 	mu          sync.Mutex
 	started     bool
 	stopped     bool
-	devices     map[string]device.Driver
+	subs        []*eventbus.Subscription
 	contexts    map[string]ContextHandler
 	controllers map[string]ControllerHandler
 	clients     map[string]*transport.Client
@@ -307,29 +351,45 @@ func (rt *Runtime) controllerHandler(name string) ControllerHandler {
 	return rt.handlers.Load().controllers[name]
 }
 
-// Option configures a Runtime.
+// Option configures a single-tenant Runtime.
+//
+// Deprecated naming note: the flat Option pile predates the multi-tenant
+// Host API, which splits configuration into SubstrateConfig (shared
+// infrastructure: clock, registry, persistence, error sink) and AppConfig
+// (per-app tunables: handlers, ingestion, poll workers, MapReduce). New code
+// should prefer NewHost + Deploy with those structs — or WithSubstrate /
+// WithTuning, which adapt them to this constructor. Each individual Option
+// below is retained as a back-compat alias for single-tenant runtimes.
 type Option func(*Runtime)
 
 // WithClock sets the time source (virtual clocks make periodic designs
 // deterministic). Default: real time.
+//
+// Deprecated: set SubstrateConfig.Clock (via NewHost or WithSubstrate).
 func WithClock(c simclock.Clock) Option {
 	return func(rt *Runtime) { rt.clock = c }
 }
 
 // WithRegistry shares an externally owned registry (e.g. one populated by a
 // separate deployment process). By default the runtime creates and owns one.
+//
+// Deprecated: set SubstrateConfig.Registry (via NewHost or WithSubstrate).
 func WithRegistry(r *registry.Registry) Option {
 	return func(rt *Runtime) { rt.reg = r; rt.ownRegistry = false }
 }
 
 // WithMapReduceConfig tunes the processing engine used for
 // `with map … reduce …` interactions.
+//
+// Deprecated: set AppConfig.MapReduce (via Host.Deploy or WithTuning).
 func WithMapReduceConfig(cfg mapreduce.Config) Option {
 	return func(rt *Runtime) { rt.mrCfg = cfg }
 }
 
 // WithErrorHandler installs a callback invoked on every component error.
 // Errors are always counted in Stats regardless.
+//
+// Deprecated: set SubstrateConfig.OnError or AppConfig.OnError.
 func WithErrorHandler(f func(ComponentError)) Option {
 	return func(rt *Runtime) { rt.onError = f }
 }
@@ -337,60 +397,91 @@ func WithErrorHandler(f func(ComponentError)) Option {
 // WithIngestConfig tunes the event-driven ingestion pipeline behind
 // `when provided` device sources (shard count, batch size, in-flight budget
 // and deadline). The zero value of every field selects its default.
+//
+// Deprecated: set AppConfig.Ingest (via Host.Deploy or WithTuning).
 func WithIngestConfig(cfg IngestConfig) Option {
 	return func(rt *Runtime) { rt.ingestCfg = cfg }
 }
 
+// defaultPollWorkers is the per-poller query pool bound when none (or a
+// non-positive one) is configured.
+const defaultPollWorkers = 32
+
 // WithPollWorkers bounds the per-poller query pool of `when periodic`
 // interactions: up to n goroutines issue device queries concurrently per
 // poller (the pool still grows lazily with the fleet, so small fleets park
-// no idle workers). Default 32.
+// no idle workers). Zero or negative falls back to the default (32) — a
+// zero-worker pool could never complete a round.
+//
+// Deprecated: set AppConfig.PollWorkers (via Host.Deploy or WithTuning).
 func WithPollWorkers(n int) Option {
-	return func(rt *Runtime) {
-		if n > 0 {
-			rt.pollWorkers = n
-		}
-	}
+	return func(rt *Runtime) { rt.pollWorkers = n }
 }
 
 // WithBatchAggregation makes grouped periodic interactions re-run the full
 // batch MapReduce every round instead of maintaining state in the
 // incremental engine — the pre-incremental behavior, kept as the ablation
 // baseline and correctness oracle (examples/aggstorm cross-checks the two).
+//
+// Deprecated: set AppConfig.BatchAggregation (via Host.Deploy or
+// WithTuning).
 func WithBatchAggregation() Option {
 	return func(rt *Runtime) { rt.batchAgg = true }
 }
 
-// New creates a Runtime for the given checked design model.
-func New(model *check.Model, opts ...Option) *Runtime {
+// newAppRuntime allocates the per-app state every Runtime needs, tenancy
+// aside. Both constructors — single-tenant New and Host.Deploy — build on
+// it.
+func newAppRuntime(model *check.Model) *Runtime {
 	rt := &Runtime{
 		model:       model,
 		clock:       simclock.Real{},
 		contexts:    make(map[string]ContextHandler),
 		controllers: make(map[string]ControllerHandler),
-		devices:     make(map[string]device.Driver),
 		clients:     make(map[string]*transport.Client),
 		ingestByKey: make(map[string][]*ingestor),
 		aggByKey:    make(map[string][]*provAgg),
 		lastValues:  make(map[string]any),
-		ownRegistry: true,
-		pollWorkers: 32,
+		pollWorkers: defaultPollWorkers,
 	}
-	for _, o := range opts {
-		o(rt)
-	}
-	if rt.reg == nil {
-		rt.reg = registry.New(registry.WithClock(rt.clock))
+	rt.handlers.Store(&handlerTables{
+		contexts:    map[string]ContextHandler{},
+		controllers: map[string]ControllerHandler{},
+	})
+	return rt
+}
+
+// normalize applies the cross-constructor defaults after configuration.
+func (rt *Runtime) normalize() {
+	if rt.pollWorkers <= 0 {
+		// A zero-worker pool would hang the first non-empty round (no
+		// worker ever closes it); fall back to the default instead.
+		rt.pollWorkers = defaultPollWorkers
 	}
 	if rt.mrCfg.KeyHash == nil {
 		// Group keys are rendered attribute values, i.e. strings; skip
 		// the reflective default hash on the periodic hot path.
 		rt.mrCfg.KeyHash = mapreduce.StringKeyHash
 	}
-	rt.handlers.Store(&handlerTables{
-		contexts:    map[string]ContextHandler{},
-		controllers: map[string]ControllerHandler{},
-	})
+}
+
+// New creates a single-tenant Runtime for the given checked design model: a
+// thin one-tenant configuration of the same machinery Host runs N apps on,
+// kept API-compatible. The runtime owns its bus, device table, registry
+// (unless WithRegistry) and store (if WithPersistence).
+func New(model *check.Model, opts ...Option) *Runtime {
+	rt := newAppRuntime(model)
+	rt.ownRegistry = true
+	rt.ownBus = true
+	rt.ownStore = true
+	rt.fleet = newDeviceTable()
+	for _, o := range opts {
+		o(rt)
+	}
+	if rt.reg == nil {
+		rt.reg = registry.New(registry.WithClock(rt.clock))
+	}
+	rt.normalize()
 	rt.bus = eventbus.New()
 	if rt.persistDir != "" {
 		rt.openPersistence()
@@ -447,13 +538,10 @@ func (rt *Runtime) BindDevice(drv device.Driver, opts ...BindOption) error {
 	}
 	// The driver is installed before Register so that watchers reacting to
 	// the Added notification resolve it locally — but rolled back if the
-	// registration fails, so a failed re-bind never leaves rt.devices
+	// registration fails, so a failed re-bind never leaves the device table
 	// disagreeing with the registry (poll snapshots cache resolved drivers
 	// and rebuild only on registry change).
-	rt.mu.Lock()
-	prev, had := rt.devices[drv.ID()]
-	rt.devices[drv.ID()] = drv
-	rt.mu.Unlock()
+	prev, had := rt.fleet.install(drv)
 	entity := registry.Entity{
 		ID:    registry.ID(drv.ID()),
 		Kind:  drv.Kind(),
@@ -474,31 +562,23 @@ func (rt *Runtime) BindDevice(drv device.Driver, opts ...BindOption) error {
 		register = rt.reg.Reclaim
 	}
 	if err := register(entity, ropts...); err != nil {
-		rt.mu.Lock()
-		if had {
-			rt.devices[drv.ID()] = prev
-		} else {
-			delete(rt.devices, drv.ID())
-		}
-		rt.mu.Unlock()
+		rt.fleet.rollback(drv.ID(), prev, had)
 		return fmt.Errorf("runtime: bind device %s: %w", drv.ID(), err)
 	}
 	// Re-assert the driver entry now that the entity is registered: the
 	// lease janitor reaps entries whose ID is absent from the registry, so
 	// a reap that raced the window between the optimistic install above
 	// and Register must not win (reapExpired checks the registry under the
-	// same mu hold, making this store the tiebreaker).
-	rt.mu.Lock()
-	rt.devices[drv.ID()] = drv
-	rt.mu.Unlock()
+	// same lock hold, making this store the tiebreaker).
+	rt.fleet.reassert(drv)
 	return nil
 }
 
-// ensureLeaseJanitor lazily starts the watcher that reaps rt.devices entries
-// of expired leased bindings, so a device that stops renewing releases its
-// driver slot like an explicit UnbindDevice would. Started on the first
-// leased bind only: lease-free populations keep their watcher-free register
-// fast path.
+// ensureLeaseJanitor lazily starts the watcher that reaps device-table
+// entries of expired leased bindings, so a device that stops renewing
+// releases its driver slot like an explicit UnbindDevice would. Started on
+// the first leased bind only: lease-free populations keep their watcher-free
+// register fast path.
 func (rt *Runtime) ensureLeaseJanitor() error {
 	rt.mu.Lock()
 	if rt.janitorOn || rt.stopped {
@@ -523,7 +603,7 @@ func (rt *Runtime) ensureLeaseJanitor() error {
 		var lastMissed uint64
 		for c := range w.C() {
 			if c.Type == registry.Expired {
-				rt.reapExpired(string(c.Entity.ID))
+				rt.fleet.reapExpired(string(c.Entity.ID), rt.reg)
 			}
 			// The janitor watches every registry change, so a churn or
 			// bind storm can overflow its channel; like the source
@@ -531,52 +611,20 @@ func (rt *Runtime) ensureLeaseJanitor() error {
 			// against the registry.
 			if m := w.Missed(); m != lastMissed {
 				lastMissed = m
-				rt.reapUnregistered()
+				for _, id := range rt.fleet.ids() {
+					rt.fleet.reapExpired(id, rt.reg)
+				}
 			}
 		}
 	}()
 	return nil
 }
 
-// reapExpired releases the local driver slot of an expired binding. The
-// registry-absence check and the delete share one mu hold, and BindDevice
-// re-asserts its driver entry after a successful registration, so a stale
-// expiry notification can never strip a concurrently re-bound device of
-// its driver.
-func (rt *Runtime) reapExpired(id string) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if _, ok := rt.devices[id]; !ok {
-		return
-	}
-	if _, ok := rt.reg.Get(registry.ID(id)); ok {
-		return // re-registered since the notification was queued
-	}
-	delete(rt.devices, id)
-}
-
-// reapUnregistered is the janitor's overflow fallback: with notifications
-// dropped, every driver entry is re-checked against the registry.
-func (rt *Runtime) reapUnregistered() {
-	rt.mu.Lock()
-	ids := make([]string, 0, len(rt.devices))
-	for id := range rt.devices {
-		ids = append(ids, id)
-	}
-	rt.mu.Unlock()
-	for _, id := range ids {
-		rt.reapExpired(id)
-	}
-}
-
 // LocalDriver returns the locally bound driver for id, if any. The
 // federation tier uses it to host exported devices on the node's transport
 // server without re-resolving through the registry.
 func (rt *Runtime) LocalDriver(id string) (device.Driver, bool) {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	drv, ok := rt.devices[id]
-	return drv, ok
+	return rt.fleet.get(id)
 }
 
 // UnbindDevice removes a device from the registry and the runtime. The
@@ -584,9 +632,7 @@ func (rt *Runtime) LocalDriver(id string) (device.Driver, bool) {
 // entity whose local driver is already gone.
 func (rt *Runtime) UnbindDevice(id string) error {
 	err := rt.reg.Unregister(registry.ID(id))
-	rt.mu.Lock()
-	delete(rt.devices, id)
-	rt.mu.Unlock()
+	rt.fleet.remove(id)
 	return err
 }
 
@@ -642,6 +688,9 @@ func (rt *Runtime) Start() error {
 	if rt.persistErr != nil {
 		return rt.persistErr
 	}
+	if rt.initErr != nil {
+		return rt.initErr
+	}
 	rt.mu.Lock()
 	if rt.started {
 		rt.mu.Unlock()
@@ -689,10 +738,14 @@ func (rt *Runtime) Start() error {
 }
 
 // Stop tears down pollers, subscriptions and transports. It is idempotent.
+// A single-tenant runtime also closes its bus, store and registry; a hosted
+// app releases only its own bus subscriptions and pipelines — the shared
+// substrate stays live for the other tenants (Undeploy calls Stop, and the
+// Host seals the substrate in Close).
 func (rt *Runtime) Stop() {
 	rt.mu.Lock()
 	if rt.stopped || !rt.started {
-		sealStore := !rt.stopped
+		sealStore := !rt.stopped && rt.ownStore
 		rt.stopped = true
 		rt.mu.Unlock()
 		if sealStore {
@@ -706,9 +759,12 @@ func (rt *Runtime) Stop() {
 	ingestors := rt.ingestors
 	watchers := rt.watchers
 	clients := rt.clients
-	rt.pollers, rt.trackers, rt.ingestors, rt.watchers = nil, nil, nil, nil
+	subs := rt.subs
+	rt.pollers, rt.trackers, rt.ingestors, rt.watchers, rt.subs = nil, nil, nil, nil, nil
 	rt.ingestByKey = make(map[string][]*ingestor)
-	rt.aggByKey = make(map[string][]*provAgg)
+	// aggByKey is deliberately kept: the store's final snapshot (sealed
+	// below for single-tenant runtimes, by Host.Close for hosted apps)
+	// captures each engine's checkpoint from it after the pipelines drain.
 	rt.clients = make(map[string]*transport.Client)
 	rt.mu.Unlock()
 
@@ -728,16 +784,44 @@ func (rt *Runtime) Stop() {
 		ing.stop()
 	}
 	rt.wg.Wait()
-	rt.bus.Close()
+	if rt.ownBus {
+		rt.bus.Close()
+	} else {
+		// Hosted app on a shared bus: cancel this app's subscriptions only.
+		// Cancellation drains each subscription's queue first, so events the
+		// app's pipelines handed to the bus before wg drained (ingest shards
+		// flush on stop) are still delivered and counted — hot undeploy
+		// keeps delivered+dropped accounting exact.
+		for _, s := range subs {
+			s.Cancel()
+		}
+	}
 	for _, c := range clients {
 		c.Close()
 	}
 	// The store's final snapshot captures the registry, so it must be sealed
-	// before the registry closes (after Crash this writes nothing).
-	rt.closePersistence()
+	// before the registry closes (after Crash this writes nothing). Hosted
+	// apps skip both: store and registry belong to the Host.
+	if rt.ownStore {
+		rt.closePersistence()
+	}
 	if rt.ownRegistry {
 		rt.reg.Close()
 	}
+}
+
+// subscribe is the tracked form of bus.Subscribe: a hosted app must be able
+// to release exactly its own subscriptions at Undeploy without closing the
+// shared bus, so every wiring path records what it subscribed.
+func (rt *Runtime) subscribe(topic string, h eventbus.Handler, opts ...eventbus.SubOption) error {
+	sub, err := rt.bus.Subscribe(topic, h, opts...)
+	if err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	rt.subs = append(rt.subs, sub)
+	rt.mu.Unlock()
+	return nil
 }
 
 // Stats returns a snapshot of runtime counters. Counters are atomics, so
@@ -781,12 +865,9 @@ func (rt *Runtime) reportError(component string, err error) {
 // driver when present, else a remote proxy (carrying the entity's full
 // metadata) dialed through the cached endpoint client.
 func (rt *Runtime) driverFor(e registry.Entity) (device.Driver, error) {
-	rt.mu.Lock()
-	if drv, ok := rt.devices[string(e.ID)]; ok {
-		rt.mu.Unlock()
+	if drv, ok := rt.fleet.get(string(e.ID)); ok {
 		return drv, nil
 	}
-	rt.mu.Unlock()
 	cli, err := rt.clientFor(string(e.ID), e.Endpoint)
 	if err != nil {
 		return nil, err
@@ -799,12 +880,9 @@ func (rt *Runtime) driverFor(e registry.Entity) (device.Driver, error) {
 // avoiding the full entity clone. The returned remote proxies carry no
 // attribute metadata; callers use them for Query/Invoke only.
 func (rt *Runtime) driverByID(id, endpoint string) (device.Driver, error) {
-	rt.mu.Lock()
-	if drv, ok := rt.devices[id]; ok {
-		rt.mu.Unlock()
+	if drv, ok := rt.fleet.get(id); ok {
 		return drv, nil
 	}
-	rt.mu.Unlock()
 	cli, err := rt.clientFor(id, endpoint)
 	if err != nil {
 		return nil, err
@@ -847,9 +925,14 @@ func (rt *Runtime) publishContext(ctx *check.Context, value any) {
 	rt.lastValues[ctx.Name] = value
 	rt.mu.Unlock()
 	rt.stats.contextPublishes.Add(1)
-	if err := rt.bus.Publish(contextTopic(ctx.Name), value, rt.clock.Now()); err != nil && !errors.Is(err, eventbus.ErrClosed) {
+	if err := rt.bus.Publish(rt.contextTopic(ctx.Name), value, rt.clock.Now()); err != nil && !errors.Is(err, eventbus.ErrClosed) {
 		rt.reportError(ctx.Name, err)
 	}
 }
 
-func contextTopic(name string) string { return "context/" + name }
+// Topic construction is prefix-aware: a hosted app's topics all live under
+// "app/<id>/", so N tenants on one shared bus can never cross-deliver — an
+// event published for app A's context is unroutable to app B by
+// construction, not by filtering.
+
+func (rt *Runtime) contextTopic(name string) string { return rt.topicPrefix + "context/" + name }

@@ -42,7 +42,7 @@ func ensureBasicTypes() {
 
 type request struct {
 	ID      uint64
-	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "agg_sync", "ping"
+	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "agg_sync", "host_deploy", "host_remove", "host_list", "host_stats", "ping"
 	Device  string
 	Devices []string // for "query_batch"/"command_batch": the devices to answer for
 	Facet   string
@@ -58,6 +58,10 @@ type request struct {
 	Groups   []GroupPartial   // "agg_sync": the per-group partial aggregates
 	Stream   uint64           // "event_batch": sender stream identity (0 = no replay protection)
 	Seq      uint64           // "event_batch": per-stream sequence number
+
+	// Host-admin fields (gob omits them elsewhere).
+	App    string // "host_deploy"/"host_remove": target app ID
+	Design string // "host_deploy": the .diaspec design source
 }
 
 type response struct {
@@ -74,6 +78,24 @@ type response struct {
 	Deltas   []SyncDelta // "registry_sync" answer
 	Accepted int         // "event_batch": readings admitted by the receiver
 	Boot     uint64      // "registry_sync": the answering server's boot epoch
+
+	Apps     []HostAppInfo    // "host_list" answer
+	AppStats []AppStatsRecord // "host_stats" answer
+}
+
+// HostAppInfo describes one deployed app in a "host_list" answer.
+type HostAppInfo struct {
+	ID          string
+	Contexts    []string
+	Controllers []string
+}
+
+// AppStatsRecord carries one scope's counters in a "host_stats" answer.
+// Scopes are the deployed app IDs plus pseudo-scopes the handler chooses to
+// expose (e.g. "host" for substrate-level gauges).
+type AppStatsRecord struct {
+	App      string
+	Counters map[string]uint64
 }
 
 // GroupPartial is one group's node-local partial aggregate in an
@@ -125,6 +147,20 @@ type FederationHandler interface {
 	IngestAggSync(kind, source, origin string, groups []GroupPartial) int
 }
 
+// AdminHandler answers the host-administration wire ops — the remote
+// surface behind `diaspecc host deploy/list/stats/remove`. Implementations
+// must be safe for concurrent use.
+type AdminHandler interface {
+	// DeployApp hot-deploys a .diaspec design source under appID.
+	DeployApp(appID, design string) error
+	// RemoveApp undeploys one app.
+	RemoveApp(appID string) error
+	// ListApps enumerates the deployed apps.
+	ListApps() []HostAppInfo
+	// AppStats snapshots per-scope counters.
+	AppStats() []AppStatsRecord
+}
+
 // Errors returned by transport operations. ErrTimeout, ErrConnLost, and
 // ErrClosed are the three ways a call can die without a server verdict;
 // reconnect logic (ManagedClient) treats all three as connection failures,
@@ -165,11 +201,15 @@ type Server struct {
 	closed  bool
 	wg      sync.WaitGroup
 
-	fed atomic.Pointer[fedBox]
+	fed   atomic.Pointer[fedBox]
+	admin atomic.Pointer[adminBox]
 }
 
 // fedBox wraps the handler so the atomic pointer has a concrete type.
 type fedBox struct{ h FederationHandler }
+
+// adminBox is fedBox's twin for the host-admin handler.
+type adminBox struct{ h AdminHandler }
 
 // ServerOption configures a Server.
 type ServerOption func(*Server)
@@ -243,6 +283,25 @@ func (s *Server) ServeFederation(h FederationHandler) {
 
 func (s *Server) federation() FederationHandler {
 	if box := s.fed.Load(); box != nil {
+		return box.h
+	}
+	return nil
+}
+
+// ServeAdmin installs the handler answering host-administration requests
+// (host_deploy, host_remove, host_list, host_stats) on this server. Passing
+// nil uninstalls it; without a handler those ops fail with an error
+// response.
+func (s *Server) ServeAdmin(h AdminHandler) {
+	if h == nil {
+		s.admin.Store(nil)
+		return
+	}
+	s.admin.Store(&adminBox{h: h})
+}
+
+func (s *Server) adminHandler() AdminHandler {
+	if box := s.admin.Load(); box != nil {
 		return box.h
 	}
 	return nil
@@ -456,6 +515,34 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			n := fed.IngestAggSync(req.Kind, req.Facet, req.Origin, req.Groups)
 			send(response{ID: req.ID, Accepted: n})
+		case "host_deploy":
+			adm := s.adminHandler()
+			if adm == nil {
+				send(response{ID: req.ID, Err: "host admin not served here"})
+				continue
+			}
+			send(response{ID: req.ID, Err: errString(adm.DeployApp(req.App, req.Design))})
+		case "host_remove":
+			adm := s.adminHandler()
+			if adm == nil {
+				send(response{ID: req.ID, Err: "host admin not served here"})
+				continue
+			}
+			send(response{ID: req.ID, Err: errString(adm.RemoveApp(req.App))})
+		case "host_list":
+			adm := s.adminHandler()
+			if adm == nil {
+				send(response{ID: req.ID, Err: "host admin not served here"})
+				continue
+			}
+			send(response{ID: req.ID, Apps: adm.ListApps()})
+		case "host_stats":
+			adm := s.adminHandler()
+			if adm == nil {
+				send(response{ID: req.ID, Err: "host admin not served here"})
+				continue
+			}
+			send(response{ID: req.ID, AppStats: adm.AppStats()})
 		case "subscribe":
 			drv := s.lookup(req.Device)
 			if drv == nil {
@@ -751,6 +838,37 @@ func (c *Client) call(req request) (response, error) {
 func (c *Client) Ping() error {
 	_, err := c.call(request{Op: "ping"})
 	return err
+}
+
+// HostDeploy hot-deploys a .diaspec design source under appID on the
+// remote host (the `diaspecc host deploy` wire op).
+func (c *Client) HostDeploy(appID, design string) error {
+	_, err := c.call(request{Op: "host_deploy", App: appID, Design: design})
+	return err
+}
+
+// HostRemove undeploys one app on the remote host.
+func (c *Client) HostRemove(appID string) error {
+	_, err := c.call(request{Op: "host_remove", App: appID})
+	return err
+}
+
+// HostList enumerates the apps deployed on the remote host.
+func (c *Client) HostList() ([]HostAppInfo, error) {
+	resp, err := c.call(request{Op: "host_list"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Apps, nil
+}
+
+// HostStats snapshots the remote host's per-scope counters.
+func (c *Client) HostStats() ([]AppStatsRecord, error) {
+	resp, err := c.call(request{Op: "host_stats"})
+	if err != nil {
+		return nil, err
+	}
+	return resp.AppStats, nil
 }
 
 // Query performs a remote query-driven read.
