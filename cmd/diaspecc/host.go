@@ -21,7 +21,7 @@ import (
 // hot-deploy into a live fleet without a process restart.
 func cmdHost(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: diaspecc host <serve|deploy|list|stats|remove> …")
+		return fmt.Errorf("usage: diaspecc host <serve|deploy|list|stats|remove|drain|set-budget> …")
 	}
 	switch args[0] {
 	case "serve":
@@ -34,6 +34,10 @@ func cmdHost(args []string) error {
 		return cmdHostStats(args[1:])
 	case "remove":
 		return cmdHostRemove(args[1:])
+	case "drain":
+		return cmdHostDrain(args[1:])
+	case "set-budget":
+		return cmdHostSetBudget(args[1:])
 	default:
 		return fmt.Errorf("unknown host subcommand %q", args[0])
 	}
@@ -50,11 +54,13 @@ func cmdHostServe(args []string) error {
 	fs := flag.NewFlagSet("host serve", flag.ContinueOnError)
 	listen := fs.String("listen", "127.0.0.1:7707", "admin/transport listen address")
 	persistDir := fs.String("persist", "", "durability directory (empty = none)")
+	metricsAddr := fs.String("metrics", "", "Prometheus /metrics listen address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	host, err := runtime.NewHost(runtime.SubstrateConfig{
-		PersistDir: *persistDir,
+		PersistDir:  *persistDir,
+		MetricsAddr: *metricsAddr,
 		OnError: func(ce runtime.ComponentError) {
 			fmt.Fprintf(os.Stderr, "host: %v\n", ce)
 		},
@@ -87,6 +93,9 @@ func cmdHostServe(args []string) error {
 	defer srv.Close()
 	srv.ServeAdmin(host.Admin())
 	fmt.Printf("host serving %d app(s) on %s\n", len(host.Apps()), srv.Addr())
+	if ma := host.MetricsAddr(); ma != "" {
+		fmt.Printf("metrics on http://%s/metrics\n", ma)
+	}
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -151,6 +160,68 @@ func cmdHostRemove(args []string) error {
 		return err
 	}
 	fmt.Printf("removed %s\n", *app)
+	return nil
+}
+
+// cmdHostDrain invokes the `drain` admin op: the host stops admitting
+// events, flushes its ingestion pipelines, takes a final snapshot when
+// persistence is attached, and reports whether the process is safe to kill.
+func cmdHostDrain(args []string) error {
+	fs := flag.NewFlagSet("host drain", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7707", "host admin address")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cli, err := dialAdmin(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	rep, err := cli.Drain()
+	if err != nil {
+		return err
+	}
+	state := "UNCLEAN (flush timed out; in-flight readings may be lost on kill)"
+	if rep.Clean {
+		state = "clean — safe to kill"
+	}
+	fmt.Printf("drained %d app(s) in %dms: %s\n", rep.Apps, rep.DurationMillis, state)
+	fmt.Printf("  in-flight at start:   %d\n", rep.InFlightAtStart)
+	fmt.Printf("  refused during drain: %d\n", rep.RefusedDuringDrain)
+	snap := "not configured"
+	if rep.Snapshotted {
+		snap = "written"
+	}
+	fmt.Printf("  final snapshot:       %s\n", snap)
+	return nil
+}
+
+// cmdHostSetBudget invokes the `set_budget` admin op: live retuning of one
+// app's ingestion admission bound, no restart.
+func cmdHostSetBudget(args []string) error {
+	fs := flag.NewFlagSet("host set-budget", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:7707", "host admin address")
+	app := fs.String("app", "", "app ID")
+	capacity := fs.Int("capacity", 0, "in-flight admission bound (<= 0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *app == "" {
+		return fmt.Errorf("usage: diaspecc host set-budget [-addr HOST] -app ID -capacity N")
+	}
+	cli, err := dialAdmin(*addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+	if err := cli.SetBudget(*app, *capacity); err != nil {
+		return err
+	}
+	if *capacity > 0 {
+		fmt.Printf("budget of %s set to %d per ingestion pipeline\n", *app, *capacity)
+	} else {
+		fmt.Printf("budget of %s set to unbounded\n", *app)
+	}
 	return nil
 }
 

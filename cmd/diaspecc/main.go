@@ -9,7 +9,8 @@
 //	diaspecc fmt    <design.diaspec>            # print the canonical form
 //	diaspecc requirements <design.diaspec>      # infrastructure demand (paper §VI)
 //	diaspecc builtin <cooker|parking|avionics>  # print a built-in design
-//	diaspecc host   <serve|deploy|list|stats|remove> …  # multi-tenant host
+//	diaspecc host   <serve|deploy|list|stats|remove|drain|set-budget> …  # multi-tenant host
+//	diaspecc top    [-addr HOST] [-interval D]  # live fleet dashboard
 //
 // The gen subcommand emits the customized programming framework the paper's
 // §V describes; stats reproduces the "generated code may represent up to
@@ -58,6 +59,8 @@ func run(args []string) error {
 		return cmdBuiltin(args[1:])
 	case "host":
 		return cmdHost(args[1:])
+	case "top":
+		return cmdTop(args[1:])
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

@@ -28,6 +28,8 @@ type alertCtx struct {
 	onSeconds int
 }
 
+// OnTrigger tracks how long the cooker has drawn power and publishes an
+// alert every threshold seconds.
 func (a *alertCtx) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
 	v, err := call.QueryDeviceOne("Cooker", "consumption")
 	if err != nil {
@@ -46,6 +48,7 @@ func (a *alertCtx) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
 
 type notifyCtrl struct{}
 
+// OnContext asks every prompter whether to turn the cooker off.
 func (notifyCtrl) OnContext(call *runtime.ControllerCall) error {
 	prompters, err := call.Devices("Prompter")
 	if err != nil {
@@ -62,6 +65,7 @@ func (notifyCtrl) OnContext(call *runtime.ControllerCall) error {
 
 type remoteTurnOffCtx struct{}
 
+// OnTrigger decides the turn-off on a "yes" answer while power is drawn.
 func (remoteTurnOffCtx) OnTrigger(call *runtime.ContextCall) (any, bool, error) {
 	if call.Reading.Value != "yes" {
 		return nil, false, nil
@@ -78,6 +82,7 @@ func (remoteTurnOffCtx) OnTrigger(call *runtime.ContextCall) (any, bool, error) 
 
 type turnOffCtrl struct{}
 
+// OnContext actuates Off on every cooker.
 func (turnOffCtrl) OnContext(call *runtime.ControllerCall) error {
 	cookers, err := call.Devices("Cooker")
 	if err != nil {

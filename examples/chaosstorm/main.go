@@ -152,14 +152,15 @@ func main() {
 	latency := flag.Duration("latency", 2*time.Millisecond, "base latency injected on every edge->hub write")
 	jitter := flag.Duration("jitter", time.Millisecond, "max extra seeded-random write delay")
 	drop := flag.Float64("drop", 0.002, "per-write probability of a silent connection drop")
+	metricsAddr := flag.String("metrics", "", "Prometheus /metrics listen address on the hub (empty = disabled)")
 	flag.Parse()
-	if err := run(*sensors, *edges, *cycles, *churn, *seed, *latency, *jitter, *drop); err != nil {
+	if err := run(*sensors, *edges, *cycles, *churn, *seed, *latency, *jitter, *drop, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "chaosstorm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jitter time.Duration, drop float64) error {
+func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jitter time.Duration, drop float64, metricsAddr string) error {
 	w := &world{net: chaos.NewNet(seed), vc: simclock.NewVirtual(time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC)), seed: seed}
 
 	persistRoot, err := os.MkdirTemp("", "chaosstorm-persist-")
@@ -174,7 +175,11 @@ func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jit
 	if err != nil {
 		return err
 	}
-	w.hubRT = runtime.New(hubModel, runtime.WithClock(w.vc))
+	rtOpts := []runtime.Option{runtime.WithClock(w.vc)}
+	if metricsAddr != "" {
+		rtOpts = append(rtOpts, runtime.WithMetricsAddr(metricsAddr))
+	}
+	w.hubRT = runtime.New(hubModel, rtOpts...)
 	if err := w.hubRT.ImplementContext("ZoneVacancy", w.agg); err != nil {
 		return err
 	}
@@ -182,6 +187,9 @@ func run(sensors, edges, cycles int, churnFrac float64, seed int64, latency, jit
 		return err
 	}
 	defer w.hubRT.Stop()
+	if ma := w.hubRT.MetricsAddr(); ma != "" {
+		fmt.Printf("hub metrics on http://%s/metrics\n", ma)
+	}
 	w.hub, err = federation.New(federation.Config{Name: "hub", Runtime: w.hubRT})
 	if err != nil {
 		return err

@@ -98,23 +98,27 @@ func main() {
 	rounds := flag.Int("rounds", 3, "storm rounds")
 	burst := flag.Int("burst", 1, "event bursts (one per live sensor) per round")
 	satBurst := flag.Int("sat-burst", 30, "extra bursts aimed at the saturated tenant per round")
+	metricsAddr := flag.String("metrics", "", "Prometheus /metrics listen address (empty = disabled)")
 	flag.Parse()
-	if err := run(*apps, *devicesPer, *rounds, *burst, *satBurst); err != nil {
+	if err := run(*apps, *devicesPer, *rounds, *burst, *satBurst, *metricsAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "tenantstorm:", err)
 		os.Exit(1)
 	}
 }
 
-func run(apps, devicesPer, rounds, burst, satBurst int) error {
+func run(apps, devicesPer, rounds, burst, satBurst int, metricsAddr string) error {
 	if apps < 1 || devicesPer < 1 || rounds < 1 {
 		return errors.New("need at least one app, one device and one round")
 	}
 	vc := simclock.NewVirtual(time.Date(2017, 6, 5, 9, 0, 0, 0, time.UTC))
-	host, err := runtime.NewHost(runtime.SubstrateConfig{Clock: vc})
+	host, err := runtime.NewHost(runtime.SubstrateConfig{Clock: vc, MetricsAddr: metricsAddr})
 	if err != nil {
 		return err
 	}
 	defer host.Close()
+	if ma := host.MetricsAddr(); ma != "" {
+		fmt.Printf("metrics on http://%s/metrics\n", ma)
+	}
 
 	// The saturated tenant (index 1 when present) gets a deliberately tiny
 	// ingest budget and a slow handler: its drops are the point.

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 	"maps"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -452,6 +453,14 @@ func New(cfg Config) (*Node, error) {
 			return nil, err
 		}
 	}
+	// Endpoints with an operations plane (runtime.Host) get the per-peer
+	// health feed wired automatically, so fleet_stats and /metrics carry
+	// diaspec_peer_* series without example code doing anything.
+	if ops, ok := endpoint.(interface {
+		AddPeerSource(func() []transport.PeerStatusRecord)
+	}); ok {
+		ops.AddPeerSource(n.PeerStatuses)
+	}
 	return n, nil
 }
 
@@ -495,6 +504,26 @@ func (n *Node) PeerHealth(peerName string) (transport.Health, bool) {
 		return 0, false
 	}
 	return p.client.Health(), true
+}
+
+// PeerStatuses snapshots every peer link — name, health-ladder state, and
+// cumulative wire bytes — sorted by peer name. It is the per-peer feed of
+// the operations plane: hand it to runtime.Host.AddPeerSource so fleet_stats
+// and the Prometheus endpoint carry diaspec_peer_* series.
+func (n *Node) PeerStatuses() []transport.PeerStatusRecord {
+	n.mu.Lock()
+	recs := make([]transport.PeerStatusRecord, 0, len(n.peers))
+	for name, p := range n.peers {
+		recs = append(recs, transport.PeerStatusRecord{
+			Name:      name,
+			Health:    p.client.Health().String(),
+			BytesSent: p.client.BytesSent(),
+			BytesRecv: p.client.BytesReceived(),
+		})
+	}
+	n.mu.Unlock()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Name < recs[j].Name })
+	return recs
 }
 
 func exportKey(kind, source string) string { return kind + "\x00" + source }

@@ -1,0 +1,267 @@
+// Package metrics renders operations-plane snapshots in the Prometheus
+// text exposition format (version 0.0.4) and serves them over HTTP — the
+// scrape side of the operations plane. It depends only on the transport
+// wire records, so any tier that can produce a transport.FleetStats (a
+// multi-tenant Host, a single-tenant Runtime, or a remote admin client
+// relaying fleet_stats) can expose metrics without new coupling.
+//
+// Naming scheme, designed so the docs/OPERATIONS.md catalog maps 1:1 onto
+// families:
+//
+//   - app-scope counters:   diaspec_app_<counter>{app="<id>"}
+//   - host-scope counters:  diaspec_host_<counter>
+//   - gauge sources:        diaspec_<source>_<counter> (e.g. federation)
+//   - peer links:           diaspec_peer_health{peer=...}, diaspec_peer_bytes_{sent,recv}{peer=...}
+//   - registry population:  diaspec_registry_entities{kind=...}, diaspec_registry_mirrors{kind=...}
+//   - ingestion budgets:    diaspec_budget_{capacity,in_flight,admitted,rejected}{app=...}
+//   - drain state:          diaspec_draining
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// ContentType is the HTTP Content-Type of the text exposition format.
+const ContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// gaugeCounters names the per-scope counters that are point-in-time gauges
+// rather than cumulative counters; everything else exported through a
+// Counters() map is monotonic. Kept in one place so the exposition TYPE
+// lines and the docs catalog agree.
+var gaugeCounters = map[string]bool{
+	"mirrors_live":      true,
+	"peers_up":          true,
+	"peers_degraded":    true,
+	"peers_partitioned": true,
+	"exported_hosted":   true,
+}
+
+// peerHealthValue renders the health ladder as a numeric gauge: 2 = up,
+// 1 = degraded, 0 = partitioned (unknown states also read 0, the alarming
+// value).
+func peerHealthValue(health string) uint64 {
+	switch health {
+	case "up":
+		return 2
+	case "degraded":
+		return 1
+	default:
+		return 0
+	}
+}
+
+// sample is one rendered line of a family: an optional label pair and a
+// value.
+type sample struct {
+	labelKey string // "" = no label
+	labelVal string
+	value    uint64
+}
+
+// family is one metric family: its name, HELP text, TYPE, and samples.
+// Families render sorted by name, samples sorted by label value, so the
+// exposition is deterministic.
+type family struct {
+	name    string
+	help    string
+	typ     string // "counter" or "gauge"
+	samples []sample
+}
+
+// sanitizeName coerces an arbitrary scope or counter name into a legal
+// metric-name fragment: anything outside [a-zA-Z0-9_] becomes '_'.
+func sanitizeName(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format: backslash,
+// double quote, and newline.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP text: backslash and newline.
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// addScoped folds one scope's counter map into per-counter families named
+// prefix_<counter>, labeling each sample with the scope when labelKey is
+// non-empty.
+func addScoped(fams map[string]*family, prefix, labelKey, labelVal, scopeDesc string, counters map[string]uint64) {
+	for name, v := range counters {
+		fam := prefix + "_" + sanitizeName(name)
+		f := fams[fam]
+		if f == nil {
+			typ := "counter"
+			if gaugeCounters[name] {
+				typ = "gauge"
+			}
+			f = &family{
+				name: fam,
+				help: scopeDesc + " counter " + name + "; see docs/OPERATIONS.md for semantics.",
+				typ:  typ,
+			}
+			fams[fam] = f
+		}
+		f.samples = append(f.samples, sample{labelKey: labelKey, labelVal: labelVal, value: v})
+	}
+}
+
+// Write renders fs in the Prometheus text exposition format. The output is
+// deterministic: families sort by name, samples by label value.
+func Write(w io.Writer, fs transport.FleetStats) error {
+	fams := make(map[string]*family)
+
+	addScoped(fams, "diaspec_host", "", "", "Host substrate", fs.Host.Counters)
+	for _, rec := range fs.Apps {
+		addScoped(fams, "diaspec_app", "app", rec.App, "Per-app runtime", rec.Counters)
+	}
+	for _, rec := range fs.Gauges {
+		addScoped(fams, "diaspec_"+sanitizeName(rec.App), "", "", "Gauge source "+rec.App, rec.Counters)
+	}
+
+	if len(fs.Peers) > 0 {
+		health := &family{name: "diaspec_peer_health", typ: "gauge",
+			help: "Federation peer link health: 2 = up, 1 = degraded, 0 = partitioned."}
+		sent := &family{name: "diaspec_peer_bytes_sent", typ: "counter",
+			help: "Cumulative bytes sent to the federation peer."}
+		recv := &family{name: "diaspec_peer_bytes_recv", typ: "counter",
+			help: "Cumulative bytes received from the federation peer."}
+		for _, p := range fs.Peers {
+			health.samples = append(health.samples, sample{"peer", p.Name, peerHealthValue(p.Health)})
+			sent.samples = append(sent.samples, sample{"peer", p.Name, p.BytesSent})
+			recv.samples = append(recv.samples, sample{"peer", p.Name, p.BytesRecv})
+		}
+		fams[health.name], fams[sent.name], fams[recv.name] = health, sent, recv
+	}
+
+	if len(fs.Registry) > 0 {
+		ents := &family{name: "diaspec_registry_entities", typ: "gauge",
+			help: "Live registry entities per device kind, mirrors included."}
+		mirr := &family{name: "diaspec_registry_mirrors", typ: "gauge",
+			help: "Federation mirror entities per device kind."}
+		for _, kc := range fs.Registry {
+			ents.samples = append(ents.samples, sample{"kind", kc.Kind, uint64(kc.Count)})
+			mirr.samples = append(mirr.samples, sample{"kind", kc.Kind, uint64(kc.Mirrors)})
+		}
+		fams[ents.name], fams[mirr.name] = ents, mirr
+	}
+
+	if len(fs.Budgets) > 0 {
+		capacity := &family{name: "diaspec_budget_capacity", typ: "gauge",
+			help: "Configured ingestion admission bound per app (0 = unbounded)."}
+		inFlight := &family{name: "diaspec_budget_in_flight", typ: "gauge",
+			help: "Readings admitted and not yet handed to the delivery substrate, per app."}
+		admitted := &family{name: "diaspec_budget_admitted", typ: "counter",
+			help: "Cumulative readings admitted by the app's ingestion budgets."}
+		rejected := &family{name: "diaspec_budget_rejected", typ: "counter",
+			help: "Cumulative readings refused by the app's ingestion budgets."}
+		for _, b := range fs.Budgets {
+			capVal := uint64(0)
+			if b.Capacity > 0 {
+				capVal = uint64(b.Capacity)
+			}
+			inf := uint64(0)
+			if b.InFlight > 0 {
+				inf = uint64(b.InFlight)
+			}
+			capacity.samples = append(capacity.samples, sample{"app", b.App, capVal})
+			inFlight.samples = append(inFlight.samples, sample{"app", b.App, inf})
+			admitted.samples = append(admitted.samples, sample{"app", b.App, b.Admitted})
+			rejected.samples = append(rejected.samples, sample{"app", b.App, b.Rejected})
+		}
+		fams[capacity.name], fams[inFlight.name] = capacity, inFlight
+		fams[admitted.name], fams[rejected.name] = admitted, rejected
+	}
+
+	draining := &family{name: "diaspec_draining", typ: "gauge",
+		help: "1 while a drain has closed event admission on this host."}
+	var dv uint64
+	if fs.Draining {
+		dv = 1
+	}
+	draining.samples = append(draining.samples, sample{value: dv})
+	fams[draining.name] = draining
+
+	names := make([]string, 0, len(fams))
+	for name := range fams {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f := fams[name]
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labelVal < f.samples[j].labelVal })
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, s := range f.samples {
+			var err error
+			if s.labelKey == "" {
+				_, err = fmt.Fprintf(w, "%s %d\n", f.name, s.value)
+			} else {
+				_, err = fmt.Fprintf(w, "%s{%s=\"%s\"} %d\n", f.name, s.labelKey, escapeLabel(s.labelVal), s.value)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler that renders source() on every request —
+// mount it wherever an HTTP mux already exists.
+func Handler(source func() transport.FleetStats) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		_ = Write(w, source())
+	})
+}
+
+// Server is an opt-in HTTP listener serving /metrics (and / as an alias)
+// from a snapshot source.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer starts a metrics endpoint on addr ("127.0.0.1:0" for an
+// ephemeral port). Every scrape calls source() for a fresh snapshot.
+func NewServer(addr string, source func() transport.FleetStats) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("metrics: listen %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(source))
+	mux.Handle("/", Handler(source))
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go func() { _ = s.srv.Serve(ln) }()
+	return s, nil
+}
+
+// Addr returns the listener's address — the scrape target.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and any in-flight scrape handlers.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -152,7 +152,7 @@ func (d *Deadline) Invoke(action string, args ...any) error {
 //
 // All methods are safe for concurrent use and lock-free.
 type Budget struct {
-	capacity int64
+	capacity atomic.Int64
 	inflight atomic.Int64
 	admitted atomic.Uint64
 	rejected atomic.Uint64
@@ -161,11 +161,20 @@ type Budget struct {
 // NewBudget returns a Budget admitting at most capacity units in flight.
 // capacity <= 0 means unbounded (admission never fails).
 func NewBudget(capacity int) *Budget {
-	return &Budget{capacity: int64(capacity)}
+	b := &Budget{}
+	b.capacity.Store(int64(capacity))
+	return b
 }
 
 // Capacity reports the configured bound; 0 or below means unbounded.
-func (b *Budget) Capacity() int { return int(b.capacity) }
+func (b *Budget) Capacity() int { return int(b.capacity.Load()) }
+
+// SetCapacity retunes the bound on a live budget — the primitive behind the
+// admin plane's `set_budget` op. Growing takes effect on the next admission;
+// shrinking below the current in-flight count refuses new admissions until
+// enough units drain, without invalidating units already admitted. Zero or
+// below means unbounded.
+func (b *Budget) SetCapacity(capacity int) { b.capacity.Store(int64(capacity)) }
 
 // TryAcquire admits n units if the whole request fits within the capacity.
 // It is all-or-nothing; use AcquireUpTo for partial admission.
@@ -179,13 +188,17 @@ func (b *Budget) AcquireUpTo(n int) int {
 	if n <= 0 {
 		return 0
 	}
-	if b.capacity <= 0 {
+	capacity := b.capacity.Load()
+	if capacity <= 0 {
+		// Unbounded budgets still track in-flight units, so InFlight stays
+		// meaningful and a later SetCapacity to a bound sees true occupancy.
+		b.inflight.Add(int64(n))
 		b.admitted.Add(uint64(n))
 		return n
 	}
 	got := int64(n)
 	now := b.inflight.Add(got)
-	if over := now - b.capacity; over > 0 {
+	if over := now - capacity; over > 0 {
 		if over > got {
 			over = got
 		}

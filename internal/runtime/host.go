@@ -14,6 +14,7 @@ import (
 	"repro/internal/dsl/check"
 	"repro/internal/eventbus"
 	"repro/internal/mapreduce"
+	"repro/internal/metrics"
 	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/simclock"
@@ -60,6 +61,14 @@ type SubstrateConfig struct {
 	// component errors that the app does not sink itself
 	// (AppConfig.OnError overrides per app).
 	OnError func(ComponentError)
+	// MetricsAddr, when non-empty, starts a Prometheus text-exposition
+	// endpoint on that address ("127.0.0.1:0" for an ephemeral port)
+	// serving the host's FleetStats; see Host.MetricsAddr for the bound
+	// address.
+	MetricsAddr string
+	// DrainTimeout bounds how long Drain waits for the ingestion pipelines
+	// to flush before reporting an unclean drain. Zero selects 30s.
+	DrainTimeout time.Duration
 }
 
 // AppConfig configures one deployed app — the per-tenant half of the split:
@@ -107,14 +116,22 @@ type Host struct {
 	store      *persist.Store
 	aggRestore map[string][]byte
 
-	mu        sync.Mutex
-	apps      map[string]*Runtime // nil value = Deploy in flight (slot reserved)
-	draining  map[string]bool     // Undeploy in flight
-	closed    bool
-	janitorOn bool
-	watchers  []*registry.Watcher
-	gauges    map[string]func() map[string]uint64
-	wg        sync.WaitGroup
+	mu         sync.Mutex
+	apps       map[string]*Runtime // nil value = Deploy in flight (slot reserved)
+	undeploys  map[string]bool     // Undeploy in flight
+	closed     bool
+	janitorOn  bool
+	watchers   []*registry.Watcher
+	gauges     map[string]func() map[string]uint64
+	peerSource func() []transport.PeerStatusRecord
+	wg         sync.WaitGroup
+
+	// Operations plane (see ops.go): the drain flag closes event admission
+	// host-wide, drainTimeout bounds the flush wait, and metricsSrv is the
+	// opt-in Prometheus endpoint.
+	draining     atomic.Bool
+	drainTimeout time.Duration
+	metricsSrv   *metrics.Server
 
 	fedUnrouted atomic.Uint64 // forwarded readings no app consumed
 	errs        atomic.Uint64
@@ -125,13 +142,13 @@ type Host struct {
 // checkpoints before any app deploys.
 func NewHost(cfg SubstrateConfig) (*Host, error) {
 	h := &Host{
-		clock:    cfg.Clock,
-		onError:  cfg.OnError,
-		fleet:    newDeviceTable(),
-		bus:      eventbus.New(),
-		apps:     make(map[string]*Runtime),
-		draining: make(map[string]bool),
-		gauges:   make(map[string]func() map[string]uint64),
+		clock:     cfg.Clock,
+		onError:   cfg.OnError,
+		fleet:     newDeviceTable(),
+		bus:       eventbus.New(),
+		apps:      make(map[string]*Runtime),
+		undeploys: make(map[string]bool),
+		gauges:    make(map[string]func() map[string]uint64),
 	}
 	if h.clock == nil {
 		h.clock = simclock.Real{}
@@ -141,6 +158,10 @@ func NewHost(cfg SubstrateConfig) (*Host, error) {
 	} else {
 		h.reg = registry.New(registry.WithClock(h.clock))
 		h.ownRegistry = true
+	}
+	h.drainTimeout = cfg.DrainTimeout
+	if h.drainTimeout <= 0 {
+		h.drainTimeout = defaultDrainTimeout
 	}
 	if cfg.PersistDir != "" {
 		if !h.ownRegistry {
@@ -153,7 +174,24 @@ func NewHost(cfg SubstrateConfig) (*Host, error) {
 			return nil, err
 		}
 	}
+	if cfg.MetricsAddr != "" {
+		srv, err := metrics.NewServer(cfg.MetricsAddr, h.FleetStats)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		h.metricsSrv = srv
+	}
 	return h, nil
+}
+
+// MetricsAddr returns the bound address of the Prometheus endpoint, or ""
+// when SubstrateConfig.MetricsAddr was not set.
+func (h *Host) MetricsAddr() string {
+	if h.metricsSrv == nil {
+		return ""
+	}
+	return h.metricsSrv.Addr()
 }
 
 // openPersistence mirrors the single-tenant runtime's recovery sequence,
@@ -218,12 +256,15 @@ func (h *Host) Deploy(appID string, model *check.Model, cfg AppConfig) (*Runtime
 	if model == nil {
 		return nil, fmt.Errorf("host: deploy %s: nil model: %w", appID, ErrCheckFailed)
 	}
+	if h.draining.Load() {
+		return nil, fmt.Errorf("host: deploy %s: host draining: %w", appID, ErrDraining)
+	}
 	h.mu.Lock()
 	if h.closed {
 		h.mu.Unlock()
 		return nil, fmt.Errorf("host: deploy %s: host closing: %w", appID, ErrDraining)
 	}
-	if h.draining[appID] {
+	if h.undeploys[appID] {
 		h.mu.Unlock()
 		return nil, fmt.Errorf("host: deploy %s: %w", appID, ErrDraining)
 	}
@@ -319,11 +360,11 @@ func (h *Host) Undeploy(appID string) error {
 		return fmt.Errorf("host: undeploy %s: %w", appID, ErrUnknownApp)
 	}
 	delete(h.apps, appID)
-	h.draining[appID] = true
+	h.undeploys[appID] = true
 	h.mu.Unlock()
 	rt.Stop()
 	h.mu.Lock()
-	delete(h.draining, appID)
+	delete(h.undeploys, appID)
 	h.mu.Unlock()
 	return nil
 }
@@ -604,6 +645,9 @@ func (h *Host) Close() {
 		return
 	}
 	h.closed = true
+	if h.metricsSrv != nil {
+		_ = h.metricsSrv.Close()
+	}
 	apps := make([]*Runtime, 0, len(h.apps))
 	for _, rt := range h.apps {
 		if rt != nil {
@@ -646,13 +690,17 @@ func (h *Host) Admin() transport.AdminHandler { return hostAdmin{h} }
 
 type hostAdmin struct{ h *Host }
 
+// DeployApp implements the host_deploy admin op: hot-deploy a design
+// source with interpreted handlers.
 func (a hostAdmin) DeployApp(appID, design string) error {
 	_, err := a.h.DeploySource(appID, design, AppConfig{AutoImplement: true})
 	return err
 }
 
+// RemoveApp implements the host_remove admin op.
 func (a hostAdmin) RemoveApp(appID string) error { return a.h.Undeploy(appID) }
 
+// ListApps implements the host_list admin op.
 func (a hostAdmin) ListApps() []transport.HostAppInfo {
 	infos := make([]transport.HostAppInfo, 0, 8)
 	for _, id := range a.h.Apps() {
@@ -669,6 +717,8 @@ func (a hostAdmin) ListApps() []transport.HostAppInfo {
 	return infos
 }
 
+// AppStats implements the host_stats admin op: per-app counters sorted by
+// app ID, then the host scope, then gauge sources.
 func (a hostAdmin) AppStats() []transport.AppStatsRecord {
 	st := a.h.Stats()
 	ids := make([]string, 0, len(st.Apps))
@@ -680,13 +730,7 @@ func (a hostAdmin) AppStats() []transport.AppStatsRecord {
 	for _, id := range ids {
 		recs = append(recs, transport.AppStatsRecord{App: id, Counters: st.Apps[id].Counters()})
 	}
-	recs = append(recs, transport.AppStatsRecord{App: "host", Counters: map[string]uint64{
-		"unrouted_federation_drops": st.UnroutedFederationDrops,
-		"errors":                    st.Errors,
-		"bus_published":             st.Bus.Published,
-		"bus_delivered":             st.Bus.Delivered,
-		"bus_dropped":               st.Bus.Dropped,
-	}})
+	recs = append(recs, transport.AppStatsRecord{App: "host", Counters: hostCounters(st)})
 	gnames := make([]string, 0, len(st.Gauges))
 	for name := range st.Gauges {
 		gnames = append(gnames, name)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"hash/maphash"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/device"
@@ -70,6 +71,11 @@ type ingestor struct {
 	maxAge   time.Duration
 	shards   []*ingestShard
 	mask     uint64
+
+	// draining closes admission without stopping the flush workers: set by
+	// the operations plane's drain, it turns every subsequent push into an
+	// IngestDrainDrops count while buffered readings keep flowing out.
+	draining atomic.Bool
 }
 
 func (rt *Runtime) newIngestor(topic string) *ingestor {
@@ -132,6 +138,10 @@ type ingestShard struct {
 // Push implements device.Sink.
 func (s *ingestShard) Push(r device.Reading) {
 	ing := s.ing
+	if ing.draining.Load() {
+		ing.rt.stats.ingestDrainDrops.Add(1)
+		return
+	}
 	if ing.budget.AcquireUpTo(1) == 0 {
 		ing.rt.stats.ingestBudgetDrops.Add(1)
 		return
@@ -155,6 +165,10 @@ func (s *ingestShard) Push(r device.Reading) {
 // dropped from the tail and counted.
 func (s *ingestShard) pushBatch(batch []any) {
 	ing := s.ing
+	if ing.draining.Load() {
+		ing.rt.stats.ingestDrainDrops.Add(uint64(len(batch)))
+		return
+	}
 	admitted := ing.budget.AcquireUpTo(len(batch))
 	if dropped := len(batch) - admitted; dropped > 0 {
 		ing.rt.stats.ingestBudgetDrops.Add(uint64(dropped))
@@ -189,6 +203,11 @@ func (s *ingestShard) appendAdmitted(batch []any) {
 // caller's to account), and the admitted prefix is fanned to the intake
 // shards by device ID so per-device ordering is preserved end to end.
 func (ing *ingestor) ingestRemote(readings []device.Reading) int {
+	if ing.draining.Load() {
+		// Refused whole: the caller accounts the batch as federation drops,
+		// exactly as a budget refusal would be.
+		return 0
+	}
 	admitted := ing.budget.AcquireUpTo(len(readings))
 	if admitted == 0 {
 		return 0

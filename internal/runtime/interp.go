@@ -55,6 +55,7 @@ func interpValue(call *ContextCall) any {
 	}
 }
 
+// OnTrigger derives and republishes the interpreted value of a delivery.
 func (h *interpContext) OnTrigger(call *ContextCall) (any, bool, error) {
 	v := interpValue(call)
 	h.mu.Lock()
@@ -76,6 +77,7 @@ func (h *interpContext) Map(key string, _ any, emit func(string, any)) {
 	emit(key, 1)
 }
 
+// Reduce sums the mapped units into the per-group count.
 func (h *interpContext) Reduce(key string, values []any, emit func(string, any)) {
 	sum := 0
 	for _, v := range values {
@@ -94,6 +96,7 @@ func (h *interpContext) Combine(_ string, a, b any) any {
 	return an + bn
 }
 
+// Uncombine subtracts a retired reading's unit from the running count.
 func (h *interpContext) Uncombine(_ string, acc, v any) any {
 	an, _ := acc.(int)
 	vn, _ := v.(int)
@@ -105,6 +108,7 @@ func (h *interpContext) Uncombine(_ string, acc, v any) any {
 // the interpreter has none to offer).
 type interpController struct{}
 
+// OnContext accepts the delivery and does nothing, by design.
 func (interpController) OnContext(*ControllerCall) error { return nil }
 
 // autoImplement fills every declared component that has no installed

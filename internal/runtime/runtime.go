@@ -34,6 +34,7 @@ import (
 	"repro/internal/dsl/check"
 	"repro/internal/eventbus"
 	"repro/internal/mapreduce"
+	"repro/internal/metrics"
 	"repro/internal/persist"
 	"repro/internal/registry"
 	"repro/internal/simclock"
@@ -127,6 +128,11 @@ type Stats struct {
 	// were older than the configured IngestConfig.MaxAge (the deadline
 	// policy).
 	IngestDeadlineDrops uint64
+	// IngestDrainDrops counts readings refused because they arrived after
+	// a drain closed admission (the operations plane's `drain` op). They
+	// are accounted separately from budget drops so post-drain arrivals
+	// never masquerade as backpressure.
+	IngestDrainDrops uint64
 	// TrackerReconciles counts registry rescans forced by overflowed
 	// source-tracker watcher channels during churn storms.
 	TrackerReconciles uint64
@@ -182,6 +188,7 @@ func (s Stats) Counters() map[string]uint64 {
 		"ingest_batches":              s.IngestBatches,
 		"ingest_budget_drops":         s.IngestBudgetDrops,
 		"ingest_deadline_drops":       s.IngestDeadlineDrops,
+		"ingest_drain_drops":          s.IngestDrainDrops,
 		"tracker_reconciles":          s.TrackerReconciles,
 		"federation_events_in":        s.FederationEventsIn,
 		"federation_event_batches_in": s.FederationEventBatchesIn,
@@ -208,6 +215,7 @@ type statCounters struct {
 	ingestBatches        atomic.Uint64
 	ingestBudgetDrops    atomic.Uint64
 	ingestDeadlineDrops  atomic.Uint64
+	ingestDrainDrops     atomic.Uint64
 	trackerReconciles    atomic.Uint64
 	fedEventsIn          atomic.Uint64
 	fedEventBatchesIn    atomic.Uint64
@@ -242,6 +250,7 @@ func (c *statCounters) snapshot() Stats {
 		IngestBatches:            c.ingestBatches.Load(),
 		IngestBudgetDrops:        c.ingestBudgetDrops.Load(),
 		IngestDeadlineDrops:      c.ingestDeadlineDrops.Load(),
+		IngestDrainDrops:         c.ingestDrainDrops.Load(),
 		TrackerReconciles:        c.trackerReconciles.Load(),
 		FederationEventsIn:       c.fedEventsIn.Load(),
 		FederationEventBatchesIn: c.fedEventBatchesIn.Load(),
@@ -315,6 +324,13 @@ type Runtime struct {
 	// rebuilt copy-on-write by Implement* so per-event dispatch loads it
 	// atomically instead of taking mu.
 	handlers atomic.Pointer[handlerTables]
+
+	// Operations plane (see ops.go): drainingFlag closes event admission,
+	// metricsAddr/metricsSrv are the opt-in Prometheus endpoint of a
+	// single-tenant runtime (a hosted app shares its Host's endpoint).
+	drainingFlag atomic.Bool
+	metricsAddr  string
+	metricsSrv   *metrics.Server
 
 	stats statCounters // lock-free; not guarded by mu
 }
@@ -427,6 +443,25 @@ func WithPollWorkers(n int) Option {
 // WithTuning).
 func WithBatchAggregation() Option {
 	return func(rt *Runtime) { rt.batchAgg = true }
+}
+
+// WithMetricsAddr opts a single-tenant runtime into the Prometheus scrape
+// endpoint: Start listens on addr (use "127.0.0.1:0" for an ephemeral port)
+// and serves /metrics rendered from FleetStats. Hosted apps share their
+// Host's endpoint (SubstrateConfig.MetricsAddr) instead.
+func WithMetricsAddr(addr string) Option {
+	return func(rt *Runtime) { rt.metricsAddr = addr }
+}
+
+// MetricsAddr reports the live metrics listener address ("" when the
+// endpoint was not enabled or the runtime has not started).
+func (rt *Runtime) MetricsAddr() string {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.metricsSrv == nil {
+		return ""
+	}
+	return rt.metricsSrv.Addr()
 }
 
 // newAppRuntime allocates the per-app state every Runtime needs, tenancy
@@ -711,6 +746,16 @@ func (rt *Runtime) Start() error {
 	rt.started = true
 	rt.mu.Unlock()
 
+	if rt.metricsAddr != "" {
+		srv, err := metrics.NewServer(rt.metricsAddr, rt.FleetStats)
+		if err != nil {
+			return err
+		}
+		rt.mu.Lock()
+		rt.metricsSrv = srv
+		rt.mu.Unlock()
+	}
+
 	for _, name := range rt.model.ContextNames() {
 		ctx := rt.model.Contexts[name]
 		for idx, in := range ctx.Interactions {
@@ -766,7 +811,13 @@ func (rt *Runtime) Stop() {
 	// below for single-tenant runtimes, by Host.Close for hosted apps)
 	// captures each engine's checkpoint from it after the pipelines drain.
 	rt.clients = make(map[string]*transport.Client)
+	msrv := rt.metricsSrv
+	rt.metricsSrv = nil
 	rt.mu.Unlock()
+
+	if msrv != nil {
+		_ = msrv.Close()
+	}
 
 	// Watcher cancellation closes each tracker's loop, which releases its
 	// device attachments (stopAll); trackers that somehow never entered

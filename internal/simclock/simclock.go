@@ -221,8 +221,10 @@ type vtimer struct {
 
 type timerHeap []*vtimer
 
+// Len implements heap.Interface.
 func (h timerHeap) Len() int { return len(h) }
 
+// Less orders timers by deadline, then by arming sequence.
 func (h timerHeap) Less(i, j int) bool {
 	if !h[i].at.Equal(h[j].at) {
 		return h[i].at.Before(h[j].at)
@@ -230,10 +232,13 @@ func (h timerHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+// Swap implements heap.Interface.
 func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
+// Push implements heap.Interface.
 func (h *timerHeap) Push(x any) { *h = append(*h, x.(*vtimer)) }
 
+// Pop implements heap.Interface.
 func (h *timerHeap) Pop() any {
 	old := *h
 	n := len(old)

@@ -1,0 +1,181 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeAdmin implements AdminHandler with canned answers, recording calls —
+// the wire-level fixture for the operations-plane ops (fleet_stats, drain,
+// set_budget). It lives here so the round trip runs over a real TCP
+// connection with gob encoding, not an in-process shortcut.
+type fakeAdmin struct {
+	mu        sync.Mutex
+	fleet     FleetStats
+	drain     DrainReport
+	drainErr  error
+	budgetErr error
+	gotApp    string
+	gotCap    int
+	drains    int
+}
+
+func (f *fakeAdmin) DeployApp(appID, design string) error { return nil }
+func (f *fakeAdmin) RemoveApp(appID string) error         { return nil }
+func (f *fakeAdmin) ListApps() []HostAppInfo              { return nil }
+func (f *fakeAdmin) AppStats() []AppStatsRecord           { return nil }
+
+func (f *fakeAdmin) FleetStats() FleetStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fleet
+}
+
+func (f *fakeAdmin) Drain() (DrainReport, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.drains++
+	return f.drain, f.drainErr
+}
+
+func (f *fakeAdmin) SetBudget(appID string, capacity int) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.gotApp, f.gotCap = appID, capacity
+	return f.budgetErr
+}
+
+func adminFixture(t *testing.T, fake *fakeAdmin) *Client {
+	t.Helper()
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	srv.ServeAdmin(fake)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	return cli
+}
+
+// TestFleetStatsRoundTrip pushes a fully-populated snapshot through the
+// fleet_stats op over real TCP and checks every section survives gob.
+func TestFleetStatsRoundTrip(t *testing.T) {
+	want := FleetStats{
+		Host: AppStatsRecord{App: "host", Counters: map[string]uint64{"bus_published": 42, "errors": 1}},
+		Apps: []AppStatsRecord{
+			{App: "a", Counters: map[string]uint64{"ingest_events": 7}},
+			{App: "b", Counters: map[string]uint64{"ingest_events": 9, "actuations": 3}},
+		},
+		Gauges:   []AppStatsRecord{{App: "federation", Counters: map[string]uint64{"peers_up": 2}}},
+		Peers:    []PeerStatusRecord{{Name: "east", Health: "up", BytesSent: 100, BytesRecv: 200}},
+		Registry: []KindCount{{Kind: "Sensor_a", Count: 5, Mirrors: 2}},
+		Budgets:  []BudgetRecord{{App: "a", Capacity: 64, InFlight: 3, Admitted: 10, Rejected: 1}},
+		Draining: true,
+	}
+	cli := adminFixture(t, &fakeAdmin{fleet: want})
+	got, err := cli.FleetStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Host.Counters["bus_published"] != 42 || got.Host.Counters["errors"] != 1 {
+		t.Fatalf("host counters lost: %+v", got.Host)
+	}
+	if len(got.Apps) != 2 || got.Apps[1].Counters["actuations"] != 3 {
+		t.Fatalf("app records lost: %+v", got.Apps)
+	}
+	if len(got.Gauges) != 1 || got.Gauges[0].Counters["peers_up"] != 2 {
+		t.Fatalf("gauge records lost: %+v", got.Gauges)
+	}
+	if len(got.Peers) != 1 || got.Peers[0] != want.Peers[0] {
+		t.Fatalf("peer records lost: %+v", got.Peers)
+	}
+	if len(got.Registry) != 1 || got.Registry[0] != want.Registry[0] {
+		t.Fatalf("registry records lost: %+v", got.Registry)
+	}
+	if len(got.Budgets) != 1 || got.Budgets[0] != want.Budgets[0] {
+		t.Fatalf("budget records lost: %+v", got.Budgets)
+	}
+	if !got.Draining {
+		t.Fatal("draining flag lost")
+	}
+}
+
+// TestDrainRoundTrip checks the drain op relays the full report, and that a
+// server-side error arrives as an error without losing the report-less
+// answer contract.
+func TestDrainRoundTrip(t *testing.T) {
+	fake := &fakeAdmin{drain: DrainReport{
+		Apps: 3, InFlightAtStart: 17, RefusedDuringDrain: 5,
+		Snapshotted: true, Clean: true, DurationMillis: 12,
+	}}
+	cli := adminFixture(t, fake)
+	rep, err := cli.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep != fake.drain {
+		t.Fatalf("drain report = %+v, want %+v", rep, fake.drain)
+	}
+	fake.mu.Lock()
+	fake.drainErr = errors.New("flush timed out")
+	fake.mu.Unlock()
+	if _, err := cli.Drain(); err == nil || !strings.Contains(err.Error(), "flush timed out") {
+		t.Fatalf("drain error not relayed: %v", err)
+	}
+	fake.mu.Lock()
+	drains := fake.drains
+	fake.mu.Unlock()
+	if drains != 2 {
+		t.Fatalf("server saw %d drains, want 2", drains)
+	}
+}
+
+// TestSetBudgetRoundTrip checks argument relay and error passthrough of the
+// set_budget op.
+func TestSetBudgetRoundTrip(t *testing.T) {
+	fake := &fakeAdmin{}
+	cli := adminFixture(t, fake)
+	if err := cli.SetBudget("parking", 128); err != nil {
+		t.Fatal(err)
+	}
+	fake.mu.Lock()
+	app, capacity := fake.gotApp, fake.gotCap
+	fake.budgetErr = errors.New("no such app")
+	fake.mu.Unlock()
+	if app != "parking" || capacity != 128 {
+		t.Fatalf("set_budget relayed (%q, %d), want (parking, 128)", app, capacity)
+	}
+	if err := cli.SetBudget("ghost", 1); err == nil || !strings.Contains(err.Error(), "no such app") {
+		t.Fatalf("set_budget error not relayed: %v", err)
+	}
+}
+
+// TestAdminOpsRefusedWithoutHandler checks the three new ops answer a clean
+// error (not a hang or a zero answer) on a server with no admin plane.
+func TestAdminOpsRefusedWithoutHandler(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(srv.Close)
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	if _, err := cli.FleetStats(); err == nil {
+		t.Fatal("fleet_stats on non-admin server should error")
+	}
+	if _, err := cli.Drain(); err == nil {
+		t.Fatal("drain on non-admin server should error")
+	}
+	if err := cli.SetBudget("a", 1); err == nil {
+		t.Fatal("set_budget on non-admin server should error")
+	}
+}

@@ -42,7 +42,7 @@ func ensureBasicTypes() {
 
 type request struct {
 	ID      uint64
-	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "agg_sync", "host_deploy", "host_remove", "host_list", "host_stats", "ping"
+	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "agg_sync", "host_deploy", "host_remove", "host_list", "host_stats", "fleet_stats", "drain", "set_budget", "ping"
 	Device  string
 	Devices []string // for "query_batch"/"command_batch": the devices to answer for
 	Facet   string
@@ -60,8 +60,9 @@ type request struct {
 	Seq      uint64           // "event_batch": per-stream sequence number
 
 	// Host-admin fields (gob omits them elsewhere).
-	App    string // "host_deploy"/"host_remove": target app ID
-	Design string // "host_deploy": the .diaspec design source
+	App      string // "host_deploy"/"host_remove"/"set_budget": target app ID
+	Design   string // "host_deploy": the .diaspec design source
+	Capacity int    // "set_budget": new in-flight budget capacity (<= 0 = unbounded)
 }
 
 type response struct {
@@ -81,6 +82,8 @@ type response struct {
 
 	Apps     []HostAppInfo    // "host_list" answer
 	AppStats []AppStatsRecord // "host_stats" answer
+	Fleet    *FleetStats      // "fleet_stats" answer
+	Drained  *DrainReport     // "drain" answer
 }
 
 // HostAppInfo describes one deployed app in a "host_list" answer.
@@ -96,6 +99,96 @@ type HostAppInfo struct {
 type AppStatsRecord struct {
 	App      string
 	Counters map[string]uint64
+}
+
+// FleetStats is the one-snapshot answer of the "fleet_stats" admin op: the
+// whole operations surface of a host — substrate gauges, every tenant's
+// counters, registered gauge sources (the federation tier), per-peer link
+// health, per-kind registry population, per-app ingestion budgets, and the
+// drain state — in a single wire round trip, so `diaspecc top` and the
+// Prometheus exporter read one consistent-enough snapshot instead of
+// stitching N racing calls.
+type FleetStats struct {
+	// Host carries the substrate-level counters under scope "host".
+	Host AppStatsRecord
+	// Apps carries one record per deployed app, sorted by app ID.
+	Apps []AppStatsRecord
+	// Gauges carries one record per registered gauge source (e.g. scope
+	// "federation" for a federation node's sync counters), sorted by name.
+	Gauges []AppStatsRecord
+	// Peers carries the federation peer-link health ladder, when a peer
+	// source is registered on the host; empty otherwise.
+	Peers []PeerStatusRecord
+	// Registry summarizes the live entity population per device kind.
+	Registry []KindCount
+	// Budgets reports every app's ingestion admission budget occupancy.
+	Budgets []BudgetRecord
+	// Draining reports whether a drain has been requested on the host.
+	Draining bool
+}
+
+// PeerStatusRecord is one federation peer link's status in a FleetStats
+// snapshot.
+type PeerStatusRecord struct {
+	// Name is the peer's federation node name.
+	Name string
+	// Health is the link's health-ladder state: "up", "degraded", or
+	// "partitioned".
+	Health string
+	// BytesSent and BytesRecv are the cumulative wire bytes exchanged with
+	// the peer.
+	BytesSent uint64
+	BytesRecv uint64
+}
+
+// KindCount summarizes one device kind's registry population in a
+// FleetStats snapshot.
+type KindCount struct {
+	// Kind is the device kind name.
+	Kind string
+	// Count is the number of live registry entities of the kind, mirrors
+	// included.
+	Count int
+	// Mirrors is how many of Count are federation mirrors owned by peers.
+	Mirrors int
+}
+
+// BudgetRecord reports one app's ingestion admission budget in a FleetStats
+// snapshot. With more than one ingestion pipeline per app, Capacity and
+// InFlight sum over the pipelines.
+type BudgetRecord struct {
+	// App is the owning app ID.
+	App string
+	// Capacity is the configured in-flight bound (<= 0 = unbounded).
+	Capacity int
+	// InFlight is the number of units currently admitted and not yet
+	// released.
+	InFlight int
+	// Admitted and Rejected are the cumulative admission totals.
+	Admitted uint64
+	Rejected uint64
+}
+
+// DrainReport is the "drain" admin op's answer: what the drain flushed and
+// whether the process is now safe to kill.
+type DrainReport struct {
+	// Apps is the number of deployed apps drained.
+	Apps int
+	// InFlightAtStart is the number of readings buffered in ingestion
+	// shards when the drain began — the work the drain had to flush.
+	InFlightAtStart int
+	// RefusedDuringDrain counts readings that arrived after admission
+	// closed and were refused (accounted as ingest_drain_drops per app).
+	RefusedDuringDrain uint64
+	// Snapshotted reports whether a final durability snapshot was written
+	// (always false for a host without persistence).
+	Snapshotted bool
+	// Clean reports whether every ingestion pipeline quiesced before the
+	// drain deadline; false means the report was returned on timeout with
+	// readings possibly still in flight.
+	Clean bool
+	// DurationMillis is the wall-clock drain time in milliseconds.
+	DurationMillis int64
 }
 
 // GroupPartial is one group's node-local partial aggregate in an
@@ -159,6 +252,16 @@ type AdminHandler interface {
 	ListApps() []HostAppInfo
 	// AppStats snapshots per-scope counters.
 	AppStats() []AppStatsRecord
+	// FleetStats snapshots the whole operations surface in one call — the
+	// op behind `diaspecc top` and the Prometheus exporter.
+	FleetStats() FleetStats
+	// Drain stops admitting new readings, flushes the ingestion pipelines,
+	// writes a final durability snapshot when persistence is attached, and
+	// reports when the process is safe to kill.
+	Drain() (DrainReport, error)
+	// SetBudget retunes one app's live ingestion admission budget
+	// (capacity <= 0 = unbounded).
+	SetBudget(appID string, capacity int) error
 }
 
 // Errors returned by transport operations. ErrTimeout, ErrConnLost, and
@@ -543,6 +646,29 @@ func (s *Server) serveConn(conn net.Conn) {
 				continue
 			}
 			send(response{ID: req.ID, AppStats: adm.AppStats()})
+		case "fleet_stats":
+			adm := s.adminHandler()
+			if adm == nil {
+				send(response{ID: req.ID, Err: "host admin not served here"})
+				continue
+			}
+			fs := adm.FleetStats()
+			send(response{ID: req.ID, Fleet: &fs})
+		case "drain":
+			adm := s.adminHandler()
+			if adm == nil {
+				send(response{ID: req.ID, Err: "host admin not served here"})
+				continue
+			}
+			rep, err := adm.Drain()
+			send(response{ID: req.ID, Drained: &rep, Err: errString(err)})
+		case "set_budget":
+			adm := s.adminHandler()
+			if adm == nil {
+				send(response{ID: req.ID, Err: "host admin not served here"})
+				continue
+			}
+			send(response{ID: req.ID, Err: errString(adm.SetBudget(req.App, req.Capacity))})
 		case "subscribe":
 			drv := s.lookup(req.Device)
 			if drv == nil {
@@ -657,12 +783,14 @@ type countingConn struct {
 	sent, recv *atomic.Uint64
 }
 
+// Read counts received bytes through to the wrapped connection.
 func (c countingConn) Read(p []byte) (int, error) {
 	n, err := c.Conn.Read(p)
 	c.recv.Add(uint64(n))
 	return n, err
 }
 
+// Write counts sent bytes through to the wrapped connection.
 func (c countingConn) Write(p []byte) (int, error) {
 	n, err := c.Conn.Write(p)
 	c.sent.Add(uint64(n))
@@ -869,6 +997,43 @@ func (c *Client) HostStats() ([]AppStatsRecord, error) {
 		return nil, err
 	}
 	return resp.AppStats, nil
+}
+
+// FleetStats fetches the remote host's whole operations snapshot in one
+// round trip — the call behind each `diaspecc top` refresh and Prometheus
+// scrape.
+func (c *Client) FleetStats() (FleetStats, error) {
+	resp, err := c.call(request{Op: "fleet_stats"})
+	if err != nil {
+		return FleetStats{}, err
+	}
+	if resp.Fleet == nil {
+		return FleetStats{}, fmt.Errorf("transport: fleet_stats answer carried no snapshot")
+	}
+	return *resp.Fleet, nil
+}
+
+// Drain asks the remote host to stop admitting readings, flush its
+// ingestion pipelines, and write a final durability snapshot; the report
+// says when the process is safe to kill. The drain runs synchronously
+// within this call, so pair it with a WithCallTimeout generous enough for
+// the flush (the host bounds its own quiesce wait).
+func (c *Client) Drain() (DrainReport, error) {
+	resp, err := c.call(request{Op: "drain"})
+	if resp.Drained != nil {
+		return *resp.Drained, err
+	}
+	if err == nil {
+		err = fmt.Errorf("transport: drain answer carried no report")
+	}
+	return DrainReport{}, err
+}
+
+// SetBudget retunes one app's live ingestion admission budget on the remote
+// host (capacity <= 0 = unbounded).
+func (c *Client) SetBudget(appID string, capacity int) error {
+	_, err := c.call(request{Op: "set_budget", App: appID, Capacity: capacity})
+	return err
 }
 
 // Query performs a remote query-driven read.
