@@ -12,6 +12,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	stdruntime "runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -859,15 +860,17 @@ func (c chanOnlySensor) Invoke(action string, args ...any) error {
 }
 
 // stormBenchWorld builds the event-storm application over a swarm, binding
-// either the push-capable sensors or the channel-only wrappers.
-func stormBenchWorld(b *testing.B, sensors int, push bool) (*runtime.Runtime, *devsim.Swarm, *stormCounter) {
+// either the push-capable sensors or the channel-only wrappers. boxed
+// selects the pre-typed-path ingestion ablation (IngestConfig.Boxed).
+func stormBenchWorld(b *testing.B, sensors int, push, boxed bool) (*runtime.Runtime, *devsim.Swarm, *stormCounter) {
 	b.Helper()
 	vc := simclock.NewVirtual(benchEpoch)
 	model, err := dsl.Load(stormDesign)
 	if err != nil {
 		b.Fatal(err)
 	}
-	rt := runtime.New(model, runtime.WithClock(vc))
+	rt := runtime.New(model, runtime.WithClock(vc),
+		runtime.WithIngestConfig(runtime.IngestConfig{Boxed: boxed}))
 	swarm := devsim.NewSwarm(devsim.SwarmConfig{
 		Sensors: sensors, Lots: []string{"L00"}, GroupAttr: "lot", Seed: 7,
 	}, vc)
@@ -922,36 +925,51 @@ func waitAccounted(b *testing.B, rt *runtime.Runtime, delivered *stormCounter, w
 	}
 }
 
-// BenchmarkSwarm_EventStorm: 50k devices pushing readings through the
+// BenchmarkSwarm_EventStorm: 10k/50k devices pushing readings through the
 // `when provided` path. One iteration emits one reading per device and
-// drains the pipeline. The per-device-subscription baseline (one channel +
-// one forwarding goroutine per device, the pre-ingestion architecture) is
-// the ablation; the acceptance target is ≥3x events/sec for ingest-push
-// over it at 50k devices.
+// drains the pipeline. Three variants: per-device-subscription (one channel
+// + one forwarding goroutine per device, the pre-ingestion architecture),
+// boxed (ingestion shards carrying one `any` per reading, the pre-typed-path
+// pipeline), and typed (pooled columnar ReadingBatch payloads, the default).
+// Acceptance targets: typed ≥3x events/sec over per-device-subscription at
+// 50k, ≥2x over boxed, and ~0 steady-state allocs/event. The allocs/event
+// metric is the process-wide malloc delta across the measured iterations
+// over the measured accepted-event count — it charges the whole pipeline
+// (shards, bus, dispatch, handler), not just the bench goroutine.
 func BenchmarkSwarm_EventStorm(b *testing.B) {
 	for _, cfg := range []struct {
-		name string
-		push bool
+		name  string
+		push  bool
+		boxed bool
 	}{
-		{"per-device-subscription", false},
-		{"ingest-push", true},
+		{"per-device-subscription", false, false},
+		{"boxed", true, true},
+		{"typed", true, false},
 	} {
 		for _, sensors := range []int{10000, 50000} {
 			b.Run(fmt.Sprintf("%s/sensors=%d", cfg.name, sensors), func(b *testing.B) {
-				rt, swarm, delivered := stormBenchWorld(b, sensors, cfg.push)
+				rt, swarm, delivered := stormBenchWorld(b, sensors, cfg.push, cfg.boxed)
 				var accepted uint64
 				// Warm the pipeline (shard buffers, subscription rings,
-				// handler caches) so the measured iterations are steady
-				// state.
+				// handler caches, batch pool) so the measured iterations are
+				// steady state.
 				accepted += uint64(swarm.FlipBurst(sensors))
 				waitAccounted(b, rt, delivered, accepted)
+				measuredFrom := accepted
 				b.ReportAllocs()
+				var ms stdruntime.MemStats
+				stdruntime.ReadMemStats(&ms)
+				mallocsFrom := ms.Mallocs
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					accepted += uint64(swarm.FlipBurst(sensors))
 					waitAccounted(b, rt, delivered, accepted)
 				}
-				b.ReportMetric(float64(accepted)/b.Elapsed().Seconds(), "events/sec")
+				b.StopTimer()
+				stdruntime.ReadMemStats(&ms)
+				measured := accepted - measuredFrom
+				b.ReportMetric(float64(measured)/b.Elapsed().Seconds(), "events/sec")
+				b.ReportMetric(float64(ms.Mallocs-mallocsFrom)/float64(measured), "allocs/event")
 			})
 		}
 	}
@@ -967,7 +985,7 @@ func BenchmarkSwarm_Churn(b *testing.B) {
 	const sensors = 50000
 	for _, churnPct := range []int{0, 1, 10} {
 		b.Run(fmt.Sprintf("churn=%d%%", churnPct), func(b *testing.B) {
-			rt, swarm, delivered := stormBenchWorld(b, sensors, true)
+			rt, swarm, delivered := stormBenchWorld(b, sensors, true, false)
 			cs, err := devsim.NewChurnSwarm(swarm, devsim.ChurnHooks{
 				Bind:   func(s *devsim.SwarmSensor) error { return rt.BindDevice(s) },
 				Unbind: rt.UnbindDevice,

@@ -224,13 +224,21 @@ func run(w io.Writer, basePath, curPath string, gates []gate, allowMissing bool)
 // benches report: the percentage of groups re-reduced per round.
 const reuseMetric = "%dirty-groups"
 
-// printReuseSummary prints one line per current-run benchmark that reports
-// the dirty-group ratio, so the CI log shows how much aggregation work the
-// incremental engine actually performed (informational; never gates).
+// allocsMetric is the custom metric the event-storm benches report: the
+// process-wide malloc delta per accepted event across the measured
+// iterations — the typed reading path's zero-allocation claim, measured.
+const allocsMetric = "allocs/event"
+
+// printReuseSummary prints one informational line per current-run benchmark
+// that reports a custom pipeline-efficiency metric — the dirty-group ratio
+// of the incremental engine and the per-event allocation rate of the typed
+// reading path — so the CI log shows both without gating on either.
 func printReuseSummary(w io.Writer, cur map[string]Benchmark) {
 	names := make([]string, 0, len(cur))
 	for name, bm := range cur {
-		if _, has := bm.Metrics[reuseMetric]; has {
+		_, hasReuse := bm.Metrics[reuseMetric]
+		_, hasAllocs := bm.Metrics[allocsMetric]
+		if hasReuse || hasAllocs {
 			names = append(names, name)
 		}
 	}
@@ -239,8 +247,12 @@ func printReuseSummary(w io.Writer, cur map[string]Benchmark) {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		dirty := cur[name].Metrics[reuseMetric]
-		fmt.Fprintf(w, "  reuse %-60s dirty %5.1f%% of groups (%.1f%% served from previous round)\n",
-			name, dirty, 100-dirty)
+		if dirty, has := cur[name].Metrics[reuseMetric]; has {
+			fmt.Fprintf(w, "  reuse %-60s dirty %5.1f%% of groups (%.1f%% served from previous round)\n",
+				name, dirty, 100-dirty)
+		}
+		if av, has := cur[name].Metrics[allocsMetric]; has {
+			fmt.Fprintf(w, "  alloc %-60s %.4f allocs/event\n", name, av)
+		}
 	}
 }

@@ -215,3 +215,24 @@ func TestReuseSummary(t *testing.T) {
 		t.Fatalf("unexpected reuse summary:\n%s", out)
 	}
 }
+
+// Benchmarks reporting the allocs/event metric get a one-line alloc summary
+// alongside the reuse lines; benches without it do not, and the summary
+// never gates (allocs/op regressions are gated separately).
+func TestAllocsPerEventSummary(t *testing.T) {
+	typed := bm("BenchmarkSwarm_EventStorm/typed/sensors=50000-4", 1000, 8)
+	typed.Metrics[allocsMetric] = 0.0004
+	plain := bm("BenchmarkSwarm_PeriodicRound/sensors=50000-4", 2000, 16)
+	base := []Benchmark{bm("BenchmarkSwarm_EventStorm/typed/sensors=50000-4", 1000, 8), plain}
+	cur := []Benchmark{typed, plain}
+	ok, out := runDiff(t, base, cur, defaultGates, false)
+	if !ok {
+		t.Fatalf("clean run failed:\n%s", out)
+	}
+	if !strings.Contains(out, "alloc") || !strings.Contains(out, "0.0004 allocs/event") {
+		t.Fatalf("missing allocs/event summary:\n%s", out)
+	}
+	if strings.Contains(out, "alloc BenchmarkSwarm_PeriodicRound") {
+		t.Fatalf("alloc summary printed for a bench without the metric:\n%s", out)
+	}
+}

@@ -68,6 +68,45 @@ type Event struct {
 // Handler consumes events delivered to a subscription.
 type Handler func(Event)
 
+// Refcounted is implemented by pooled payloads (device.ReadingBatch). The
+// bus retains one reference per subscriber before enqueueing and releases it
+// when the delivery finishes or the event is dropped, so a recycled buffer
+// can never be observed by a late or slow subscriber. Handlers BORROW the
+// payload for the duration of the call: they must neither retain it past
+// return nor release it themselves.
+type Refcounted interface {
+	Retain()
+	Release()
+}
+
+// Weighted is implemented by payloads that stand for more than one logical
+// event (a ReadingBatch of n readings). The bus counts published, delivered
+// and dropped by weight, so Stats keep meaning "readings" whether readings
+// travel boxed one-per-event or batched.
+type Weighted interface {
+	EventWeight() int
+}
+
+// payloadWeight reports how many logical events p stands for.
+func payloadWeight(p any) uint64 {
+	if w, ok := p.(Weighted); ok {
+		return uint64(w.EventWeight())
+	}
+	return 1
+}
+
+func retainPayload(p any) {
+	if r, ok := p.(Refcounted); ok {
+		r.Retain()
+	}
+}
+
+func releasePayload(p any) {
+	if r, ok := p.(Refcounted); ok {
+		r.Release()
+	}
+}
+
 // ErrClosed is returned by operations on a closed bus.
 var ErrClosed = errors.New("eventbus: closed")
 
@@ -236,9 +275,12 @@ func (b *Bus) Publish(topic string, payload any, now time.Time) error {
 	subs := sh.subs[topic]
 	sh.mu.RUnlock()
 
-	b.published.Add(1)
+	b.published.Add(payloadWeight(payload))
 	ev := Event{Topic: topic, Payload: payload, Time: now, Seq: b.seq.Add(1)}
 	for _, s := range subs {
+		// One reference per recipient; the delivering goroutine (or the
+		// drop path) releases it. The publisher keeps its own reference.
+		retainPayload(payload)
 		s.enqueue(ev)
 	}
 	return nil
@@ -264,7 +306,11 @@ func (b *Bus) PublishBatch(topic string, payloads []any, now time.Time) error {
 	sh.mu.RUnlock()
 
 	n := uint64(len(payloads))
-	b.published.Add(n)
+	var weight uint64
+	for _, p := range payloads {
+		weight += payloadWeight(p)
+	}
+	b.published.Add(weight)
 	base := b.seq.Add(n) - n
 	for _, s := range subs {
 		s.enqueueBatch(topic, payloads, now, base)
@@ -388,52 +434,98 @@ func (s *Subscription) pushLocked(ev Event) {
 	}
 }
 
+// enqOutcome names what the overflow policy did with one event. Refcounted
+// payloads make the distinction load-bearing: every outcome releases exactly
+// the references it costs, and only real drops count in Stats.
+type enqOutcome uint8
+
+const (
+	// enqQueued: the event was queued with no loss.
+	enqQueued enqOutcome = iota
+	// enqEvicted: the event was queued after DropOldest evicted the oldest
+	// queued event (returned as the victim).
+	enqEvicted
+	// enqRefused: a full DropNewest queue refused the incoming event.
+	enqRefused
+	// enqDiscarded: a stopping subscription discarded the incoming event —
+	// intended shutdown behaviour, released but not counted as a drop.
+	enqDiscarded
+)
+
 // enqueueLocked applies the overflow policy for one event; the caller holds
-// s.mu. It reports whether the event was discarded.
-func (s *Subscription) enqueueLocked(ev Event) (dropped bool) {
+// s.mu. victim is only meaningful for enqEvicted; the caller releases and
+// accounts casualties (outside the lock where possible).
+func (s *Subscription) enqueueLocked(ev Event) (outcome enqOutcome, victim any) {
 	switch s.policy {
 	case DropNewest:
 		if s.count == len(s.buf) {
-			return true
+			return enqRefused, nil
 		}
 	case DropOldest:
 		if s.count == len(s.buf) {
+			victim = s.buf[s.head].Payload
+			s.buf[s.head].Payload = nil
 			s.head = (s.head + 1) % len(s.buf)
 			s.count--
-			dropped = true
+			s.pushLocked(ev)
+			return enqEvicted, victim
 		}
 	default: // Block
 		for s.count == len(s.buf) && !s.stopped {
 			s.notFull.Wait()
 		}
 		if s.stopped {
-			// Shutting down; dropping the event is intended.
-			return false
+			return enqDiscarded, nil
 		}
 	}
 	s.pushLocked(ev)
-	return dropped
+	return enqQueued, nil
+}
+
+// settle releases whatever reference an enqueue outcome costs and reports
+// the weight to count as dropped (0 for queued/discarded outcomes).
+func (s *Subscription) settle(outcome enqOutcome, victim, incoming any) uint64 {
+	switch outcome {
+	case enqEvicted:
+		w := payloadWeight(victim)
+		releasePayload(victim)
+		return w
+	case enqRefused:
+		w := payloadWeight(incoming)
+		releasePayload(incoming)
+		return w
+	case enqDiscarded:
+		releasePayload(incoming)
+	}
+	return 0
 }
 
 func (s *Subscription) enqueue(ev Event) {
 	s.mu.Lock()
-	dropped := s.enqueueLocked(ev)
+	outcome, victim := s.enqueueLocked(ev)
 	s.mu.Unlock()
-	if dropped {
-		s.bus.dropped.Add(1)
+	if outcome == enqQueued {
+		return
+	}
+	if w := s.settle(outcome, victim, ev.Payload); w > 0 {
+		s.bus.dropped.Add(w)
 	}
 }
 
 // enqueueBatch applies the overflow policy to a whole burst of payloads
 // under one lock acquisition, materializing each Event in place (no
 // per-batch allocation). base is the sequence number preceding the batch.
+// Every payload is retained once for this subscriber before the policy runs.
 func (s *Subscription) enqueueBatch(topic string, payloads []any, at time.Time, base uint64) {
 	s.mu.Lock()
 	var dropped uint64
 	for i, payload := range payloads {
+		retainPayload(payload)
 		ev := Event{Topic: topic, Payload: payload, Time: at, Seq: base + uint64(i) + 1}
-		if s.enqueueLocked(ev) {
-			dropped++
+		outcome, victim := s.enqueueLocked(ev)
+		if outcome != enqQueued {
+			// Releasing under s.mu is safe: payload Release takes no locks.
+			dropped += s.settle(outcome, victim, payload)
 		}
 	}
 	s.mu.Unlock()
@@ -457,7 +549,8 @@ func (s *Subscription) run(wg *sync.WaitGroup) {
 			return
 		}
 		// Take everything queued in up to two ring segments, then run
-		// the handlers outside the lock.
+		// the handlers outside the lock. The drained ring slots are cleared
+		// so the buffer does not pin released payloads until overwritten.
 		n := s.count
 		first := len(s.buf) - s.head
 		if first > n {
@@ -465,14 +558,21 @@ func (s *Subscription) run(wg *sync.WaitGroup) {
 		}
 		copy(scratch, s.buf[s.head:s.head+first])
 		copy(scratch[first:], s.buf[:n-first])
+		clear(s.buf[s.head : s.head+first])
+		clear(s.buf[:n-first])
 		s.head = (s.head + n) % len(s.buf)
 		s.count = 0
 		s.notFull.Broadcast()
 		s.mu.Unlock()
 
 		for i := 0; i < n; i++ {
+			p := scratch[i].Payload
 			s.h(scratch[i])
-			s.bus.delivered.Add(1)
+			// Weight is read before the release: the last release may
+			// recycle the payload.
+			s.bus.delivered.Add(payloadWeight(p))
+			releasePayload(p)
+			scratch[i] = Event{}
 		}
 	}
 }

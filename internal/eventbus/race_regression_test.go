@@ -1,0 +1,163 @@
+package eventbus
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// These regression tests pin the refcounting contract for pooled payloads:
+// the bus retains one reference per subscriber before enqueueing and
+// releases it after delivery or on any drop path, so a producer that
+// releases and recycles its buffer immediately after Publish can never race
+// a slow subscriber still reading it. The recycle-vs-drain test only fails
+// meaningfully under -race (or via the consistency check) when that
+// contract is broken — the SNIPPETS.md snippet 3 pattern.
+
+// poolBatch is a minimal stand-in for device.ReadingBatch: pooled,
+// refcounted, weighted.
+type poolBatch struct {
+	refs     atomic.Int32
+	released *atomic.Int64
+	pool     *sync.Pool
+	vals     []int
+}
+
+func (p *poolBatch) Retain() { p.refs.Add(1) }
+
+func (p *poolBatch) Release() {
+	switch n := p.refs.Add(-1); {
+	case n == 0:
+		p.released.Add(1)
+		p.vals = p.vals[:0]
+		p.pool.Put(p)
+	case n < 0:
+		panic("poolBatch over-released")
+	}
+}
+
+func (p *poolBatch) EventWeight() int { return len(p.vals) }
+
+// batchSource hands out pooled batches with one reference held.
+type batchSource struct {
+	pool     sync.Pool
+	released atomic.Int64
+}
+
+func (src *batchSource) get() *poolBatch {
+	if v := src.pool.Get(); v != nil {
+		b := v.(*poolBatch)
+		b.refs.Store(1)
+		return b
+	}
+	b := &poolBatch{released: &src.released, pool: &src.pool}
+	b.refs.Store(1)
+	return b
+}
+
+func TestRaceRegression_PoolRecycleVsSlowSubscriberDrain(t *testing.T) {
+	const rows, rounds = 64, 200
+	bus := New()
+	defer bus.Close()
+
+	var src batchSource
+	var torn atomic.Int64
+	sub, err := bus.Subscribe("readings", func(ev Event) {
+		b := ev.Payload.(*poolBatch)
+		want := b.vals[0]
+		// Slow drain: if the bus released (and the producer recycled) the
+		// batch before this handler ran, the reread below observes the next
+		// round's values — and -race observes the unsynchronized write.
+		time.Sleep(100 * time.Microsecond)
+		for _, v := range b.vals {
+			if v != want {
+				torn.Add(1)
+			}
+		}
+	}, WithQueue(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	for g := 1; g <= rounds; g++ {
+		b := src.get()
+		for i := 0; i < rows; i++ {
+			b.vals = append(b.vals, g)
+		}
+		if err := bus.Publish("readings", b, time.Unix(int64(g), 0)); err != nil {
+			t.Fatal(err)
+		}
+		// Producer is done with its reference immediately; the batch must
+		// stay alive for the queued delivery regardless.
+		b.Release()
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for bus.Stats().Delivered < rows*rounds {
+		if time.Now().After(deadline) {
+			t.Fatalf("delivered %d of %d weighted events", bus.Stats().Delivered, rows*rounds)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if n := torn.Load(); n != 0 {
+		t.Fatalf("%d torn reads: subscriber observed a recycled buffer", n)
+	}
+	if got := src.released.Load(); got != rounds {
+		t.Fatalf("released %d batches, want %d (leak or double release)", got, rounds)
+	}
+}
+
+func TestDropPoliciesReleaseRefcountedPayloads(t *testing.T) {
+	bus := New()
+	defer bus.Close()
+
+	var src batchSource
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var once sync.Once
+	sub, err := bus.Subscribe("readings", func(ev Event) {
+		once.Do(func() { close(started) })
+		<-gate
+	}, WithQueue(1), WithPolicy(DropOldest))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Cancel()
+
+	publish := func(rows int) *poolBatch {
+		b := src.get()
+		for i := 0; i < rows; i++ {
+			b.vals = append(b.vals, rows)
+		}
+		if err := bus.Publish("readings", b, time.Unix(1, 0)); err != nil {
+			t.Fatal(err)
+		}
+		b.Release()
+		return b
+	}
+
+	publish(2) // picked up by the drain goroutine, parked in the handler
+	<-started
+	publish(3) // sits in the queue (capacity 1)
+	publish(5) // evicts the 3-row batch
+	if got := bus.Stats().Dropped; got != 3 {
+		t.Fatalf("dropped weight = %d, want 3 (the evicted batch)", got)
+	}
+	close(gate)
+
+	deadline := time.Now().Add(10 * time.Second)
+	for src.released.Load() != 3 {
+		if time.Now().After(deadline) {
+			t.Fatalf("released %d batches, want all 3 (drop path leaked a reference)", src.released.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got := bus.Stats().Published; got != 10 {
+		t.Fatalf("published weight = %d, want 10", got)
+	}
+	if got := bus.Stats().Delivered; got != 7 {
+		t.Fatalf("delivered weight = %d, want 7 (2 + 5)", got)
+	}
+}

@@ -95,6 +95,10 @@ type Config struct {
 	ListenAddr string
 	// Exports lists the device kinds (and event sources) this node offers.
 	Exports []Export
+	// ServerOpts is passed through to the node's transport server.
+	// Mixed-version-fleet tests use transport.WithoutColumnCodec here to
+	// model a peer built before the compact column codec existed.
+	ServerOpts []transport.ServerOption
 }
 
 // PeerConfig configures one peer connection.
@@ -222,6 +226,12 @@ type Stats struct {
 	// the sender lost the response mid-partition and retried a batch that
 	// had already landed.
 	EventDupsSuppressed uint64
+	// CodecFallbacks counts event batches and agg syncs sent to peers over
+	// the gob ops instead of the compact column codec — the peer predates
+	// the codec (a mixed-version fleet) or the payload could not travel in
+	// column form (indexed readings, mixed or composite value types). A
+	// homogeneous fleet on scalar payloads holds this at zero.
+	CodecFallbacks uint64
 }
 
 // Counters flattens the snapshot into a name → value map — the gauge form
@@ -257,6 +267,7 @@ func (s Stats) Counters() map[string]uint64 {
 		"forward_retries":       s.ForwardRetries,
 		"peer_restarts_seen":    s.PeerRestartsSeen,
 		"event_dups_suppressed": s.EventDupsSuppressed,
+		"codec_fallbacks":       s.CodecFallbacks,
 	}
 }
 
@@ -407,7 +418,7 @@ func New(cfg Config) (*Node, error) {
 	// the reborn process as the same incarnation (catch-up stays a delta
 	// sync); a fresh one records its epoch before any peer can observe it.
 	store := endpoint.Persistence()
-	var srvOpts []transport.ServerOption
+	srvOpts := append([]transport.ServerOption(nil), cfg.ServerOpts...)
 	if store != nil {
 		srvOpts = append(srvOpts, transport.WithBoot(store.Boot()))
 	}
@@ -491,6 +502,7 @@ func (n *Node) Stats() Stats {
 		}
 		s.PeerReconnects += p.client.Reconnects()
 		s.HeartbeatMisses += p.client.HeartbeatMisses()
+		s.CodecFallbacks += p.client.CodecFallbacks()
 	}
 	return s
 }

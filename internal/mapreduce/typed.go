@@ -1,0 +1,51 @@
+package mapreduce
+
+// Typed lift adapters for the combine fold. The incremental engine and the
+// runtime's Combiner surface are any-valued — partial aggregates cross
+// component and federation boundaries as dynamic values — but a handler's
+// monoid merge is almost always a concrete scalar operation (int count,
+// float64 sum, …). TypedCombine/TypedUncombine lift such a typed merge into
+// the any-valued form once, centralizing the type assertions instead of
+// scattering them through every handler.
+//
+// Mismatch semantics: an operand whose dynamic type is not V is treated as
+// the monoid identity — the other operand passes through unchanged. A
+// malformed partial (a peer speaking a different numeric width, a stale
+// checkpoint) therefore degrades to a partial that contributes nothing,
+// rather than poisoning the whole group's aggregate with a zero-value fold.
+
+// TypedCombine lifts a typed associative merge into an any-valued
+// CombineFunc (the runtime Combiner shape).
+func TypedCombine[K comparable, V any](f func(key K, a, b V) V) CombineFunc[K, any] {
+	return func(key K, a, b any) any {
+		av, aok := a.(V)
+		bv, bok := b.(V)
+		switch {
+		case aok && bok:
+			return f(key, av, bv)
+		case aok:
+			return av
+		case bok:
+			return bv
+		default:
+			return a
+		}
+	}
+}
+
+// TypedUncombine lifts a typed inverse merge into an any-valued
+// UncombineFunc. A non-V accumulator passes through untouched; removing a
+// non-V partial removes nothing.
+func TypedUncombine[K comparable, V any](f func(key K, acc, v V) V) UncombineFunc[K, any] {
+	return func(key K, acc, v any) any {
+		accv, aok := acc.(V)
+		if !aok {
+			return acc
+		}
+		vv, vok := v.(V)
+		if !vok {
+			return accv
+		}
+		return f(key, accv, vv)
+	}
+}

@@ -1,0 +1,68 @@
+package mapreduce
+
+import "testing"
+
+// TestTypedCombineLift pins the lift semantics: typed operands fold through
+// the wrapped merge; a foreign-typed operand acts as the monoid identity.
+func TestTypedCombineLift(t *testing.T) {
+	sum := TypedCombine[string, float64](func(_ string, a, b float64) float64 { return a + b })
+	if got := sum("g", 1.5, 2.25); got != 3.75 {
+		t.Fatalf("typed fold = %v, want 3.75", got)
+	}
+	if got := sum("g", 1.5, "garbage"); got != 1.5 {
+		t.Fatalf("foreign right operand: got %v, want the left to pass through", got)
+	}
+	if got := sum("g", nil, 2.25); got != 2.25 {
+		t.Fatalf("foreign left operand: got %v, want the right to pass through", got)
+	}
+	if got := sum("g", nil, "x"); got != nil {
+		t.Fatalf("both foreign: got %v, want the left back", got)
+	}
+}
+
+// TestTypedUncombineLift pins the inverse lift: a foreign accumulator is
+// untouched, removing a foreign partial removes nothing.
+func TestTypedUncombineLift(t *testing.T) {
+	sub := TypedUncombine[string, int](func(_ string, acc, v int) int { return acc - v })
+	if got := sub("g", 10, 4); got != 6 {
+		t.Fatalf("typed inverse = %v, want 6", got)
+	}
+	if got := sub("g", 10, "garbage"); got != 10 {
+		t.Fatalf("foreign partial: got %v, want accumulator unchanged", got)
+	}
+	if got := sub("g", "acc", 4); got != "acc" {
+		t.Fatalf("foreign accumulator: got %v, want it back untouched", got)
+	}
+}
+
+// TestTypedCombineDrivesIncremental proves the lifted monoid powers the
+// incremental engine's combiner path end to end: upserts fold, removals
+// uncombine, flush output matches a hand count.
+func TestTypedCombineDrivesIncremental(t *testing.T) {
+	eng := NewIncremental[string, any](
+		func(k string, _ any, emit func(string, any)) { emit(k, 1) },
+		func(k string, vs []any, emit func(string, any)) {
+			n := 0
+			for _, v := range vs {
+				if u, ok := v.(int); ok {
+					n += u
+				}
+			}
+			emit(k, n)
+		},
+		TypedCombine[string, int](func(_ string, a, b int) int { return a + b }),
+		TypedUncombine[string, int](func(_ string, acc, v int) int { return acc - v }),
+	)
+	eng.Upsert("d1", "kitchen", true)
+	eng.Upsert("d2", "kitchen", true)
+	eng.Upsert("d3", "hall", true)
+	out, _ := eng.Flush(nil)
+	if out["kitchen"] != 2 || out["hall"] != 1 {
+		t.Fatalf("counts after upserts: %v", out)
+	}
+	eng.Remove("d1")
+	out, _ = eng.Flush(nil)
+	if out["kitchen"] != 1 {
+		t.Fatalf("count after removal: %v", out)
+	}
+}

@@ -41,6 +41,11 @@ type IngestConfig struct {
 	// MaxAge at flush time (by the runtime clock) are dropped and counted
 	// in Stats.IngestDeadlineDrops. Zero disables the deadline.
 	MaxAge time.Duration
+	// Boxed selects the pre-typed-path ingestion pipeline (one boxed `any`
+	// per reading through PublishBatch) instead of pooled columnar
+	// ReadingBatch payloads. It exists as the ablation baseline for the
+	// storm benchmarks; production configurations leave it false.
+	Boxed bool
 }
 
 func (c IngestConfig) withDefaults() IngestConfig {
@@ -69,6 +74,7 @@ type ingestor struct {
 	budget   *qos.Budget
 	maxBatch int
 	maxAge   time.Duration
+	boxed    bool
 	shards   []*ingestShard
 	mask     uint64
 
@@ -90,6 +96,7 @@ func (rt *Runtime) newIngestor(topic string) *ingestor {
 		budget:   qos.NewBudget(cfg.Budget),
 		maxBatch: cfg.MaxBatch,
 		maxAge:   cfg.MaxAge,
+		boxed:    cfg.Boxed,
 		shards:   make([]*ingestShard, n),
 		mask:     uint64(n - 1),
 	}
@@ -124,15 +131,44 @@ func (ing *ingestor) stop() {
 }
 
 // ingestShard is one intake buffer plus its flush worker. Push appends under
-// the shard mutex; the worker swaps the buffer out wholesale and publishes
-// it in MaxBatch chunks, so per-event synchronization is amortized over the
-// burst on both sides (mirroring the bus's ring-buffer subscriptions).
+// the shard mutex; the worker swaps the accumulated work out wholesale and
+// publishes it, so per-event synchronization is amortized over the burst on
+// both sides (mirroring the bus's ring-buffer subscriptions).
+//
+// On the typed (default) path readings accumulate into pooled columnar
+// device.ReadingBatch payloads sealed at MaxBatch rows, each published as a
+// single refcounted bus event — no per-reading boxing anywhere. The boxed
+// ablation path keeps the original []any buffer flushed through
+// PublishBatch.
 type ingestShard struct {
 	ing      *ingestor
 	mu       sync.Mutex
 	notEmpty sync.Cond
-	buf      []any // pending readings, boxed as bus payloads
+	buf      []any                  // boxed path: pending readings as bus payloads
+	cur      *device.ReadingBatch   // typed path: open batch being filled
+	full     []*device.ReadingBatch // typed path: sealed batches awaiting flush
 	stopped  bool
+}
+
+// pendingLocked reports whether any intake is waiting; caller holds s.mu.
+func (s *ingestShard) pendingLocked() bool {
+	return len(s.buf) > 0 || len(s.full) > 0 || (s.cur != nil && s.cur.Len() > 0)
+}
+
+// appendLocked adds one admitted reading to the intake; caller holds s.mu.
+func (s *ingestShard) appendLocked(r device.Reading) {
+	if s.ing.boxed {
+		s.buf = append(s.buf, r)
+		return
+	}
+	if s.cur == nil {
+		s.cur = device.NewReadingBatch()
+	}
+	s.cur.Append(r)
+	if s.cur.Len() >= s.ing.maxBatch {
+		s.full = append(s.full, s.cur)
+		s.cur = nil
+	}
 }
 
 // Push implements device.Sink.
@@ -152,8 +188,9 @@ func (s *ingestShard) Push(r device.Reading) {
 		ing.budget.Release(1)
 		return
 	}
-	s.buf = append(s.buf, r)
-	if len(s.buf) == 1 {
+	wasEmpty := !s.pendingLocked()
+	s.appendLocked(r)
+	if wasEmpty {
 		s.notEmpty.Signal()
 	}
 	s.mu.Unlock()
@@ -163,7 +200,7 @@ func (s *ingestShard) Push(r device.Reading) {
 // acquisition — the channel-fallback forwarding path drains its device queue
 // and hands the burst over in one call. Readings beyond the budget are
 // dropped from the tail and counted.
-func (s *ingestShard) pushBatch(batch []any) {
+func (s *ingestShard) pushBatch(batch []device.Reading) {
 	ing := s.ing
 	if ing.draining.Load() {
 		ing.rt.stats.ingestDrainDrops.Add(uint64(len(batch)))
@@ -177,10 +214,10 @@ func (s *ingestShard) pushBatch(batch []any) {
 }
 
 // appendAdmitted installs readings whose budget units are already acquired
-// into the shard buffer, releasing the units if the shard has stopped. It is
+// into the shard intake, releasing the units if the shard has stopped. It is
 // the budget-free lower half of pushBatch, shared with the federation
 // remote-ingest path (which applies its own admission accounting).
-func (s *ingestShard) appendAdmitted(batch []any) {
+func (s *ingestShard) appendAdmitted(batch []device.Reading) {
 	if len(batch) == 0 {
 		return
 	}
@@ -190,18 +227,35 @@ func (s *ingestShard) appendAdmitted(batch []any) {
 		s.ing.budget.Release(len(batch))
 		return
 	}
-	wasEmpty := len(s.buf) == 0
-	s.buf = append(s.buf, batch...)
+	wasEmpty := !s.pendingLocked()
+	for _, r := range batch {
+		s.appendLocked(r)
+	}
 	if wasEmpty {
 		s.notEmpty.Signal()
 	}
 	s.mu.Unlock()
 }
 
+// remoteScratch is the reusable fan-out workspace of ingestRemote: the
+// per-reading shard assignment, per-shard counts, and the backing array of
+// the stable counting sort. Pooled so steady-state remote ingestion
+// allocates nothing per batch.
+type remoteScratch struct {
+	shard  []uint32
+	counts []int
+	buf    []device.Reading
+}
+
+var remoteScratchPool = sync.Pool{New: func() any { return new(remoteScratch) }}
+
 // ingestRemote lands one peer-forwarded batch: admission happens once for
 // the whole batch against the interaction's budget (refusals are the
 // caller's to account), and the admitted prefix is fanned to the intake
-// shards by device ID so per-device ordering is preserved end to end.
+// shards by device ID so per-device ordering is preserved end to end. The
+// fan-out is a stable counting sort over pooled scratch — appendAdmitted
+// copies rows into the shard's columnar batch before returning, so the
+// scratch never escapes.
 func (ing *ingestor) ingestRemote(readings []device.Reading) int {
 	if ing.draining.Load() {
 		// Refused whole: the caller accounts the batch as federation drops,
@@ -212,17 +266,58 @@ func (ing *ingestor) ingestRemote(readings []device.Reading) int {
 	if admitted == 0 {
 		return 0
 	}
-	// Group the admitted prefix per shard, preserving arrival order within
-	// each device (same device always hashes to the same shard).
-	perShard := make([][]any, len(ing.shards))
-	for i := range readings[:admitted] {
-		r := readings[i]
-		si := maphash.String(ingestSeed, r.DeviceID) & ing.mask
-		perShard[si] = append(perShard[si], r)
+	readings = readings[:admitted]
+	if len(ing.shards) == 1 {
+		ing.shards[0].appendAdmitted(readings)
+		return admitted
 	}
-	for si, batch := range perShard {
-		ing.shards[si].appendAdmitted(batch)
+	sc := remoteScratchPool.Get().(*remoteScratch)
+	if cap(sc.shard) < admitted {
+		sc.shard = make([]uint32, admitted)
 	}
+	shard := sc.shard[:admitted]
+	if cap(sc.counts) < len(ing.shards) {
+		sc.counts = make([]int, len(ing.shards))
+	}
+	counts := sc.counts[:len(ing.shards)]
+	for i := range counts {
+		counts[i] = 0
+	}
+	for i := range readings {
+		si := uint32(maphash.String(ingestSeed, readings[i].DeviceID) & ing.mask)
+		shard[i] = si
+		counts[si]++
+	}
+	if cap(sc.buf) < admitted {
+		sc.buf = make([]device.Reading, admitted)
+	}
+	buf := sc.buf[:admitted]
+	// counts becomes running write offsets; after placement it holds each
+	// shard's end offset. Placement in input order keeps the sort stable, so
+	// per-device arrival order survives (same device, same shard).
+	off := 0
+	for si, c := range counts {
+		counts[si] = off
+		off += c
+	}
+	for i := range readings {
+		si := shard[i]
+		buf[counts[si]] = readings[i]
+		counts[si]++
+	}
+	start := 0
+	for si, end := range counts {
+		if end > start {
+			ing.shards[si].appendAdmitted(buf[start:end])
+		}
+		start = end
+	}
+	// Drop payload references (strings, boxed values) before pooling so a
+	// recycled scratch never pins a storm's readings.
+	for i := range buf {
+		buf[i] = device.Reading{}
+	}
+	remoteScratchPool.Put(sc)
 	return admitted
 }
 
@@ -285,20 +380,57 @@ func (rt *Runtime) RemoteIngest(kind, source string, readings []device.Reading) 
 func (s *ingestShard) run() {
 	defer s.ing.rt.wg.Done()
 	var pending []any
+	var sealed []*device.ReadingBatch
 	for {
 		s.mu.Lock()
-		for len(s.buf) == 0 && !s.stopped {
+		for !s.pendingLocked() && !s.stopped {
 			s.notEmpty.Wait()
 		}
-		if len(s.buf) == 0 {
+		if !s.pendingLocked() {
 			// Stopped and fully drained.
 			s.mu.Unlock()
 			return
 		}
 		pending, s.buf = s.buf, pending[:0]
+		sealed, s.full = s.full, sealed[:0]
+		cur := s.cur
+		s.cur = nil
 		s.mu.Unlock()
-		s.flush(pending)
+		for i, b := range sealed {
+			s.flushTyped(b)
+			sealed[i] = nil // recycled batches must not be pinned by the swap slice
+		}
+		if cur != nil {
+			s.flushTyped(cur)
+		}
+		if len(pending) > 0 {
+			s.flush(pending)
+		}
 	}
+}
+
+// flushTyped applies the deadline policy to one sealed batch and publishes
+// it as a single refcounted bus event, then returns the admitted units to
+// the budget and drops the producer's batch reference — the bus holds one
+// reference per subscriber until each delivery completes.
+func (s *ingestShard) flushTyped(b *device.ReadingBatch) {
+	ing := s.ing
+	admitted := b.Len()
+	if ing.maxAge > 0 {
+		cutoff := ing.rt.clock.Now().Add(-ing.maxAge)
+		if stale := b.CompactBefore(cutoff); stale > 0 {
+			ing.rt.stats.ingestDeadlineDrops.Add(uint64(stale))
+		}
+	}
+	if n := b.Len(); n > 0 {
+		at := b.TimeAt(n - 1)
+		if err := ing.rt.bus.Publish(ing.topic, b, at); err == nil {
+			ing.rt.stats.ingestBatches.Add(1)
+			ing.rt.stats.ingestEvents.Add(uint64(n))
+		}
+	}
+	b.Release()
+	ing.budget.Release(admitted)
 }
 
 // flush applies the deadline policy and publishes the burst in MaxBatch
@@ -490,7 +622,7 @@ func (t *sourceTracker) add(e registry.Entity) {
 // call, so even the per-device-channel path batches its bus handoff.
 func (t *sourceTracker) forward(sub device.Subscription, shard *ingestShard) {
 	defer t.rt.wg.Done()
-	batch := make([]any, 0, sourceForwardBatch)
+	batch := make([]device.Reading, 0, sourceForwardBatch)
 	for r := range sub.C() {
 		batch = append(batch[:0], r)
 	drain:

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/dsl/check"
+	"repro/internal/mapreduce"
 )
 
 // This file is the interpreted dispatch path: generic handlers derived from
@@ -88,19 +89,24 @@ func (h *interpContext) Reduce(key string, values []any, emit func(string, any))
 	emit(key, sum)
 }
 
+// The count monoid, lifted once from its typed form: the interpreted
+// context's partials stay int all the way through the incremental engine
+// and federation agg_sync, with the dynamic-type assertions centralized in
+// the mapreduce adapters.
+var (
+	combineCount   = mapreduce.TypedCombine[string, int](func(_ string, a, b int) int { return a + b })
+	uncombineCount = mapreduce.TypedUncombine[string, int](func(_ string, acc, v int) int { return acc - v })
+)
+
 // Combine/Uncombine declare the count associative and invertible, enabling
 // the O(1) incremental path and federation partial-aggregate sync.
-func (h *interpContext) Combine(_ string, a, b any) any {
-	an, _ := a.(int)
-	bn, _ := b.(int)
-	return an + bn
+func (h *interpContext) Combine(key string, a, b any) any {
+	return combineCount(key, a, b)
 }
 
 // Uncombine subtracts a retired reading's unit from the running count.
-func (h *interpContext) Uncombine(_ string, acc, v any) any {
-	an, _ := acc.(int)
-	vn, _ := v.(int)
-	return an - vn
+func (h *interpContext) Uncombine(key string, acc, v any) any {
+	return uncombineCount(key, acc, v)
 }
 
 // interpController is the interpreted controller: it accepts deliveries and

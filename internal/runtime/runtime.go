@@ -172,6 +172,11 @@ type Stats struct {
 	Actuations uint64
 	// Errors counts component errors.
 	Errors uint64
+	// PoolMisses counts typed reading-batch allocations the batch pool
+	// could not serve from recycled buffers (process-wide, shared across
+	// every runtime in the process). Steady state holds this flat; growth
+	// means batches are leaking a Release or the GC cleared the pool.
+	PoolMisses uint64
 }
 
 // Counters flattens the snapshot into a name → value map — the wire form
@@ -200,6 +205,7 @@ func (s Stats) Counters() map[string]uint64 {
 		"agg_reuse":                   s.AggReuse,
 		"actuations":                  s.Actuations,
 		"errors":                      s.Errors,
+		"pool_misses":                 s.PoolMisses,
 	}
 }
 
@@ -262,6 +268,7 @@ func (c *statCounters) snapshot() Stats {
 		AggReuse:                 c.aggReuse.Load(),
 		Actuations:               c.actuations.Load(),
 		Errors:                   c.errors.Load(),
+		PoolMisses:               device.BatchPoolMisses(),
 	}
 }
 

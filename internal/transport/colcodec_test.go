@@ -1,0 +1,377 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/device"
+)
+
+// encodeReadingsOrFatal encodes readings with a throwaway encoder, copying
+// the payload out so the test owns it.
+func encodeReadingsOrFatal(t testing.TB, readings []device.Reading) []byte {
+	t.Helper()
+	enc := getColEnc()
+	defer enc.release()
+	bin, ok := enc.encodeReadings(readings)
+	if !ok {
+		t.Fatalf("encodeReadings refused a codec-eligible batch: %+v", readings)
+	}
+	return append([]byte(nil), bin...)
+}
+
+func encodeAggOrFatal(t testing.TB, groups []GroupPartial) []byte {
+	t.Helper()
+	enc := getColEnc()
+	defer enc.release()
+	bin, ok := enc.encodeAggSync(groups)
+	if !ok {
+		t.Fatalf("encodeAggSync refused codec-eligible groups: %+v", groups)
+	}
+	return append([]byte(nil), bin...)
+}
+
+// sameReadings compares codec output against the original with gob's
+// semantics: identical IDs, sources, values (including dynamic type) and
+// index, and time compared as an instant (both codecs drop the monotonic
+// reading; colv1 additionally normalizes the wall-clock location).
+func sameReadings(got, want []device.Reading) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.DeviceID != w.DeviceID || g.Source != w.Source {
+			return fmt.Errorf("row %d identity %q/%q, want %q/%q", i, g.DeviceID, g.Source, w.DeviceID, w.Source)
+		}
+		if !reflect.DeepEqual(g.Value, w.Value) {
+			return fmt.Errorf("row %d value %#v, want %#v", i, g.Value, w.Value)
+		}
+		if !reflect.DeepEqual(g.Index, w.Index) {
+			return fmt.Errorf("row %d index %#v, want %#v", i, g.Index, w.Index)
+		}
+		if !g.Time.Equal(w.Time) {
+			return fmt.Errorf("row %d time %v, want %v", i, g.Time, w.Time)
+		}
+	}
+	return nil
+}
+
+// TestColCodecRoundTrip is the codec's property test: for every supported
+// value type, pseudo-random batches decode back to exactly what was
+// encoded.
+func TestColCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	base := time.Now()
+	mk := func(n int, value func(i int) any) []device.Reading {
+		readings := make([]device.Reading, n)
+		for i := range readings {
+			readings[i] = device.Reading{
+				DeviceID: fmt.Sprintf("dev-%d", rng.Intn(8)),
+				Source:   "presence",
+				Value:    value(i),
+				// Jittered, sometimes out-of-order times exercise negative
+				// deltas.
+				Time: base.Add(time.Duration(rng.Intn(2000)-1000) * time.Millisecond),
+			}
+		}
+		return readings
+	}
+	cases := map[string]func(i int) any{
+		"bool":    func(i int) any { return rng.Intn(2) == 0 },
+		"int64":   func(i int) any { return rng.Int63() - math.MaxInt64/2 },
+		"int":     func(i int) any { return rng.Intn(1000) - 500 },
+		"float64": func(i int) any { return rng.NormFloat64() * 100 },
+		"string":  func(i int) any { return fmt.Sprintf("state-%d", rng.Intn(4)) },
+	}
+	for name, value := range cases {
+		t.Run(name, func(t *testing.T) {
+			for round := 0; round < 20; round++ {
+				want := mk(1+rng.Intn(64), value)
+				got, err := decodeReadings(encodeReadingsOrFatal(t, want), nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := sameReadings(got, want); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestColCodecRefusesNonColumnarBatches pins the fallback boundary: indexed
+// readings, mixed-type bursts, nil and exotic values all route the whole
+// call to the gob op.
+func TestColCodecRefusesNonColumnarBatches(t *testing.T) {
+	now := time.Now()
+	r := func(v any) device.Reading {
+		return device.Reading{DeviceID: "d", Source: "s", Value: v, Time: now}
+	}
+	indexed := r(1.0)
+	indexed.Index = "slot3"
+	cases := map[string][]device.Reading{
+		"indexed": {indexed},
+		"mixed":   {r(true), r(int64(2))},
+		"nil":     {r(nil)},
+		"exotic":  {r([]string{"composite"})},
+	}
+	for name, readings := range cases {
+		t.Run(name, func(t *testing.T) {
+			enc := getColEnc()
+			defer enc.release()
+			if _, ok := enc.encodeReadings(readings); ok {
+				t.Fatalf("codec accepted a batch that must fall back to gob")
+			}
+		})
+	}
+}
+
+// TestColCodecAggRoundTrip round-trips agg_sync payloads, including
+// retractions and nil partial values, and pins the composite-value
+// fallback.
+func TestColCodecAggRoundTrip(t *testing.T) {
+	want := []GroupPartial{
+		{Group: "kitchen", Value: 21.5},
+		{Group: "hall", Value: int64(3)},
+		{Group: "kitchen", Value: true},
+		{Group: "attic", Removed: true},
+		{Group: "cellar", Value: "wet"},
+		{Group: "garage", Value: 7},
+	}
+	got, err := decodeAggSync(encodeAggOrFatal(t, want), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+
+	enc := getColEnc()
+	defer enc.release()
+	composite := []GroupPartial{{Group: "g", Value: struct{ Sum, N int }{3, 1}}}
+	if _, ok := enc.encodeAggSync(composite); ok {
+		t.Fatal("codec accepted a composite partial that must fall back to gob")
+	}
+}
+
+// TestColumnCodecNegotiation proves a capable pair uses the binary ops
+// end-to-end with zero fallbacks, and that ineligible payloads on the same
+// connection fall back per call and are counted.
+func TestColumnCodecNegotiation(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fed := &fakeFed{accepted: 1 << 20, merged: 1}
+	srv.ServeFederation(fed)
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	want := []device.Reading{
+		{DeviceID: "s1", Source: "presence", Value: true, Time: time.Now()},
+		{DeviceID: "s2", Source: "presence", Value: false, Time: time.Now()},
+	}
+	accepted, err := cli.PublishEventBatch("Sensor", "presence", 1, 1, want)
+	if err != nil || accepted != len(want) {
+		t.Fatalf("typed publish: accepted=%d err=%v", accepted, err)
+	}
+	if got := cli.colCaps.Load(); got != capColV1 {
+		t.Fatalf("caps verdict %d after probe, want capColV1", got)
+	}
+	if n := cli.CodecFallbacks(); n != 0 {
+		t.Fatalf("capable pair counted %d fallbacks", n)
+	}
+	fed.mu.Lock()
+	got := append([]device.Reading(nil), fed.gotReadings...)
+	fed.mu.Unlock()
+	if err := sameReadings(got, want); err != nil {
+		t.Fatalf("readings through the binary op: %v", err)
+	}
+
+	// An indexed reading cannot travel in column form: the call falls back
+	// to gob, is counted, and still lands.
+	indexed := device.Reading{DeviceID: "s3", Source: "presence", Value: true, Index: "slot9", Time: time.Now()}
+	if _, err := cli.PublishEventBatch("Sensor", "presence", 1, 2, []device.Reading{indexed}); err != nil {
+		t.Fatal(err)
+	}
+	if n := cli.CodecFallbacks(); n != 1 {
+		t.Fatalf("indexed publish counted %d fallbacks, want 1", n)
+	}
+
+	if merged, err := cli.PublishAggSync("Sensor", "presence", "nodeA", []GroupPartial{{Group: "g", Value: 1.0}}); err != nil || merged != 1 {
+		t.Fatalf("agg sync over binary op: merged=%d err=%v", merged, err)
+	}
+	if n := cli.CodecFallbacks(); n != 1 {
+		t.Fatalf("scalar agg sync counted a fallback (total %d)", n)
+	}
+}
+
+// TestColumnCodecOldServerFallsBackToGob proves the mixed-version story: a
+// server built without the codec answers the probe with unknown-op, the
+// client caches gob-only for the connection's life, and every publish still
+// lands (counted as fallbacks).
+func TestColumnCodecOldServerFallsBackToGob(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", WithoutColumnCodec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fed := &fakeFed{accepted: 1 << 20, merged: 1}
+	srv.ServeFederation(fed)
+
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+
+	want := []device.Reading{{DeviceID: "s1", Source: "presence", Value: 3.5, Time: time.Now()}}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if accepted, err := cli.PublishEventBatch("Sensor", "presence", 1, seq, want); err != nil || accepted != 1 {
+			t.Fatalf("seq %d: accepted=%d err=%v", seq, accepted, err)
+		}
+	}
+	if _, err := cli.PublishAggSync("Sensor", "presence", "nodeA", []GroupPartial{{Group: "g", Value: 1.0}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cli.colCaps.Load(); got != capGobOnly {
+		t.Fatalf("caps verdict %d against old server, want capGobOnly", got)
+	}
+	if n := cli.CodecFallbacks(); n != 4 {
+		t.Fatalf("old-server fallbacks = %d, want 4", n)
+	}
+	fed.mu.Lock()
+	rows := len(fed.gotReadings)
+	fed.mu.Unlock()
+	if rows != 3 {
+		t.Fatalf("old server ingested %d readings, want 3", rows)
+	}
+}
+
+// TestMalformedBinPayloadEndsOnlyThatConn is the binary-payload twin of
+// TestMalformedFrameEndsOnlyThatConn: a well-framed request whose colv1
+// payload is garbage poisons that connection, never the server, and nothing
+// reaches the federation handler.
+func TestMalformedBinPayloadEndsOnlyThatConn(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fed := &fakeFed{accepted: 1 << 20}
+	srv.ServeFederation(fed)
+
+	// Conn 1 frames a valid gob envelope around a hostile colv1 payload.
+	bad, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bad.Close()
+	fw := newFrameWriter(bad)
+	hostile := []byte{1, 0xff, 0xff, 0xff, 0xff, 0x0f} // version 1, absurd count
+	if err := fw.send(&request{ID: 1, Op: "event_batch_bin", Kind: "Sensor", Facet: "presence", Bin: hostile}); err != nil {
+		t.Fatal(err)
+	}
+	_ = bad.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := bad.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept a connection that sent a malformed binary payload")
+	}
+	if fed.calls.Load() != 0 {
+		t.Fatal("malformed payload reached the federation handler")
+	}
+
+	// Conn 2, arriving after the abuse, negotiates and publishes normally.
+	cli, err := Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	if accepted, err := cli.PublishEventBatch("Sensor", "presence", 1, 1,
+		[]device.Reading{{DeviceID: "s1", Source: "presence", Value: true, Time: time.Now()}}); err != nil || accepted != 1 {
+		t.Fatalf("healthy conn after abuse: accepted=%d err=%v", accepted, err)
+	}
+}
+
+// fuzzDecodeSeeds are hostile shapes shared by both decoder fuzz targets.
+func fuzzDecodeSeeds(f *testing.F) {
+	f.Add([]byte{})                                // empty payload
+	f.Add([]byte{0})                               // version 0
+	f.Add([]byte{2, 1})                            // unknown version
+	f.Add([]byte{1})                               // missing count
+	f.Add([]byte{1, 0xff, 0xff, 0xff, 0xff, 0x0f}) // absurd count
+	f.Add([]byte{1, 1, 0, 0xff})                   // string length past end
+	f.Add([]byte{1, 2, 0, 1, 'a', 9})              // intern token out of table
+	f.Add([]byte{1, 1, 0, 1, 'a', 0, 1, 'b', 0})   // truncated mid-columns
+}
+
+// FuzzDecodeEventBatch drives the event-batch column decoder with mutated
+// payloads: it must never panic, and every rejection must wrap ErrBadFrame
+// so the server's poison-the-conn contract holds.
+func FuzzDecodeEventBatch(f *testing.F) {
+	fuzzDecodeSeeds(f)
+	f.Add(encodeReadingsOrFatal(f, []device.Reading{
+		{DeviceID: "s1", Source: "presence", Value: true, Time: time.Unix(0, 1_700_000_000_000_000_000)},
+		{DeviceID: "s2", Source: "presence", Value: false, Time: time.Unix(0, 1_700_000_000_000_000_500)},
+	}))
+	f.Add(encodeReadingsOrFatal(f, []device.Reading{
+		{DeviceID: "t1", Source: "temperature", Value: 21.75, Time: time.Unix(0, 1_700_000_000_000_000_000)},
+	}))
+	f.Add(encodeReadingsOrFatal(f, []device.Reading{
+		{DeviceID: "m1", Source: "mode", Value: "eco", Time: time.Unix(0, 1_700_000_000_000_000_000)},
+		{DeviceID: "m2", Source: "mode", Value: "boost", Time: time.Unix(0, 1_700_000_001_000_000_000)},
+	}))
+	f.Fuzz(func(t *testing.T, bin []byte) {
+		readings, err := decodeReadings(bin, nil)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decode error does not wrap ErrBadFrame: %v", err)
+			}
+			return
+		}
+		// Accepted payloads must re-encode and decode to the same rows
+		// unless they used a representation the encoder itself avoids
+		// (e.g. the int tag); spot-check structural sanity instead.
+		for i := range readings {
+			_ = readings[i].Time.UnixNano()
+		}
+	})
+}
+
+// FuzzDecodeAggSync is FuzzDecodeEventBatch's twin for the agg_sync
+// payload decoder.
+func FuzzDecodeAggSync(f *testing.F) {
+	fuzzDecodeSeeds(f)
+	f.Add(encodeAggOrFatal(f, []GroupPartial{
+		{Group: "kitchen", Value: 21.5},
+		{Group: "attic", Removed: true},
+	}))
+	f.Add(encodeAggOrFatal(f, []GroupPartial{
+		{Group: "hall", Value: int64(12)},
+		{Group: "hall", Value: "wet"},
+		{Group: "garage", Value: true},
+	}))
+	f.Fuzz(func(t *testing.T, bin []byte) {
+		groups, err := decodeAggSync(bin, nil)
+		if err != nil {
+			if !errors.Is(err, ErrBadFrame) {
+				t.Fatalf("decode error does not wrap ErrBadFrame: %v", err)
+			}
+			return
+		}
+		for i := range groups {
+			_ = len(groups[i].Group)
+		}
+	})
+}

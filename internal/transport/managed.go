@@ -116,6 +116,10 @@ type ManagedClient struct {
 	heartbeatMisses atomic.Uint64
 	fastFails       atomic.Uint64
 
+	// codecFallbacks accumulates gob-fallback publishes across every
+	// connection this link dials, so the counter survives reconnects.
+	codecFallbacks atomic.Uint64
+
 	// Byte counters from connections that already died; live counts come
 	// from cur.
 	deadSent atomic.Uint64
@@ -145,7 +149,8 @@ func DialManaged(cfg ManagedConfig) (*ManagedClient, error) {
 }
 
 func (m *ManagedClient) dial() (*Client, error) {
-	return Dial(m.cfg.Addr, WithCallTimeout(m.cfg.CallTimeout), WithDialer(m.cfg.Dialer))
+	return Dial(m.cfg.Addr, WithCallTimeout(m.cfg.CallTimeout), WithDialer(m.cfg.Dialer),
+		withFallbackCounter(&m.codecFallbacks))
 }
 
 // Health reports the link's current state.
@@ -166,6 +171,11 @@ func (m *ManagedClient) HeartbeatMisses() uint64 { return m.heartbeatMisses.Load
 
 // FastFails counts calls refused with ErrPeerDown while disconnected.
 func (m *ManagedClient) FastFails() uint64 { return m.fastFails.Load() }
+
+// CodecFallbacks counts event batches and agg syncs shipped over the gob
+// ops instead of the column codec — because the peer predates the codec or
+// the payload cannot travel in column form — cumulative across reconnects.
+func (m *ManagedClient) CodecFallbacks() uint64 { return m.codecFallbacks.Load() }
 
 // BytesSent reports cumulative bytes written across all connections.
 func (m *ManagedClient) BytesSent() uint64 {

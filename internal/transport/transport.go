@@ -42,7 +42,7 @@ func ensureBasicTypes() {
 
 type request struct {
 	ID      uint64
-	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "agg_sync", "host_deploy", "host_remove", "host_list", "host_stats", "fleet_stats", "drain", "set_budget", "ping"
+	Op      string // "query", "query_batch", "invoke", "command_batch", "subscribe", "cancel", "registry_sync", "event_batch", "event_batch_bin", "agg_sync", "agg_sync_bin", "codec_caps", "host_deploy", "host_remove", "host_list", "host_stats", "fleet_stats", "drain", "set_budget", "ping"
 	Device  string
 	Devices []string // for "query_batch"/"command_batch": the devices to answer for
 	Facet   string
@@ -58,6 +58,7 @@ type request struct {
 	Groups   []GroupPartial   // "agg_sync": the per-group partial aggregates
 	Stream   uint64           // "event_batch": sender stream identity (0 = no replay protection)
 	Seq      uint64           // "event_batch": per-stream sequence number
+	Bin      []byte           // "event_batch_bin"/"agg_sync_bin": colv1 column payload
 
 	// Host-admin fields (gob omits them elsewhere).
 	App      string // "host_deploy"/"host_remove"/"set_budget": target app ID
@@ -79,6 +80,7 @@ type response struct {
 	Deltas   []SyncDelta // "registry_sync" answer
 	Accepted int         // "event_batch": readings admitted by the receiver
 	Boot     uint64      // "registry_sync": the answering server's boot epoch
+	Caps     []string    // "codec_caps": wire codecs this server speaks
 
 	Apps     []HostAppInfo    // "host_list" answer
 	AppStats []AppStatsRecord // "host_stats" answer
@@ -218,7 +220,11 @@ type SyncDelta struct {
 // FederationHandler answers the federation wire ops on behalf of a node:
 // registry delta sync and cross-node event ingestion. Implementations must
 // be safe for concurrent use (each server connection dispatches
-// independently).
+// independently). The readings and groups slices are only valid for the
+// duration of the call — the serve loop recycles their backing arrays for
+// the connection's next batch — so an implementation that retains them must
+// copy the elements out (retaining individual elements is fine; they are
+// plain values).
 type FederationHandler interface {
 	// SyncKinds answers one registry_sync request: one SyncDelta per
 	// requested kind, given the generation the peer last observed.
@@ -304,6 +310,10 @@ type Server struct {
 	closed  bool
 	wg      sync.WaitGroup
 
+	// noColCodec makes the server answer the column-codec ops exactly like
+	// a build predating them — the mixed-version-fleet test switch.
+	noColCodec bool
+
 	fed   atomic.Pointer[fedBox]
 	admin atomic.Pointer[adminBox]
 }
@@ -327,6 +337,15 @@ func WithBoot(epoch uint64) ServerOption {
 			s.boot = epoch
 		}
 	}
+}
+
+// WithoutColumnCodec disables the compact binary column codec on this
+// server: "codec_caps", "event_batch_bin" and "agg_sync_bin" all answer as
+// unknown ops, exactly like a server built before the codec existed.
+// Mixed-version federation tests use it to prove clients negotiate down to
+// the gob ops against an old peer.
+func WithoutColumnCodec() ServerOption {
+	return func(s *Server) { s.noColCodec = true }
 }
 
 // NewServer starts a server listening on addr ("127.0.0.1:0" for an
@@ -532,6 +551,14 @@ func (s *Server) serveConn(conn net.Conn) {
 		}
 	}
 
+	// Per-connection decode buffers for the binary federation ops: the serve
+	// loop is one goroutine, the handlers never retain the slices, so each
+	// decoded batch reuses the previous one's backing array. Entries carry
+	// only this connection's last batch until overwritten, bounding what the
+	// buffers pin.
+	var readingScratch []device.Reading
+	var groupScratch []GroupPartial
+
 	for {
 		var req request
 		if err := dec.decode(&req); err != nil {
@@ -541,6 +568,14 @@ func (s *Server) serveConn(conn net.Conn) {
 			// the conn; the serve loop itself never panics or hangs on
 			// hostile bytes.
 			return
+		}
+		if s.noColCodec {
+			switch req.Op {
+			case "codec_caps", "event_batch_bin", "agg_sync_bin":
+				// Impersonate a pre-codec build: these ops do not exist.
+				send(response{ID: req.ID, Err: "unknown op " + req.Op})
+				continue
+			}
 		}
 		switch req.Op {
 		case "ping":
@@ -610,6 +645,24 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			n := fed.IngestEventBatch(req.Stream, req.Seq, req.Kind, req.Facet, req.Readings)
 			send(response{ID: req.ID, Accepted: n})
+		case "event_batch_bin":
+			fed := s.federation()
+			if fed == nil {
+				send(response{ID: req.ID, Err: "federation not served here"})
+				continue
+			}
+			readings, err := decodeReadings(req.Bin, readingScratch)
+			if err != nil {
+				// A payload the column decoder rejects is as poisonous as a
+				// malformed frame: only this connection dies, never the
+				// server, and nothing partially-decoded reaches the handler.
+				return
+			}
+			n := fed.IngestEventBatch(req.Stream, req.Seq, req.Kind, req.Facet, readings)
+			// The handler contract forbids retaining the slice, so its
+			// backing array is this connection's to recycle.
+			readingScratch = readings
+			send(response{ID: req.ID, Accepted: n})
 		case "agg_sync":
 			fed := s.federation()
 			if fed == nil {
@@ -618,6 +671,21 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			n := fed.IngestAggSync(req.Kind, req.Facet, req.Origin, req.Groups)
 			send(response{ID: req.ID, Accepted: n})
+		case "agg_sync_bin":
+			fed := s.federation()
+			if fed == nil {
+				send(response{ID: req.ID, Err: "federation not served here"})
+				continue
+			}
+			groups, err := decodeAggSync(req.Bin, groupScratch)
+			if err != nil {
+				return // poison this connection, like a malformed frame
+			}
+			n := fed.IngestAggSync(req.Kind, req.Facet, req.Origin, groups)
+			groupScratch = groups
+			send(response{ID: req.ID, Accepted: n})
+		case "codec_caps":
+			send(response{ID: req.ID, Caps: serverCodecs})
 		case "host_deploy":
 			adm := s.adminHandler()
 			if adm == nil {
@@ -767,7 +835,23 @@ type Client struct {
 
 	bytesSent atomic.Uint64
 	bytesRecv atomic.Uint64
+
+	// colCaps caches the peer's column-codec verdict for this connection:
+	// capUnknown until the first batch publish probes "codec_caps".
+	colCaps atomic.Int32
+	// codecFallbacks counts event batches and agg syncs shipped over the
+	// gob ops instead of the column codec — because the peer predates the
+	// codec or the payload cannot travel in column form. ManagedClient
+	// shares one counter across reconnects (see withFallbackCounter).
+	codecFallbacks *atomic.Uint64
 }
+
+// Column-codec capability states (Client.colCaps).
+const (
+	capUnknown int32 = iota
+	capColV1
+	capGobOnly
+)
 
 // BytesSent reports the total bytes this client has written to the wire —
 // the sync-payload gauge federation benchmarks use to show agg_sync stays
@@ -814,14 +898,22 @@ func WithDialer(d Dialer) ClientOption {
 	return func(c *Client) { c.dialer = d }
 }
 
+// withFallbackCounter shares a cumulative gob-fallback counter into the
+// client. ManagedClient threads one counter through every connection it
+// dials so the codec_fallbacks total survives reconnects.
+func withFallbackCounter(ctr *atomic.Uint64) ClientOption {
+	return func(c *Client) { c.codecFallbacks = ctr }
+}
+
 // Dial connects to a server address. Failures wrap ErrDial.
 func Dial(addr string, opts ...ClientOption) (*Client, error) {
 	ensureBasicTypes()
 	c := &Client{
-		pending: make(map[uint64]chan callResult),
-		subs:    make(map[uint64]*clientSub),
-		timeout: 5 * time.Second,
-		dialer:  tcpDialer,
+		pending:        make(map[uint64]chan callResult),
+		subs:           make(map[uint64]*clientSub),
+		timeout:        5 * time.Second,
+		dialer:         tcpDialer,
+		codecFallbacks: new(atomic.Uint64),
 	}
 	for _, o := range opts {
 		o(c)
@@ -1109,10 +1201,27 @@ func (c *Client) SyncRegistry(kinds []string, gens []uint64) (deltas []SyncDelta
 // batch idempotent: replaying the same (stream, seq) after a mid-RPC
 // connection loss returns the original admission count instead of
 // ingesting twice (stream 0 opts out).
+// Batches whose readings are all of one codec-supported type travel over
+// the compact column codec when the peer speaks it; everything else — and
+// every batch sent to a pre-codec peer — falls back to the gob op
+// (counted by CodecFallbacks).
 func (c *Client) PublishEventBatch(kind, source string, stream, seq uint64, readings []device.Reading) (accepted int, err error) {
 	if len(readings) == 0 {
 		return 0, nil
 	}
+	if c.colV1() {
+		enc := getColEnc()
+		if bin, ok := enc.encodeReadings(readings); ok {
+			resp, err := c.call(request{Op: "event_batch_bin", Kind: kind, Facet: source, Stream: stream, Seq: seq, Bin: bin})
+			enc.release()
+			if err != nil {
+				return 0, err
+			}
+			return resp.Accepted, nil
+		}
+		enc.release()
+	}
+	c.codecFallbacks.Add(1)
 	resp, err := c.call(request{Op: "event_batch", Kind: kind, Facet: source, Stream: stream, Seq: seq, Readings: readings})
 	if err != nil {
 		return 0, err
@@ -1120,15 +1229,65 @@ func (c *Client) PublishEventBatch(kind, source string, stream, seq uint64, read
 	return resp.Accepted, nil
 }
 
+// CodecFallbacks reports how many event batches and agg syncs this client
+// shipped over the gob ops instead of the column codec.
+func (c *Client) CodecFallbacks() uint64 { return c.codecFallbacks.Load() }
+
+// colV1 reports whether the peer speaks the column codec, probing once per
+// connection with a "codec_caps" round trip. The verdict is cached for the
+// connection's life: a pre-codec server answers the probe with its
+// unknown-op error, which caches gob-only. A transport-level probe failure
+// caches nothing — the connection is dying anyway and the caller's own gob
+// call will surface the real error.
+func (c *Client) colV1() bool {
+	switch c.colCaps.Load() {
+	case capColV1:
+		return true
+	case capGobOnly:
+		return false
+	}
+	resp, err := c.call(request{Op: "codec_caps"})
+	if err != nil {
+		if !IsConnFailure(err) {
+			c.colCaps.Store(capGobOnly)
+		}
+		return false
+	}
+	for _, name := range resp.Caps {
+		if name == CodecColV1 {
+			c.colCaps.Store(capColV1)
+			return true
+		}
+	}
+	c.colCaps.Store(capGobOnly)
+	return false
+}
+
 // PublishAggSync forwards one node's per-group partial aggregates for
 // (kind, source) to the server's federation handler — the O(groups)
 // alternative to forwarding raw readings when the consuming context's
 // reduce phase is combinable. It reports how many consuming interactions
 // merged the partials (0 = unrouted on the receiver).
+// Syncs whose partial values are all codec-supported scalars travel over
+// the compact column codec when the peer speaks it; composite partials (a
+// combiner's struct state) and pre-codec peers fall back to the gob op.
 func (c *Client) PublishAggSync(kind, source, origin string, groups []GroupPartial) (int, error) {
 	if len(groups) == 0 {
 		return 0, nil
 	}
+	if c.colV1() {
+		enc := getColEnc()
+		if bin, ok := enc.encodeAggSync(groups); ok {
+			resp, err := c.call(request{Op: "agg_sync_bin", Kind: kind, Facet: source, Origin: origin, Bin: bin})
+			enc.release()
+			if err != nil {
+				return 0, err
+			}
+			return resp.Accepted, nil
+		}
+		enc.release()
+	}
+	c.codecFallbacks.Add(1)
 	resp, err := c.call(request{Op: "agg_sync", Kind: kind, Facet: source, Origin: origin, Groups: groups})
 	if err != nil {
 		return 0, err
